@@ -1,0 +1,158 @@
+"""Ablation — the Sec. 3.2 leaf-design argument, measured.
+
+The paper motivates RDB-trees by eliminating the two standard leaf
+layouts:
+
+* **pointer-only** leaves: retrieving α candidates costs α random
+  descriptor reads (every lower-bound evaluation needs the vector);
+* **full-descriptor** leaves (Multicurves): no random reads, but only a
+  handful of entries fit per page, so the α-candidate scan itself reads
+  many pages and the index stores τ copies of the data;
+* **RDB leaves** (reference distances): α candidates stream out of α/Ω
+  packed pages, filters run in memory, and only κ ≤ τ·γ survivors cost a
+  random read.
+
+This bench builds all three layouts on the same data and measures pages
+read per query and index size — the quantitative version of Sec. 3.2's
+"almost 13 times fewer random accesses" argument.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.common import Workload, emit, hd_params, start_report
+from repro import HDIndex, Multicurves
+from repro.btree import BPlusTree
+from repro.eval.memory import format_bytes
+from repro.hilbert import GridQuantizer, HilbertCurve
+from repro.storage import UInt64Codec, UIntCodec
+from repro.storage.vectors import heap_file_from_array
+
+BENCH = "ablation_leaf_layout"
+K = 10
+ALPHA = 256
+
+
+class PointerOnlyIndex:
+    """A Hilbert B+-tree whose leaves store only (key, object pointer).
+
+    The strawman of Sec. 3.2: every candidate evaluation requires fetching
+    the descriptor — α random reads per tree scan.
+    """
+
+    def __init__(self, num_trees, order, domain, page_size=4096):
+        self.num_trees = num_trees
+        self.order = order
+        self.domain = domain
+        self.page_size = page_size
+        self.trees = []
+        self.curves = []
+        self.partitions = []
+        self.heap = None
+
+    def build(self, data):
+        import numpy as np
+        from repro.core.partition import contiguous_partition
+        n, dim = data.shape
+        self.heap = heap_file_from_array(data, page_size=self.page_size)
+        quantizer = GridQuantizer(self.domain[0], self.domain[1], self.order)
+        self.partitions = contiguous_partition(dim, self.num_trees)
+        for part in self.partitions:
+            curve = HilbertCurve(len(part), self.order)
+            keys = curve.encode_batch(quantizer.quantize(data[:, part]))
+            order_index = sorted(range(n), key=lambda i: keys[i])
+            key_codec = UIntCodec(curve.key_bytes)
+            tree = BPlusTree(key_codec, UInt64Codec(),
+                             page_size=self.page_size)
+            tree.bulk_load(
+                (key_codec.encode(int(keys[i])),
+                 UInt64Codec().encode(i)) for i in order_index)
+            self.trees.append(tree)
+            self.curves.append(curve)
+        self._quantizer = quantizer
+
+    def query(self, point, k, alpha):
+        """Fetch every candidate's descriptor to rank it — the α random
+        reads (per tree) the RDB design exists to avoid."""
+        import numpy as np
+        best = {}
+        for tree, curve, part in zip(self.trees, self.curves,
+                                     self.partitions):
+            key = int(curve.encode_batch(
+                self._quantizer.quantize(point[part])[None, :])[0])
+            raw = tree.nearest(tree.key_codec.encode(key), alpha)
+            for _, value in raw:
+                object_id = UInt64Codec().decode(value)
+                if object_id in best:
+                    continue
+                vector = self.heap.fetch(object_id).astype(np.float64)
+                best[object_id] = float(np.sqrt(np.sum((vector - point) ** 2)))
+        ranked = sorted(best.items(), key=lambda item: item[1])[:k]
+        return [object_id for object_id, _ in ranked]
+
+    def page_reads(self):
+        return (sum(t.stats.page_reads for t in self.trees)
+                + self.heap.stats.page_reads)
+
+    def index_size_bytes(self):
+        return sum(t.size_bytes() for t in self.trees)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Workload("sift10k", n=2000, num_queries=8, max_k=K)
+
+
+def test_leaf_layout_ablation(workload, benchmark):
+    rows = benchmark.pedantic(lambda: _compare(workload), rounds=1,
+                              iterations=1)
+    by_name = {row[0]: row for row in rows}
+    # RDB leaves beat pointer-only leaves on I/O (Sec. 3.2's argument).
+    assert by_name["RDB (HD-Index)"][1] < by_name["pointer-only"][1]
+    # Full-descriptor leaves pay with index size (τ copies of the data).
+    assert by_name["full-descriptor"][2] > 3 * by_name["RDB (HD-Index)"][2]
+
+
+def _compare(workload):
+    start_report(BENCH, "Ablation: leaf layout vs I/O and index size "
+                        f"(α = {ALPHA})")
+    emit(BENCH, f"{'layout':<17} {'reads/q':>8} {'index':>9}")
+    data, queries, spec = workload.data, workload.queries, workload.spec
+    n = len(data)
+    rows = []
+
+    pointer = PointerOnlyIndex(num_trees=8, order=8, domain=spec.domain)
+    pointer.build(data)
+    before = pointer.page_reads()
+    for query in queries:
+        pointer.query(query, K, ALPHA)
+    reads = (pointer.page_reads() - before) / len(queries)
+    rows.append(("pointer-only", reads, pointer.index_size_bytes()))
+
+    # Multicurves splits its α across curves; scale so each curve scans
+    # the same α entries as the other two layouts.
+    fat = Multicurves(num_curves=8, alpha=ALPHA * 8, domain=spec.domain)
+    fat.build(data)
+    total = 0
+    for query in queries:
+        fat.query(query, K)
+        total += fat.last_query_stats().page_reads
+    rows.append(("full-descriptor", total / len(queries),
+                 fat.index_size_bytes()))
+
+    hd = HDIndex(hd_params(spec, n, alpha=ALPHA, gamma=ALPHA // 4))
+    hd.build(data)
+    total = 0
+    for query in queries:
+        hd.query(query, K)
+        total += hd.last_query_stats().page_reads
+    rows.append(("RDB (HD-Index)", total / len(queries),
+                 hd.index_size_bytes()))
+
+    for name, reads, size in rows:
+        emit(BENCH, f"{name:<17} {reads:>8.1f} {format_bytes(size):>9}")
+    emit(BENCH, "-> RDB leaves avoid the pointer layout's random fetch per "
+                "candidate AND the fat layout's index blow-up — Sec. 3.2 "
+                "quantified")
+    return rows

@@ -1,0 +1,80 @@
+"""Fig. 13 (Appendix C) — robustness to the number of neighbours k.
+
+Sweeps k ∈ {1, 5, 10, 25, 50} for HD-Index, Multicurves, SRS, C2LSH and
+QALSH.  Expected shapes (paper Sec. 5.2.7): the query time of HD-Index and
+Multicurves is nearly flat in k (they always retrieve α ≫ k candidates and
+refine), while the LSH-family times grow with k; HD-Index's MAP@k stays
+high and stable across k.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.common import Workload, emit, hd_params, start_report
+from repro import C2LSH, HDIndex, Multicurves, QALSH, SRS
+from repro.eval import average_precision
+
+BENCH = "fig13_vary_k"
+KS = (1, 5, 10, 25, 50)
+MAX_K = max(KS)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Workload("sift10k", n=2500, num_queries=10, max_k=MAX_K)
+
+
+@pytest.fixture(scope="module")
+def indexes(workload):
+    n = len(workload.data)
+    spec = workload.spec
+    built = {
+        "SRS": SRS(seed=0),
+        "C2LSH": C2LSH(max_functions=64, seed=0),
+        "Multicurves": Multicurves(num_curves=8, alpha=max(64, n // 8),
+                                   domain=spec.domain),
+        "QALSH": QALSH(max_functions=32, seed=0),
+        "HD-Index": HDIndex(hd_params(spec, n)),
+    }
+    for index in built.values():
+        index.build(workload.data)
+    return built
+
+
+def test_fig13_k_sweep(workload, indexes, benchmark):
+    table = benchmark.pedantic(lambda: _sweep(workload, indexes),
+                               rounds=1, iterations=1)
+    hd_times = [table[("HD-Index", k)][1] for k in KS]
+    # Near-constant time in k for HD-Index (Sec. 5.2.7).
+    assert max(hd_times) < 3.0 * min(hd_times)
+    hd_maps = [table[("HD-Index", k)][0] for k in KS]
+    srs_maps = [table[("SRS", k)][0] for k in KS]
+    assert min(hd_maps) > max(srs_maps) - 0.05
+
+
+def _sweep(workload, indexes):
+    start_report(BENCH, "Fig. 13: MAP@k and query time for varying k")
+    true_all = workload.truth
+    table = {}
+    for name, index in indexes.items():
+        emit(BENCH, f"\n--- {name} ---")
+        emit(BENCH, f"{'k':>4} {'MAP@k':>8} {'ms/query':>9}")
+        for k in KS:
+            true_ids = true_all.top_ids(k)
+            aps = []
+            started = time.perf_counter()
+            for row, query in enumerate(workload.queries):
+                ids, _ = index.query(query, k)
+                aps.append(average_precision(true_ids[row], ids, k))
+            elapsed = (time.perf_counter() - started) \
+                / len(workload.queries)
+            quality = float(np.mean(aps))
+            emit(BENCH, f"{k:>4} {quality:>8.3f} {elapsed * 1e3:>9.1f}")
+            table[(name, k)] = (quality, elapsed * 1e3)
+    emit(BENCH, "\n-> HD-Index/Multicurves times are flat in k (α ≫ k by "
+                "design); LSH-family times and MAP move with k")
+    return table

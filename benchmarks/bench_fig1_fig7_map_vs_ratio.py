@@ -1,0 +1,103 @@
+"""Fig. 1 / Fig. 7 — MAP@10 vs approximation ratio across methods.
+
+The paper's headline methodological result: methods with *good* (close to
+1) approximation ratios can have *terrible* MAP, so the ratio stops being
+informative in high dimensions.  We regenerate the two-bar comparison for
+each method on SIFT10K-like and Audio-like workloads (Fig. 1a-b, Fig. 7a-b).
+
+Expected shape: every method's ratio is small (≲ 1.5) while MAP spreads
+over the full [0, 1] range, with the exact methods and HD-Index at the top
+and SRS / C2LSH far below — ratio compresses, MAP discriminates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import Workload, emit, hd_params, start_report, timed_queries
+from repro import C2LSH, HDIndex, IDistance, Multicurves, QALSH, SRS
+from repro.eval import average_precision, approximation_ratio
+
+BENCH = "fig1_fig7_map_vs_ratio"
+K = 10
+
+
+def method_factories(spec, n):
+    return {
+        "SRS": lambda: SRS(seed=0),
+        "C2LSH": lambda: C2LSH(max_functions=64, seed=0),
+        "iDistance": lambda: IDistance(num_partitions=24, seed=0),
+        "Multicurves": lambda: Multicurves(
+            num_curves=8, alpha=max(64, n // 8), domain=spec.domain),
+        "QALSH": lambda: QALSH(max_functions=32, seed=0),
+        "HD-Index": lambda: HDIndex(hd_params(spec, n)),
+    }
+
+
+def run_dataset(workload: Workload):
+    rows = []
+    true_ids = workload.truth.top_ids(K)
+    true_dists = workload.truth.top_distances(K)
+    for name, factory in method_factories(workload.spec,
+                                          len(workload.data)).items():
+        index = factory()
+        index.build(workload.data)
+        ids_list, dists_list, elapsed, _ = timed_queries(
+            index, workload.queries, K)
+        aps, ratios = [], []
+        for row in range(len(workload.queries)):
+            aps.append(average_precision(true_ids[row], ids_list[row], K))
+            got = np.asarray(dists_list[row])
+            if got.shape[0] < K:
+                pad = got.max() if got.size else true_dists[row].max() * 10
+                got = np.concatenate([got, np.full(K - got.shape[0], pad)])
+            ratios.append(approximation_ratio(true_dists[row], got))
+        rows.append((name, float(np.mean(aps)), float(np.mean(ratios)),
+                     elapsed * 1e3))
+    return rows
+
+
+@pytest.fixture(scope="module")
+def workloads():
+    return {
+        "SIFT10K": Workload("sift10k", n=3000, num_queries=12, max_k=K),
+        "Audio": Workload("audio", n=2500, num_queries=12, max_k=K),
+    }
+
+
+def test_fig1_map_vs_ratio(workloads, benchmark):
+    benchmark.pedantic(lambda: _fig1_map_vs_ratio(workloads),
+                       rounds=1, iterations=1)
+
+
+def _fig1_map_vs_ratio(workloads):
+    start_report(BENCH, "Fig. 1 / Fig. 7: MAP@10 vs approximation ratio "
+                        "(k = 10)")
+    for label, workload in workloads.items():
+        emit(BENCH, f"\n--- dataset: {label} (n={len(workload.data)}) ---")
+        emit(BENCH, f"{'method':<12} {'MAP@10':>8} {'ratio@10':>9} "
+                    f"{'ms/query':>9}")
+        rows = run_dataset(workload)
+        for name, quality, ratio, ms in rows:
+            emit(BENCH, f"{name:<12} {quality:>8.3f} {ratio:>9.3f} "
+                        f"{ms:>9.1f}")
+        by_name = {r[0]: r for r in rows}
+        # Paper shape: ratios compress near 1 while MAP spreads.
+        ratio_spread = max(r[2] for r in rows) - min(r[2] for r in rows)
+        map_spread = max(r[1] for r in rows) - min(r[1] for r in rows)
+        emit(BENCH, f"ratio spread = {ratio_spread:.3f}, "
+                    f"MAP spread = {map_spread:.3f} "
+                    f"-> MAP discriminates, ratio saturates")
+        assert map_spread > ratio_spread
+        assert by_name["iDistance"][1] == pytest.approx(1.0)   # exact
+        assert by_name["HD-Index"][1] > by_name["SRS"][1]
+
+
+def test_hdindex_query_benchmark(workloads, benchmark):
+    workload = workloads["SIFT10K"]
+    index = HDIndex(hd_params(workload.spec, len(workload.data)))
+    index.build(workload.data)
+    query = workload.queries[0]
+    ids, _ = benchmark(lambda: index.query(query, K))
+    assert len(ids) == K

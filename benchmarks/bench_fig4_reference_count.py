@@ -1,0 +1,71 @@
+"""Fig. 4(a-d) — effect of the number of reference objects m.
+
+Sweeps m ∈ {2, 5, 10, 15, 20} and reports query time, index size, MAP@10
+and ratio@10.  Expected shape (paper Sec. 5.2.3): query time grows mildly
+(sub-linearly), index size grows linearly in m, and both quality metrics
+saturate by m ≈ 10 — the basis for the paper's m = 10 recommendation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import (
+    Workload,
+    emit,
+    hd_params,
+    start_report,
+    timed_queries,
+)
+from repro import HDIndex
+from repro.eval import average_precision, approximation_ratio
+
+BENCH = "fig4_reference_count"
+K = 10
+SWEEP = (2, 5, 10, 15, 20)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Workload("sift10k", n=3000, num_queries=12, max_k=K)
+
+
+def test_fig4_reference_sweep(workload, benchmark):
+    rows = benchmark.pedantic(lambda: _sweep(workload), rounds=1,
+                              iterations=1)
+    sizes = [row[2] for row in rows]
+    quality = {row[0]: row[3] for row in rows}
+    # Index size strictly grows with m (Fig. 4b, log scale in the paper).
+    assert all(a < b for a, b in zip(sizes, sizes[1:]))
+    # Quality saturation: m = 20 buys almost nothing over m = 10 (Fig. 4c).
+    assert quality[20] - quality[10] < 0.05
+    assert quality[10] >= quality[2] - 0.02
+
+
+def _sweep(workload):
+    start_report(BENCH, "Fig. 4(a-d): sweep of reference-object count m")
+    emit(BENCH, f"{'m':>4} {'ms/query':>9} {'index KB':>9} {'MAP@10':>8} "
+                f"{'ratio@10':>9}")
+    true_ids = workload.truth.top_ids(K)
+    true_dists = workload.truth.top_distances(K)
+    rows = []
+    for m in SWEEP:
+        index = HDIndex(hd_params(workload.spec, len(workload.data),
+                                  num_references=m))
+        index.build(workload.data)
+        ids_list, dists_list, elapsed, _ = timed_queries(
+            index, workload.queries, K)
+        quality = float(np.mean([
+            average_precision(true_ids[i], ids_list[i], K)
+            for i in range(len(ids_list))]))
+        ratio = float(np.mean([
+            approximation_ratio(true_dists[i], dists_list[i])
+            for i in range(len(ids_list))]))
+        size_kb = index.index_size_bytes() / 1024
+        emit(BENCH, f"{m:>4} {elapsed * 1e3:>9.1f} {size_kb:>9.0f} "
+                    f"{quality:>8.3f} {ratio:>9.3f}")
+        rows.append((m, elapsed, size_kb, quality, ratio))
+    emit(BENCH, "-> index size linear in m; quality saturates at m = 10 "
+                "(paper's recommendation)")
+    return rows

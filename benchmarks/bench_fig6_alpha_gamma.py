@@ -1,0 +1,99 @@
+"""Fig. 6 — filter-parameter sweeps: α (at α/γ ∈ {2, 4, 8}) and γ.
+
+Expected shape (paper Sec. 5.2.6): query time scales linearly with α
+(Fig. 6a/c/e) and with γ (Fig. 6g); MAP saturates once α covers the true
+neighbourhood (Fig. 6b/d/f/h) — the basis for α = 4096, α/γ = 4 at paper
+scale, scaled proportionally here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.common import (
+    Workload,
+    emit,
+    hd_params,
+    start_report,
+)
+from repro import HDIndex
+from repro.eval import average_precision
+
+BENCH = "fig6_alpha_gamma"
+K = 10
+ALPHAS = (64, 128, 256, 512)
+RATIOS = (2, 4, 8)
+GAMMAS = (16, 32, 64, 128, 256)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Workload("sift10k", n=3000, num_queries=12, max_k=K)
+
+
+@pytest.fixture(scope="module")
+def built_index(workload):
+    index = HDIndex(hd_params(workload.spec, len(workload.data), alpha=512,
+                              gamma=128))
+    index.build(workload.data)
+    return index
+
+
+def _run(index, workload, alpha, gamma):
+    import time
+    true_ids = workload.truth.top_ids(K)
+    aps = []
+    started = time.perf_counter()
+    for row, query in enumerate(workload.queries):
+        ids, _ = index.query(query, K, alpha=alpha, gamma=gamma)
+        aps.append(average_precision(true_ids[row], ids, K))
+    elapsed = (time.perf_counter() - started) / len(workload.queries)
+    return float(np.mean(aps)), elapsed * 1e3
+
+
+def test_fig6_alpha_sweep(workload, built_index, benchmark):
+    table = benchmark.pedantic(
+        lambda: _alpha_sweep(workload, built_index), rounds=1, iterations=1)
+    for ratio in RATIOS:
+        series = table[ratio]
+        quality = [q for q, _ in series]
+        # Quality is non-degrading as α grows, and saturates.
+        assert quality[-1] >= quality[0] - 0.02
+        assert quality[-1] - quality[-2] < 0.08
+
+
+def _alpha_sweep(workload, index):
+    start_report(BENCH, "Fig. 6(a-f): sweep of α at fixed α/γ")
+    table = {}
+    for ratio in RATIOS:
+        emit(BENCH, f"\n--- α/γ = {ratio} ---")
+        emit(BENCH, f"{'α':>6} {'MAP@10':>8} {'ms/query':>9}")
+        series = []
+        for alpha in ALPHAS:
+            gamma = max(K, alpha // ratio)
+            quality, ms = _run(index, workload, alpha, gamma)
+            emit(BENCH, f"{alpha:>6} {quality:>8.3f} {ms:>9.1f}")
+            series.append((quality, ms))
+        table[ratio] = series
+    return table
+
+
+def test_fig6_gamma_sweep(workload, built_index, benchmark):
+    series = benchmark.pedantic(
+        lambda: _gamma_sweep(workload, built_index), rounds=1, iterations=1)
+    quality = [q for q, _ in series]
+    assert quality[-1] >= quality[0] - 0.02   # more γ never hurts quality
+
+
+def _gamma_sweep(workload, index):
+    emit(BENCH, f"\nFig. 6(g-h): sweep of γ at α = 512")
+    emit(BENCH, f"{'γ':>6} {'MAP@10':>8} {'ms/query':>9}")
+    series = []
+    for gamma in GAMMAS:
+        quality, ms = _run(index, workload, 512, gamma)
+        emit(BENCH, f"{gamma:>6} {quality:>8.3f} {ms:>9.1f}")
+        series.append((quality, ms))
+    emit(BENCH, "-> time grows with γ (more exact-distance fetches); "
+                "quality saturates (paper picks α/γ = 4)")
+    return series

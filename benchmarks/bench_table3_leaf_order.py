@@ -1,0 +1,64 @@
+"""Table 3 — RDB-tree leaf orders from Eq. (4).
+
+Regenerates every row of the paper's Table 3 (page size 4096 B) and flags
+the two rows (Enron, Glove) whose printed values are inconsistent with
+Eq. (4) as stated.  Also micro-benchmarks RDB-tree bulk construction, whose
+page layout is what Ω controls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from benchmarks.common import emit, start_report
+from repro.core import (
+    TABLE3_CONFIGS,
+    TABLE3_CONSISTENT,
+    TABLE3_LEAF_ORDERS,
+    rdb_leaf_order,
+)
+from repro.core.rdbtree import RDBTree
+from repro.hilbert import HilbertCurve
+
+BENCH = "table3_leaf_order"
+
+
+def test_table3_rows(benchmark):
+    benchmark.pedantic(_table3_rows, rounds=1, iterations=1)
+
+
+def _table3_rows():
+    start_report(BENCH, "Table 3: RDB-tree leaf order Ω (B = 4096)")
+    emit(BENCH, f"{'dataset':<8} {'ν':>5} {'ω':>3} {'η':>4} {'m':>3} "
+                f"{'Ω (Eq.4)':>9} {'Ω (paper)':>10}  note")
+    for name, (nu, omega, eta, m) in TABLE3_CONFIGS.items():
+        computed = rdb_leaf_order(eta, omega, m)
+        paper = TABLE3_LEAF_ORDERS[name]
+        note = "match" if computed == paper else \
+            "paper value inconsistent with Eq. (4) as printed"
+        emit(BENCH, f"{name:<8} {nu:>5} {omega:>3} {eta:>4} {m:>3} "
+                    f"{computed:>9} {paper:>10}  {note}")
+        if name in TABLE3_CONSISTENT:
+            assert computed == paper, name
+    emit(BENCH, "\n4/6 rows reproduce exactly; Enron and Glove do not follow "
+                "from Eq. (4)\nwith the stated parameters under any integer "
+                "layout we could find (see EXPERIMENTS.md).")
+
+
+def test_rdbtree_bulk_build_benchmark(benchmark):
+    """Throughput of the construction path Ω governs (Algo. 1 lines 8-10)."""
+    rng = np.random.default_rng(0)
+    curve = HilbertCurve(16, 8)
+    coords = rng.integers(0, 256, size=(2000, 16))
+    keys = curve.encode_batch(coords)
+    ids = np.arange(2000, dtype=np.int64)
+    ref = rng.uniform(0, 100, size=(2000, 10)).astype(np.float32)
+
+    def build():
+        tree = RDBTree(curve, 10)
+        tree.bulk_build(keys, ids, ref)
+        return tree
+
+    tree = benchmark(build)
+    assert len(tree) == 2000
+    assert tree.leaf_order == 63

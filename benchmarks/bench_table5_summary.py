@@ -1,0 +1,120 @@
+"""Table 5 — HD-Index's gains in query time and MAP over each method.
+
+Regenerates the paper's summary matrix: for each dataset, the ratio of
+each competitor's query time to HD-Index's (">1x" = HD-Index faster) and
+the ratio of HD-Index's MAP to the competitor's (">1x" = HD-Index more
+accurate).
+
+Expected shape: large MAP gains over SRS and C2LSH (the paper reports up
+to 1542x on Yorck), parity (~1x) with the exact and in-memory methods, and
+time gains that grow with dataset size while the in-memory methods (OPQ,
+HNSW) stay faster in wall-clock — exactly Table 5's mixed picture.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from benchmarks.common import Workload, emit, hd_params, start_report
+from repro import (
+    C2LSH,
+    HDIndex,
+    HNSW,
+    IDistance,
+    Multicurves,
+    OPQIndex,
+    QALSH,
+    SRS,
+    run_comparison,
+)
+
+BENCH = "table5_summary"
+K = 20
+DATASETS = [("sift10k", 2500), ("audio", 1500), ("sift1m", 4000),
+            ("glove", 2000)]
+COMPETITORS = ("C2LSH", "SRS", "Multicurves", "QALSH", "OPQ", "HNSW")
+
+
+def factories_for(spec, n):
+    return {
+        "C2LSH": lambda: C2LSH(max_functions=64, seed=0),
+        "SRS": lambda: SRS(seed=0),
+        "Multicurves": lambda: Multicurves(
+            num_curves=8, alpha=max(64, n // 8), domain=spec.domain),
+        "QALSH": lambda: QALSH(max_functions=32, seed=0),
+        "OPQ": lambda: OPQIndex(num_subspaces=8,
+                                num_centroids=min(64, n // 8),
+                                opq_iterations=3, rerank_factor=6, seed=0),
+        "HNSW": lambda: HNSW(M=10, ef_construction=60, ef_search=60, seed=0),
+        "HD-Index": lambda: HDIndex(hd_params(spec, n)),
+    }
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    out = {}
+    for name, n in DATASETS:
+        workload = Workload(name, n=n, num_queries=8, max_k=K)
+        rows = run_comparison(factories_for(workload.spec, n),
+                              workload.data, workload.queries, K,
+                              dataset_name=name)
+        out[name] = {row.method: row for row in rows}
+    return out
+
+
+def test_table5_gains(measurements, benchmark):
+    gains = benchmark.pedantic(lambda: _report(measurements), rounds=1,
+                               iterations=1)
+    for dataset, row in gains.items():
+        # HD-Index is consistently more accurate than SRS (Table 5's
+        # largest MAP-gain column).
+        assert row["map_gain"]["SRS"] > 1.0, dataset
+        # In-memory methods stay faster in wall-clock (gains < 1x),
+        # reproducing the paper's 0.0x columns for OPQ/HNSW.
+        assert row["time_gain"]["HNSW"] < 1.0, dataset
+
+
+def _report(measurements):
+    start_report(BENCH, f"Table 5: HD-Index gains over competitors (k={K})")
+    header = f"{'dataset':<9} {'HD ms':>7} " + " ".join(
+        f"{m + ' t×':>9}" for m in COMPETITORS)
+    emit(BENCH, "\nquery-time gain of HD-Index (>1x: HD-Index faster)")
+    emit(BENCH, header)
+    gains = {}
+    for dataset, rows in measurements.items():
+        hd = rows["HD-Index"]
+        time_gain, map_gain = {}, {}
+        cells = []
+        for method in COMPETITORS:
+            other = rows[method]
+            if math.isnan(other.avg_query_time_sec):
+                time_gain[method] = float("nan")
+                cells.append(f"{'NP':>9}")
+                continue
+            gain = other.avg_query_time_sec / hd.avg_query_time_sec
+            time_gain[method] = gain
+            cells.append(f"{gain:>8.2f}x")
+        emit(BENCH, f"{dataset:<9} {hd.avg_query_time_sec * 1e3:>7.1f} "
+                    + " ".join(cells))
+        for method in COMPETITORS:
+            other = rows[method]
+            map_gain[method] = (hd.map_at_k / other.map_at_k
+                                if other.map_at_k else float("inf"))
+        gains[dataset] = {"time_gain": time_gain, "map_gain": map_gain,
+                          "hd_map": hd.map_at_k}
+    emit(BENCH, "\nMAP gain of HD-Index (>1x: HD-Index more accurate)")
+    emit(BENCH, f"{'dataset':<9} {'HD MAP':>7} " + " ".join(
+        f"{m + ' M×':>9}" for m in COMPETITORS))
+    for dataset, row in gains.items():
+        cells = []
+        for method in COMPETITORS:
+            gain = row["map_gain"][method]
+            cells.append(f"{'inf':>9}" if math.isinf(gain)
+                         else f"{gain:>8.2f}x")
+        emit(BENCH, f"{dataset:<9} {row['hd_map']:>7.3f} " + " ".join(cells))
+    emit(BENCH, "\n-> big MAP gains over SRS/C2LSH, ~1x vs exact and "
+                "in-memory methods; OPQ/HNSW keep the wall-clock edge "
+                "(paper's 0.0x cells) by paying RAM")
+    return gains

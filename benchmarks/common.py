@@ -1,0 +1,108 @@
+"""Shared plumbing for the per-figure/per-table benchmark harness.
+
+Every bench regenerates one table or figure of the paper's evaluation
+(Sec. 5) at laptop scale.  Results are printed past pytest's capture (so
+``pytest benchmarks/ --benchmark-only`` shows them inline) *and* appended to
+``benchmarks/results/<bench>.txt`` for EXPERIMENTS.md.
+
+Scaling rule (documented in EXPERIMENTS.md): the paper's corpora are 10⁴-10⁹
+points with α = 4096-8192; we run 10³-10⁴ points and scale the candidate
+parameters by the same factor, keeping every size *ratio* (α:β:γ = paper's
+recommendations) intact.  The reproduction target is the qualitative shape —
+who wins, by roughly what factor, where the curves saturate — not the
+absolute values from the authors' 2014-era HDD testbed.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro import HDIndexParams, exact_knn, make_dataset
+from repro.eval import GroundTruth
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(bench_name: str, text: str) -> None:
+    """Print a block past pytest's capture and append it to the results file."""
+    print(text, file=sys.__stdout__, flush=True)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    with open(RESULTS_DIR / f"{bench_name}.txt", "a") as handle:
+        handle.write(text + "\n")
+
+
+def start_report(bench_name: str, title: str) -> None:
+    """Reset the bench's results file and print its header."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{bench_name}.txt").write_text("")
+    bar = "=" * len(title)
+    emit(bench_name, f"\n{bar}\n{title}\n{bar}")
+
+
+def scaled_alpha(n: int, paper_alpha: int = 4096,
+                 paper_n: int = 1_000_000) -> int:
+    """Scale the paper's candidate-set size to our dataset size.
+
+    Keeps α/n of the same order as the paper's recommended settings while
+    never dropping below a useful floor.
+    """
+    return max(64, min(paper_alpha, int(paper_alpha * n / paper_n * 8)))
+
+
+def hd_params(spec, n: int, **overrides) -> HDIndexParams:
+    """Paper-recommended HD-Index parameters at bench scale."""
+    alpha = scaled_alpha(n)
+    defaults = dict(
+        num_trees=min(spec.num_trees, 8),
+        hilbert_order=8,
+        num_references=10,
+        alpha=alpha,
+        gamma=max(16, alpha // 4),
+        domain=spec.domain,
+        seed=0,
+    )
+    defaults.update(overrides)
+    return HDIndexParams(**defaults)
+
+
+class Workload:
+    """A dataset + query set + cached ground truth for one bench."""
+
+    def __init__(self, name: str, n: int, num_queries: int, max_k: int,
+                 seed: int = 0) -> None:
+        self.dataset = make_dataset(name, n=n, num_queries=num_queries,
+                                    seed=seed)
+        self.name = name
+        self.truth = GroundTruth(self.dataset.data, self.dataset.queries,
+                                 max_k=max_k)
+
+    @property
+    def data(self) -> np.ndarray:
+        return self.dataset.data
+
+    @property
+    def queries(self) -> np.ndarray:
+        return self.dataset.queries
+
+    @property
+    def spec(self):
+        return self.dataset.spec
+
+
+def timed_queries(index, queries: np.ndarray, k: int):
+    """Run a query batch, returning (result id lists, distance lists,
+    seconds per query, page reads per query)."""
+    ids_out, dists_out = [], []
+    total_reads = 0
+    started = time.perf_counter()
+    for query in queries:
+        ids, dists = index.query(query, k)
+        ids_out.append(ids)
+        dists_out.append(dists)
+        total_reads += index.last_query_stats().page_reads
+    elapsed = (time.perf_counter() - started) / len(queries)
+    return ids_out, dists_out, elapsed, total_reads / len(queries)

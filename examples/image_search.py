@@ -1,0 +1,65 @@
+"""Image retrieval by descriptor aggregation (paper Sec. 5.5, Appendix D).
+
+Run with::
+
+    python examples/image_search.py
+
+An "image" is a bag of local descriptors (the paper uses SURF features of
+the Yorck art corpus).  For each query image, every descriptor runs a kANN
+query; per-descriptor results are aggregated into an image ranking with the
+Borda count (Eq. 7).  The example shows that HD-Index reproduces the
+linear-scan image ranking almost exactly even though individual descriptor
+lookups are approximate — the paper's argument for MAP being the metric
+that matters in real retrieval pipelines.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import HDIndex, HDIndexParams, LinearScan
+from repro.apps import image_overlap, make_image_corpus, search_images
+
+
+def main() -> None:
+    # A miniature Yorck: 40 images × 30 descriptors, 32-dim, domain [-1, 1].
+    corpus = make_image_corpus(num_images=40, descriptors_per_image=30,
+                               dim=32, low=-1.0, high=1.0, seed=7)
+    print(f"corpus: {corpus.num_images} images, "
+          f"{corpus.descriptors.shape[0]} descriptors, "
+          f"ν={corpus.descriptors.shape[1]}")
+
+    exact = LinearScan()
+    exact.build(corpus.descriptors)
+
+    approx = HDIndex(HDIndexParams(num_trees=8, num_references=8,
+                                   alpha=128, gamma=48, domain=(-1.0, 1.0)))
+    approx.build(corpus.descriptors)
+
+    rng = np.random.default_rng(3)
+    k_descriptors, k_images = 20, 5
+    overlaps = []
+    for query_image in rng.choice(corpus.num_images, size=5, replace=False):
+        # Query with noisy versions of this image's descriptors.
+        mask = corpus.image_ids == query_image
+        queries = corpus.descriptors[mask][:12] \
+            + rng.normal(0.0, 0.01, size=(12, 32))
+
+        truth, truth_scores = search_images(
+            exact, corpus, queries, k_descriptors, k_images)
+        result, result_scores = search_images(
+            approx, corpus, queries, k_descriptors, k_images)
+        overlap = image_overlap(truth, result)
+        overlaps.append(overlap)
+        marker = "(self retrieved first)" if result[0] == query_image else ""
+        print(f"query image {query_image:3d}: "
+              f"linear scan top-{k_images} = {truth.tolist()}, "
+              f"HD-Index = {result.tolist()}, overlap = {overlap:.2f} {marker}")
+
+    print(f"\nmean overlap with exact image ranking: "
+          f"{np.mean(overlaps):.2f} (paper Table 6: HD-Index has the "
+          f"highest ground-truth overlap among the approximate methods)")
+
+
+if __name__ == "__main__":
+    main()

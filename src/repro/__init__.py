@@ -1,0 +1,98 @@
+"""HD-Index reproduction (VLDB 2018).
+
+A from-scratch Python implementation of *HD-Index: Pushing the
+Scalability-Accuracy Boundary for Approximate kNN Search in
+High-Dimensional Spaces* (Arora, Sinha, Kumar & Bhattacharya, PVLDB 11(8)),
+including its disk substrate, all seven comparison baselines, the quality
+metrics, and an experiment harness that regenerates every table and figure
+of the paper's evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import HDIndex, HDIndexParams, make_dataset, exact_knn
+
+    ds = make_dataset("sift10k", n=5000, num_queries=20)
+    index = HDIndex(HDIndexParams(num_trees=8, alpha=512, gamma=128,
+                                  domain=ds.spec.domain))
+    index.build(ds.data)
+    ids, dists = index.query(ds.queries[0], k=10)
+"""
+
+from repro.baselines import (
+    C2LSH,
+    E2LSH,
+    HNSW,
+    IDistance,
+    LinearScan,
+    Multicurves,
+    OPQIndex,
+    PQIndex,
+    QALSH,
+    SRS,
+    VAFile,
+)
+from repro.core import (
+    HDIndex,
+    HDIndexParams,
+    KNNIndex,
+    ParallelHDIndex,
+    QueryStats,
+    ShardedHDIndex,
+    load_index,
+    rdb_leaf_order,
+    recommended_params,
+    save_index,
+)
+from repro.datasets import DATASET_CATALOG, Dataset, DatasetSpec, make_dataset
+from repro.eval import (
+    GroundTruth,
+    approximation_ratio,
+    average_precision,
+    evaluate_index,
+    exact_knn,
+    format_table,
+    mean_average_precision,
+    recall_at_k,
+    run_comparison,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "C2LSH",
+    "DATASET_CATALOG",
+    "Dataset",
+    "DatasetSpec",
+    "E2LSH",
+    "GroundTruth",
+    "HDIndex",
+    "HDIndexParams",
+    "HNSW",
+    "IDistance",
+    "KNNIndex",
+    "LinearScan",
+    "Multicurves",
+    "OPQIndex",
+    "PQIndex",
+    "ParallelHDIndex",
+    "QALSH",
+    "QueryStats",
+    "SRS",
+    "ShardedHDIndex",
+    "VAFile",
+    "approximation_ratio",
+    "average_precision",
+    "evaluate_index",
+    "exact_knn",
+    "format_table",
+    "load_index",
+    "make_dataset",
+    "mean_average_precision",
+    "rdb_leaf_order",
+    "recall_at_k",
+    "recommended_params",
+    "run_comparison",
+    "save_index",
+    "__version__",
+]

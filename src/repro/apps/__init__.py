@@ -1,0 +1,17 @@
+"""Applications built on the public API (paper Sec. 5.5)."""
+
+from repro.apps.image_search import (
+    DescriptorCorpus,
+    borda_scores,
+    image_overlap,
+    make_image_corpus,
+    search_images,
+)
+
+__all__ = [
+    "DescriptorCorpus",
+    "borda_scores",
+    "image_overlap",
+    "make_image_corpus",
+    "search_images",
+]

@@ -1,0 +1,183 @@
+"""E2LSH [24] — the classic p-stable LSH scheme C2LSH builds on.
+
+Datar, Immorlica, Indyk & Mirrokni (SCG 2004).  L hash tables, each keyed
+by the concatenation of M p-stable hashes ``floor((a·o + b)/w)``.  A query
+probes its own bucket in every table; the union of bucket members is
+verified exactly.
+
+The HD-Index paper discusses E2LSH as the root of the LSH family whose
+super-linear index space motivates C2LSH/SRS (Sec. 1, Sec. 2.2.4): with L
+tables the index stores L copies of the id set, and quality depends
+sharply on w relative to the NN distance.  Including it makes that
+space/quality trade-off measurable alongside its successors.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+
+import numpy as np
+
+from repro.baselines.lsh_common import gaussian_projections
+from repro.core.interface import BuildStats, KNNIndex, QueryStats
+from repro.distance.metrics import DistanceCounter
+from repro.storage.pages import DEFAULT_PAGE_SIZE
+from repro.storage.vectors import VectorHeapFile, heap_file_from_array
+
+#: Bytes per hash-table entry in the on-disk accounting (bucket id + oid).
+_ENTRY_BYTES = 12
+
+
+class E2LSH(KNNIndex):
+    """Basic multi-table p-stable LSH.
+
+    Parameters
+    ----------
+    num_tables:
+        L — hash tables (each a full copy of the id set: the space cost the
+        paper's Sec. 1 criticises).
+    hashes_per_table:
+        M — concatenated hashes per table key.
+    width:
+        w — bucket width.  ``None`` auto-scales to the data: w is set to a
+        sample-estimated NN distance so buckets are neither empty nor
+        all-encompassing (the tuning E2LSH notoriously needs).
+    """
+
+    name = "E2LSH"
+
+    def __init__(self, num_tables: int = 8, hashes_per_table: int = 8,
+                 width: float | None = None,
+                 page_size: int = DEFAULT_PAGE_SIZE,
+                 storage_dtype: str = "float32", seed: int = 0) -> None:
+        if num_tables < 1 or hashes_per_table < 1:
+            raise ValueError("num_tables and hashes_per_table must be >= 1")
+        self.num_tables = num_tables
+        self.hashes_per_table = hashes_per_table
+        self.width = width
+        self.page_size = page_size
+        self.storage_dtype = storage_dtype
+        self.seed = seed
+        self.heap: VectorHeapFile | None = None
+        self.count = 0
+        self._projections: np.ndarray | None = None   # (L*M, ν)
+        self._offsets: np.ndarray | None = None
+        self._tables: list[dict[tuple, np.ndarray]] = []
+        self._effective_width = 1.0
+        self._build_stats = BuildStats()
+        self._query_stats = QueryStats()
+
+    def build(self, data: np.ndarray) -> None:
+        started = time.perf_counter()
+        data = np.asarray(data, dtype=np.float64)
+        n, dim = data.shape
+        self.count = n
+        rng = np.random.default_rng(self.seed)
+        if self.width is not None:
+            self._effective_width = float(self.width)
+        else:
+            self._effective_width = self._estimate_width(data, rng)
+        total = self.num_tables * self.hashes_per_table
+        self._projections = gaussian_projections(dim, total, rng)
+        self._offsets = rng.uniform(0.0, self._effective_width, size=total)
+        hashes = np.floor(
+            (data @ self._projections.T + self._offsets[None, :])
+            / self._effective_width).astype(np.int64)
+        self._tables = []
+        for table in range(self.num_tables):
+            chunk = hashes[:, table * self.hashes_per_table:
+                           (table + 1) * self.hashes_per_table]
+            buckets: dict[tuple, list[int]] = defaultdict(list)
+            for object_id, row in enumerate(map(tuple, chunk)):
+                buckets[row].append(object_id)
+            self._tables.append({key: np.asarray(ids, dtype=np.int64)
+                                 for key, ids in buckets.items()})
+        self.heap = heap_file_from_array(
+            data, dtype=self.storage_dtype, page_size=self.page_size)
+        self._build_stats = BuildStats(
+            time_sec=time.perf_counter() - started,
+            page_writes=self.heap.stats.page_writes,
+            peak_memory_bytes=data.nbytes + hashes.nbytes,
+        )
+
+    @staticmethod
+    def _estimate_width(data: np.ndarray,
+                        rng: np.random.Generator) -> float:
+        """Sample-estimated NN distance: the scale buckets should match."""
+        n = data.shape[0]
+        sample = data[rng.choice(n, size=min(64, n), replace=False)]
+        diffs = sample[:, None, :] - sample[None, :, :]
+        distances = np.sqrt(np.einsum("ijk,ijk->ij", diffs, diffs))
+        np.fill_diagonal(distances, np.inf)
+        nearest = distances.min(axis=1)
+        finite = nearest[np.isfinite(nearest)]
+        if finite.size == 0 or float(np.median(finite)) == 0.0:
+            return 1.0
+        return float(np.median(finite)) * 2.0
+
+    def query(self, point: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        if self.heap is None:
+            raise RuntimeError("index has not been built; call build() first")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        started = time.perf_counter()
+        reads_before = self.heap.stats.page_reads
+        counter = DistanceCounter()
+        point = np.asarray(point, dtype=np.float64).ravel()
+        hashes = np.floor(
+            (self._projections @ point + self._offsets)
+            / self._effective_width).astype(np.int64)
+        candidates: set[int] = set()
+        for table_index, table in enumerate(self._tables):
+            key = tuple(hashes[table_index * self.hashes_per_table:
+                               (table_index + 1) * self.hashes_per_table])
+            members = table.get(key)
+            if members is not None:
+                candidates.update(int(i) for i in members)
+        verified: dict[int, float] = {}
+        for object_id in sorted(candidates):
+            vector = self.heap.fetch(object_id).astype(np.float64)
+            verified[object_id] = float(
+                np.sqrt(np.sum((vector - point) ** 2)))
+            counter.add(1)
+        if verified:
+            ids = np.fromiter(verified.keys(), dtype=np.int64,
+                              count=len(verified))
+            dists = np.fromiter(verified.values(), dtype=np.float64,
+                                count=len(verified))
+            order = np.lexsort((ids, dists))[:k]
+            ids, dists = ids[order], dists[order]
+        else:
+            ids = np.empty(0, dtype=np.int64)
+            dists = np.empty(0, dtype=np.float64)
+        self._query_stats = QueryStats(
+            time_sec=time.perf_counter() - started,
+            page_reads=self.heap.stats.page_reads - reads_before,
+            random_reads=self.heap.stats.page_reads - reads_before,
+            candidates=len(candidates),
+            distance_computations=counter.count,
+            extra={"width": self._effective_width},
+        )
+        return ids, dists
+
+    # -- accounting -------------------------------------------------------
+
+    def index_size_bytes(self) -> int:
+        """L tables × n entries — the super-linear space of Sec. 1."""
+        return self.num_tables * self.count * _ENTRY_BYTES
+
+    def memory_bytes(self) -> int:
+        if self._projections is None:
+            return 0
+        return (self.index_size_bytes() + self._projections.nbytes
+                + self._offsets.nbytes)
+
+    def build_memory_bytes(self) -> int:
+        return self._build_stats.peak_memory_bytes
+
+    def last_query_stats(self) -> QueryStats:
+        return self._query_stats
+
+    def build_stats(self) -> BuildStats:
+        return self._build_stats

@@ -1,0 +1,174 @@
+"""Multicurves [66] — multiple Hilbert curves with full descriptors in leaves.
+
+Valle, Cord & Philipp-Foliguet (CIKM 2008): like HD-Index, τ curves each
+handle a subset of the dimensions; *unlike* HD-Index, every B+-tree leaf
+entry carries the **complete ν-dimensional descriptor**, so candidates can
+be ranked by exact distance without any random descriptor fetch.
+
+That design choice is exactly what the paper's Sec. 3.2 argues against: the
+index stores τ copies of the dataset (1.2 TB for SIFT100M in the paper,
+Sec. 5.4.3), few entries fit per leaf, and the method cannot scale to very
+high ν — reproduced here by the entry-width check that refuses to build when
+one leaf cannot hold a single descriptor (the paper's "NP" entries for SUN
+and Enron with Multicurves).
+"""
+
+from __future__ import annotations
+
+import struct
+import time
+
+import numpy as np
+
+from repro.btree.tree import BPlusTree
+from repro.core.interface import BuildStats, KNNIndex, QueryStats
+from repro.core.partition import contiguous_partition
+from repro.distance.metrics import (
+    DistanceCounter,
+    euclidean_to_many,
+    top_k_smallest,
+)
+from repro.hilbert.butz import HilbertCurve
+from repro.hilbert.quantize import GridQuantizer
+from repro.storage.codecs import BytesCodec, UIntCodec
+from repro.storage.pages import DEFAULT_PAGE_SIZE
+
+
+class MulticurvesUnsupportedError(ValueError):
+    """Raised when one leaf entry cannot fit in a page (paper's "NP")."""
+
+
+class Multicurves(KNNIndex):
+    """Multicurves with paper-recommended parameters τ = 8, α = 4096
+    (α is split evenly across the curves, as in [66])."""
+
+    name = "Multicurves"
+
+    def __init__(self, num_curves: int = 8, alpha: int = 4096,
+                 hilbert_order: int = 8,
+                 domain: tuple[float, float] | None = None,
+                 page_size: int = DEFAULT_PAGE_SIZE, seed: int = 0) -> None:
+        if num_curves < 1:
+            raise ValueError(f"num_curves must be >= 1, got {num_curves}")
+        if alpha < 1:
+            raise ValueError(f"alpha must be >= 1, got {alpha}")
+        self.num_curves = num_curves
+        self.alpha = alpha
+        self.hilbert_order = hilbert_order
+        self.domain = domain
+        self.page_size = page_size
+        self.seed = seed
+        self.trees: list[BPlusTree] = []
+        self.curves: list[HilbertCurve] = []
+        self.partitions: list[np.ndarray] = []
+        self.quantizer: GridQuantizer | None = None
+        self.dim = 0
+        self._record: struct.Struct | None = None
+        self._build_stats = BuildStats()
+        self._query_stats = QueryStats()
+
+    def build(self, data: np.ndarray) -> None:
+        started = time.perf_counter()
+        data = np.asarray(data, dtype=np.float64)
+        n, dim = data.shape
+        if self.num_curves > dim:
+            raise ValueError(
+                f"num_curves={self.num_curves} exceeds dimensionality {dim}")
+        self.dim = dim
+        # Full descriptor (float32) + object id in every leaf entry.
+        self._record = struct.Struct(f">Q{dim}f")
+        if self.domain is not None:
+            self.quantizer = GridQuantizer(self.domain[0], self.domain[1],
+                                           self.hilbert_order)
+        else:
+            self.quantizer = GridQuantizer.from_data(data, self.hilbert_order)
+        self.partitions = contiguous_partition(dim, self.num_curves)
+        self.trees = []
+        self.curves = []
+        for part in self.partitions:
+            curve = HilbertCurve(len(part), self.hilbert_order)
+            key_codec = UIntCodec(curve.key_bytes)
+            value_codec = BytesCodec(self._record.size)
+            entry = key_codec.width + value_codec.width
+            if entry > self.page_size - 19:
+                raise MulticurvesUnsupportedError(
+                    f"one leaf entry needs {entry} bytes but a {self.page_size}"
+                    f"-byte page holds {self.page_size - 19}: Multicurves "
+                    f"cannot index ν={dim} at this page size (paper's NP)")
+            coords = self.quantizer.quantize(data[:, part])
+            keys = curve.encode_batch(coords)
+            order = sorted(range(n), key=lambda i: keys[i])
+            tree = BPlusTree(key_codec, value_codec, page_size=self.page_size)
+            pack = self._record.pack
+            tree.bulk_load(
+                (key_codec.encode(int(keys[i])),
+                 pack(i, *data[i].astype(np.float32)))
+                for i in order
+            )
+            self.trees.append(tree)
+            self.curves.append(curve)
+        self._build_stats = BuildStats(
+            time_sec=time.perf_counter() - started,
+            page_writes=sum(t.stats.page_writes for t in self.trees),
+            peak_memory_bytes=data.nbytes,
+        )
+
+    def query(self, point: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        if not self.trees:
+            raise RuntimeError("index has not been built; call build() first")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        started = time.perf_counter()
+        reads_before = sum(t.stats.page_reads for t in self.trees)
+        counter = DistanceCounter()
+        point = np.asarray(point, dtype=np.float64).ravel()
+        per_curve = max(k, self.alpha // self.num_curves)
+        best: dict[int, float] = {}
+        for tree, curve, part in zip(self.trees, self.curves,
+                                     self.partitions):
+            coords = self.quantizer.quantize(point[part])[None, :]
+            key = int(curve.encode_batch(coords)[0])
+            raw = tree.nearest(tree.key_codec.encode(key), per_curve)
+            if not raw:
+                continue
+            ids = np.empty(len(raw), dtype=np.int64)
+            vectors = np.empty((len(raw), self.dim), dtype=np.float64)
+            for row, (_, value) in enumerate(raw):
+                fields = self._record.unpack(value)
+                ids[row] = fields[0]
+                vectors[row] = fields[1:]
+            distances = euclidean_to_many(point, vectors, counter)
+            for object_id, distance in zip(ids, distances):
+                object_id = int(object_id)
+                if object_id not in best or distance < best[object_id]:
+                    best[object_id] = float(distance)
+        merged_ids = np.fromiter(best.keys(), dtype=np.int64, count=len(best))
+        merged_dists = np.fromiter(best.values(), dtype=np.float64,
+                                   count=len(best))
+        top = top_k_smallest(merged_dists, min(k, len(merged_ids)))
+        self._query_stats = QueryStats(
+            time_sec=time.perf_counter() - started,
+            page_reads=sum(t.stats.page_reads for t in self.trees)
+            - reads_before,
+            candidates=len(best),
+            distance_computations=counter.count,
+        )
+        return merged_ids[top], merged_dists[top]
+
+    def index_size_bytes(self) -> int:
+        # τ trees each embedding the full dataset: the paper's huge index.
+        return sum(tree.size_bytes() for tree in self.trees)
+
+    def memory_bytes(self) -> int:
+        # Disk-based querying; only the per-curve candidate buffer is in RAM.
+        per_curve = max(1, self.alpha // max(1, self.num_curves))
+        return per_curve * (8 + 4 * max(1, self.dim))
+
+    def build_memory_bytes(self) -> int:
+        return self._build_stats.peak_memory_bytes
+
+    def last_query_stats(self) -> QueryStats:
+        return self._query_stats
+
+    def build_stats(self) -> BuildStats:
+        return self._build_stats

@@ -1,0 +1,27 @@
+"""Disk-paged B+-tree substrate."""
+
+from repro.btree.node import (
+    NO_PAGE,
+    InternalNode,
+    LeafNode,
+    NodeFormatError,
+    internal_capacity,
+    leaf_capacity,
+    parse_node,
+    serialize_internal,
+    serialize_leaf,
+)
+from repro.btree.tree import BPlusTree
+
+__all__ = [
+    "BPlusTree",
+    "InternalNode",
+    "LeafNode",
+    "NO_PAGE",
+    "NodeFormatError",
+    "internal_capacity",
+    "leaf_capacity",
+    "parse_node",
+    "serialize_internal",
+    "serialize_leaf",
+]

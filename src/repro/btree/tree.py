@@ -1,0 +1,438 @@
+"""Disk-paged B+-tree with bulk loading and nearest-by-key scans.
+
+This is the hierarchical substrate under both the RDB-trees (Sec. 3.2) and
+the baselines that index one-dimensional keys (iDistance, QALSH,
+Multicurves).  All node accesses flow through a buffer pool so the disk-
+access analysis of Sec. 4.4.1 — ``O(log_θ n + α/Ω)`` pages per candidate
+retrieval — is directly measurable.
+
+Keys and values are fixed-width byte strings produced by
+:mod:`repro.storage.codecs`; key codecs preserve numeric order bytewise, so
+nodes compare raw bytes.  Duplicate keys are allowed (distinct points can
+share a Hilbert key).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Iterable, Iterator
+
+from repro.btree.node import (
+    NO_PAGE,
+    InternalNode,
+    LeafNode,
+    internal_capacity,
+    leaf_capacity,
+    parse_node,
+    serialize_internal,
+    serialize_leaf,
+)
+from repro.storage.buffer import BufferPool
+from repro.storage.codecs import Codec
+from repro.storage.pages import DEFAULT_PAGE_SIZE, InMemoryPageStore, PageStore
+
+
+class BPlusTree:
+    """A B+-tree over fixed-width keys and values on a page store.
+
+    Parameters
+    ----------
+    key_codec / value_codec:
+        Fixed-width codecs.  ``key_codec.decode`` must return a numeric type
+        (used by :meth:`nearest` to order entries by key distance).
+    store:
+        Backing page store; a private in-memory store is created by default.
+    cache_pages:
+        Buffer-pool capacity (0 = caching off, the paper's methodology).
+    leaf_capacity_override:
+        Cap on entries per leaf.  The RDB-tree passes the paper's Eq. (4)
+        order Ω here so leaf occupancy matches the paper's accounting.
+    """
+
+    def __init__(self, key_codec: Codec, value_codec: Codec,
+                 store: PageStore | None = None, cache_pages: int = 0,
+                 leaf_capacity_override: int | None = None,
+                 page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        self._store = store if store is not None else InMemoryPageStore(page_size)
+        self.pool = BufferPool(self._store, capacity=cache_pages)
+        self.key_codec = key_codec
+        self.value_codec = value_codec
+        self.key_width = key_codec.width
+        self.value_width = value_codec.width
+        page = self._store.page_size
+        layout_leaf = leaf_capacity(page, self.key_width, self.value_width)
+        if layout_leaf < 1:
+            raise ValueError(
+                f"page size {page} cannot hold a single "
+                f"({self.key_width}+{self.value_width})-byte entry"
+            )
+        if leaf_capacity_override is not None:
+            if leaf_capacity_override < 1:
+                raise ValueError("leaf capacity override must be >= 1")
+            self.leaf_capacity = min(layout_leaf, leaf_capacity_override)
+        else:
+            self.leaf_capacity = layout_leaf
+        self.internal_capacity = internal_capacity(page, self.key_width)
+        if self.internal_capacity < 2:
+            raise ValueError(f"page size {page} too small for internal nodes")
+        self._root: int = NO_PAGE
+        self._height = 0
+        self._count = 0
+
+    # -- persistence -----------------------------------------------------
+
+    def state(self) -> dict:
+        """Serializable structural state (root page, height, count).
+
+        Together with the backing page store this fully reconstructs the
+        tree; see :meth:`from_state`.
+        """
+        return {"root": self._root, "height": self._height,
+                "count": self._count,
+                "leaf_capacity": self.leaf_capacity}
+
+    @classmethod
+    def from_state(cls, key_codec: Codec, value_codec: Codec,
+                   store: PageStore, state: dict,
+                   cache_pages: int = 0) -> "BPlusTree":
+        """Re-open a tree over an existing store (e.g. a reopened file)."""
+        tree = cls(key_codec, value_codec, store=store,
+                   cache_pages=cache_pages,
+                   leaf_capacity_override=state["leaf_capacity"])
+        tree._root = int(state["root"])
+        tree._height = int(state["height"])
+        tree._count = int(state["count"])
+        return tree
+
+    # -- informational -------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def height(self) -> int:
+        """Number of levels (0 for an empty tree, 1 for a lone leaf)."""
+        return self._height
+
+    @property
+    def stats(self):
+        return self._store.stats
+
+    def size_bytes(self) -> int:
+        """On-disk footprint of the tree."""
+        return self._store.size_bytes()
+
+    def memory_bytes(self) -> int:
+        """Resident RAM: only the buffer pool (the tree itself lives on disk)."""
+        return self.pool.memory_bytes()
+
+    # -- bulk loading -----------------------------------------------------
+
+    def bulk_load(self, entries: Iterable[tuple[bytes, bytes]],
+                  fill: float = 1.0) -> None:
+        """Build the tree bottom-up from key-sorted ``(key, value)`` pairs.
+
+        Construction writes each page exactly once (sequential writes), which
+        is what makes the paper's index-construction phase feasible at scale.
+        """
+        if self._count:
+            raise RuntimeError("bulk_load requires an empty tree")
+        if not 0.0 < fill <= 1.0:
+            raise ValueError(f"fill factor must be in (0, 1], got {fill}")
+        per_leaf = max(1, int(self.leaf_capacity * fill))
+        leaf_pages: list[int] = []
+        leaf_min_keys: list[bytes] = []
+        pending = LeafNode()
+        previous_key: bytes | None = None
+        for key, value in entries:
+            if len(key) != self.key_width or len(value) != self.value_width:
+                raise ValueError("entry width does not match codecs")
+            if previous_key is not None and key < previous_key:
+                raise ValueError("bulk_load input must be sorted by key")
+            previous_key = key
+            pending.keys.append(key)
+            pending.values.append(value)
+            self._count += 1
+            if len(pending) >= per_leaf:
+                self._flush_bulk_leaf(pending, leaf_pages, leaf_min_keys)
+                pending = LeafNode()
+        if pending.keys:
+            self._flush_bulk_leaf(pending, leaf_pages, leaf_min_keys)
+        if not leaf_pages:
+            return
+        self._link_siblings(leaf_pages)
+        self._root, self._height = self._build_internal_levels(
+            leaf_pages, leaf_min_keys)
+
+    def _flush_bulk_leaf(self, node: LeafNode, pages: list[int],
+                         min_keys: list[bytes]) -> None:
+        page_id = self.pool.allocate()
+        pages.append(page_id)
+        min_keys.append(node.keys[0])
+        self._write_leaf(page_id, node)
+
+    def _link_siblings(self, leaf_pages: list[int]) -> None:
+        for index, page_id in enumerate(leaf_pages):
+            node = self._read_leaf(page_id)
+            node.left = leaf_pages[index - 1] if index > 0 else NO_PAGE
+            node.right = (leaf_pages[index + 1]
+                          if index + 1 < len(leaf_pages) else NO_PAGE)
+            self._write_leaf(page_id, node)
+
+    def _build_internal_levels(self, child_pages: list[int],
+                               child_min_keys: list[bytes]) -> tuple[int, int]:
+        height = 1
+        fanout = self.internal_capacity + 1
+        while len(child_pages) > 1:
+            next_pages: list[int] = []
+            next_min_keys: list[bytes] = []
+            for start in range(0, len(child_pages), fanout):
+                group = child_pages[start:start + fanout]
+                group_keys = child_min_keys[start:start + fanout]
+                node = InternalNode(keys=group_keys[1:], children=group)
+                page_id = self.pool.allocate()
+                self._write_internal(page_id, node)
+                next_pages.append(page_id)
+                next_min_keys.append(group_keys[0])
+            child_pages, child_min_keys = next_pages, next_min_keys
+            height += 1
+        return child_pages[0], height
+
+    # -- point insert (Sec. 3.6 updates) -------------------------------
+
+    def insert(self, key: bytes, value: bytes) -> None:
+        """Insert one entry (duplicates allowed), splitting as needed."""
+        if len(key) != self.key_width or len(value) != self.value_width:
+            raise ValueError("entry width does not match codecs")
+        if self._root == NO_PAGE:
+            node = LeafNode(keys=[key], values=[value])
+            self._root = self.pool.allocate()
+            self._write_leaf(self._root, node)
+            self._height = 1
+            self._count = 1
+            return
+        split = self._insert_recursive(self._root, key, value)
+        self._count += 1
+        if split is not None:
+            sep_key, right_page = split
+            root = InternalNode(keys=[sep_key],
+                                children=[self._root, right_page])
+            self._root = self.pool.allocate()
+            self._write_internal(self._root, root)
+            self._height += 1
+
+    def _insert_recursive(self, page_id: int, key: bytes,
+                          value: bytes) -> tuple[bytes, int] | None:
+        node = self._read_node(page_id)
+        if isinstance(node, LeafNode):
+            return self._insert_into_leaf(page_id, node, key, value)
+        child_index = bisect_right(node.keys, key)
+        split = self._insert_recursive(node.children[child_index], key, value)
+        if split is None:
+            return None
+        sep_key, right_page = split
+        position = bisect_right(node.keys, sep_key)
+        node.keys.insert(position, sep_key)
+        node.children.insert(position + 1, right_page)
+        if len(node.keys) <= self.internal_capacity:
+            self._write_internal(page_id, node)
+            return None
+        return self._split_internal(page_id, node)
+
+    def _insert_into_leaf(self, page_id: int, node: LeafNode, key: bytes,
+                          value: bytes) -> tuple[bytes, int] | None:
+        position = bisect_right(node.keys, key)
+        node.keys.insert(position, key)
+        node.values.insert(position, value)
+        if len(node) <= self.leaf_capacity:
+            self._write_leaf(page_id, node)
+            return None
+        middle = len(node) // 2
+        right = LeafNode(keys=node.keys[middle:], values=node.values[middle:],
+                         left=page_id, right=node.right)
+        right_page = self.pool.allocate()
+        node.keys = node.keys[:middle]
+        node.values = node.values[:middle]
+        old_right = node.right
+        node.right = right_page
+        self._write_leaf(page_id, node)
+        self._write_leaf(right_page, right)
+        if old_right != NO_PAGE:
+            neighbour = self._read_leaf(old_right)
+            neighbour.left = right_page
+            self._write_leaf(old_right, neighbour)
+        return right.keys[0], right_page
+
+    def _split_internal(self, page_id: int,
+                        node: InternalNode) -> tuple[bytes, int]:
+        middle = len(node.keys) // 2
+        promoted = node.keys[middle]
+        right = InternalNode(keys=node.keys[middle + 1:],
+                             children=node.children[middle + 1:])
+        node.keys = node.keys[:middle]
+        node.children = node.children[:middle + 1]
+        right_page = self.pool.allocate()
+        self._write_internal(page_id, node)
+        self._write_internal(right_page, right)
+        return promoted, right_page
+
+    # -- lookups -------------------------------------------------------
+
+    def get_all(self, key: bytes) -> list[bytes]:
+        """Return the values of every entry with exactly this key."""
+        if self._root == NO_PAGE:
+            return []
+        page_id = self._descend_to_leaf_leftmost(key)
+        results: list[bytes] = []
+        while page_id != NO_PAGE:
+            node = self._read_leaf(page_id)
+            start = bisect_left(node.keys, key)
+            if start == len(node.keys) and results:
+                break
+            for position in range(start, len(node.keys)):
+                if node.keys[position] != key:
+                    return results
+                results.append(node.values[position])
+            page_id = node.right
+        return results
+
+    def items(self) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate all entries in key order (sequential leaf walk)."""
+        page_id = self._leftmost_leaf()
+        while page_id != NO_PAGE:
+            node = self._read_leaf(page_id)
+            yield from zip(node.keys, node.values)
+            page_id = node.right
+
+    def range(self, low: bytes, high: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """Iterate entries with ``low <= key <= high`` in key order."""
+        if self._root == NO_PAGE or low > high:
+            return
+        page_id = self._descend_to_leaf_leftmost(low)
+        while page_id != NO_PAGE:
+            node = self._read_leaf(page_id)
+            start = bisect_left(node.keys, low)
+            for position in range(start, len(node.keys)):
+                if node.keys[position] > high:
+                    return
+                yield node.keys[position], node.values[position]
+            page_id = node.right
+
+    def nearest(self, key: bytes, count: int) -> list[tuple[bytes, bytes]]:
+        """Return up to ``count`` entries nearest to ``key`` in key order.
+
+        This is the RDB-tree candidate retrieval of Algo. 2 line 4: starting
+        from the leaf position of the query's Hilbert key, entries are pulled
+        from both directions, always taking the one whose decoded key is
+        numerically closer.
+        """
+        if count <= 0 or self._root == NO_PAGE:
+            return []
+        target = self.key_codec.decode(key)
+        forward = self._scan_forward(key)
+        backward = self._scan_backward(key)
+        result: list[tuple[bytes, bytes]] = []
+        next_forward = next(forward, None)
+        next_backward = next(backward, None)
+        while len(result) < count:
+            if next_forward is None and next_backward is None:
+                break
+            if next_backward is None:
+                take_forward = True
+            elif next_forward is None:
+                take_forward = False
+            else:
+                dist_f = abs(self.key_codec.decode(next_forward[0]) - target)
+                dist_b = abs(self.key_codec.decode(next_backward[0]) - target)
+                take_forward = dist_f <= dist_b
+            if take_forward:
+                result.append(next_forward)
+                next_forward = next(forward, None)
+            else:
+                result.append(next_backward)
+                next_backward = next(backward, None)
+        return result
+
+    # -- scan generators ---------------------------------------------------
+
+    def _scan_forward(self, key: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """Entries with key >= ``key`` in ascending order."""
+        page_id = self._descend_to_leaf(key)
+        first = True
+        while page_id != NO_PAGE:
+            node = self._read_leaf(page_id)
+            start = bisect_left(node.keys, key) if first else 0
+            first = False
+            for position in range(start, len(node.keys)):
+                yield node.keys[position], node.values[position]
+            page_id = node.right
+
+    def _scan_backward(self, key: bytes) -> Iterator[tuple[bytes, bytes]]:
+        """Entries with key < ``key`` in descending order."""
+        if self._root == NO_PAGE:
+            return
+        page_id = self._descend_to_leaf(key)
+        first = True
+        while page_id != NO_PAGE:
+            node = self._read_leaf(page_id)
+            start = bisect_left(node.keys, key) - 1 if first else len(node) - 1
+            first = False
+            for position in range(start, -1, -1):
+                yield node.keys[position], node.values[position]
+            page_id = node.left
+
+    # -- node I/O --------------------------------------------------------
+
+    def _descend_to_leaf(self, key: bytes) -> int:
+        page_id = self._root
+        for _ in range(self._height - 1):
+            node = self._read_node(page_id)
+            if isinstance(node, LeafNode):
+                break
+            page_id = node.children[bisect_right(node.keys, key)]
+        return page_id
+
+    def _descend_to_leaf_leftmost(self, key: bytes) -> int:
+        """Descend to the leaf holding the FIRST occurrence of ``key``.
+
+        Duplicate keys can span leaves; separators equal to the key route a
+        ``bisect_right`` descent to the rightmost run, so point lookups and
+        range starts use ``bisect_left`` instead.
+        """
+        page_id = self._root
+        for _ in range(self._height - 1):
+            node = self._read_node(page_id)
+            if isinstance(node, LeafNode):
+                break
+            page_id = node.children[bisect_left(node.keys, key)]
+        return page_id
+
+    def _leftmost_leaf(self) -> int:
+        if self._root == NO_PAGE:
+            return NO_PAGE
+        page_id = self._root
+        for _ in range(self._height - 1):
+            node = self._read_node(page_id)
+            if isinstance(node, LeafNode):
+                break
+            page_id = node.children[0]
+        return page_id
+
+    def _read_node(self, page_id: int) -> LeafNode | InternalNode:
+        raw = self.pool.read(page_id)
+        return parse_node(raw, self.key_width, self.value_width)
+
+    def _read_leaf(self, page_id: int) -> LeafNode:
+        node = self._read_node(page_id)
+        if not isinstance(node, LeafNode):
+            raise RuntimeError(f"page {page_id} is not a leaf")
+        return node
+
+    def _write_leaf(self, page_id: int, node: LeafNode) -> None:
+        raw = serialize_leaf(node, self._store.page_size,
+                             self.key_width, self.value_width)
+        self.pool.write(page_id, raw)
+
+    def _write_internal(self, page_id: int, node: InternalNode) -> None:
+        raw = serialize_internal(node, self._store.page_size, self.key_width)
+        self.pool.write(page_id, raw)

@@ -1,0 +1,238 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Four commands cover the library's main workflows without writing code:
+
+* ``info``      — list dataset configurations and paper-recommended params;
+* ``build``     — build an HD-Index over a dataset (synthetic or .fvecs)
+  and persist it to a directory;
+* ``query``     — load a persisted index and run a query workload against
+  it, reporting MAP/ratio/time/I/O;
+* ``compare``   — run several methods on one dataset and print the
+  comparison table (a Fig. 8 row group on demand).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.core import (
+    HDIndex,
+    HDIndexParams,
+    load_index,
+    recommended_params,
+    save_index,
+)
+from repro.datasets import DATASET_CATALOG, make_dataset, read_vecs
+from repro.eval import (
+    GroundTruth,
+    evaluate_index,
+    format_table,
+    run_comparison,
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HD-Index (VLDB 2018) reproduction toolkit")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    info = commands.add_parser("info", help="list datasets and defaults")
+
+    build = commands.add_parser("build", help="build and persist an index")
+    _add_data_arguments(build)
+    build.add_argument("--out", required=True,
+                       help="directory to persist the index into")
+    _add_param_arguments(build)
+
+    query = commands.add_parser("query", help="query a persisted index")
+    query.add_argument("--index", required=True,
+                       help="directory holding a persisted index")
+    _add_data_arguments(query)
+    query.add_argument("-k", type=int, default=10)
+
+    compare = commands.add_parser(
+        "compare", help="compare methods on one dataset")
+    _add_data_arguments(compare)
+    _add_param_arguments(compare)
+    compare.add_argument("-k", type=int, default=10)
+    compare.add_argument(
+        "--methods", default="hdindex,linear,srs",
+        help="comma list from: hdindex,linear,idistance,multicurves,"
+             "c2lsh,qalsh,srs,pq,opq,hnsw,vafile,e2lsh")
+    return parser
+
+
+def _add_data_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="sift10k",
+                        help="catalog name (see `repro info`)")
+    parser.add_argument("--n", type=int, default=None,
+                        help="dataset size (default: catalog default)")
+    parser.add_argument("--queries", type=int, default=20)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--fvecs", default=None,
+                        help="load vectors from a .fvecs/.ivecs/.bvecs file "
+                             "instead of generating synthetic data")
+
+
+def _add_param_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trees", type=int, default=None, help="τ")
+    parser.add_argument("--references", type=int, default=None, help="m")
+    parser.add_argument("--order", type=int, default=None, help="ω")
+    parser.add_argument("--alpha", type=int, default=None)
+    parser.add_argument("--gamma", type=int, default=None)
+    parser.add_argument("--ptolemaic", action="store_true")
+
+
+def _load_workload(args) -> tuple[np.ndarray, np.ndarray, object]:
+    if args.fvecs:
+        vectors = read_vecs(args.fvecs,
+                            max_vectors=(args.n + args.queries
+                                         if args.n else None))
+        vectors = np.asarray(vectors, dtype=np.float64)
+        n = args.n if args.n else max(1, len(vectors) - args.queries)
+        data = vectors[:n]
+        queries = vectors[n:n + args.queries]
+        if queries.shape[0] == 0:
+            queries = data[: args.queries]
+        spec = None
+        return data, queries, spec
+    dataset = make_dataset(args.dataset, n=args.n,
+                           num_queries=args.queries, seed=args.seed)
+    return dataset.data, dataset.queries, dataset.spec
+
+
+def _params_from_args(args, data, spec) -> HDIndexParams:
+    params = recommended_params(dim=data.shape[1], n=len(data),
+                                seed=args.seed)
+    updates = {}
+    if spec is not None:
+        updates["domain"] = spec.domain
+    if getattr(args, "trees", None) is not None:
+        updates["num_trees"] = args.trees
+    if getattr(args, "references", None) is not None:
+        updates["num_references"] = args.references
+    if getattr(args, "order", None) is not None:
+        updates["hilbert_order"] = args.order
+    if getattr(args, "alpha", None) is not None:
+        updates["alpha"] = args.alpha
+    if getattr(args, "gamma", None) is not None:
+        updates["gamma"] = args.gamma
+    if getattr(args, "ptolemaic", False):
+        updates["use_ptolemaic"] = True
+    import dataclasses
+    return dataclasses.replace(params, **updates)
+
+
+def cmd_info(_args, out=sys.stdout) -> int:
+    print(f"{'name':<10} {'ν':>5} {'domain':>20} {'paper n':>13} "
+          f"{'default n':>10} {'τ':>3} {'ω':>3}", file=out)
+    for name, spec in DATASET_CATALOG.items():
+        domain = f"[{spec.low:g}, {spec.high:g}]"
+        print(f"{name:<10} {spec.dim:>5} {domain:>20} "
+              f"{spec.paper_size:>13,} {spec.default_size:>10,} "
+              f"{spec.num_trees:>3} {spec.hilbert_order:>3}", file=out)
+    print("\npaper-recommended: m=10 references, α/γ=4, page size 4096, "
+          "triangular filter only", file=out)
+    return 0
+
+
+def cmd_build(args, out=sys.stdout) -> int:
+    data, _, spec = _load_workload(args)
+    params = _params_from_args(args, data, spec)
+    index = HDIndex(params)
+    index.build(data)
+    save_index(index, args.out)
+    stats = index.build_stats()
+    print(f"built HD-Index over n={len(data)}, ν={data.shape[1]} in "
+          f"{stats.time_sec:.2f}s", file=out)
+    print(f"τ={params.num_trees} trees, m={params.num_references} "
+          f"references, leaf orders {stats.extra['leaf_orders']}", file=out)
+    print(f"index {index.index_size_bytes():,} B + descriptors "
+          f"{index.heap.size_bytes():,} B -> {args.out}", file=out)
+    return 0
+
+
+def cmd_query(args, out=sys.stdout) -> int:
+    index = load_index(args.index)
+    data, queries, _ = _load_workload(args)
+    if data.shape[1] != index.dim:
+        print(f"error: index expects ν={index.dim}, dataset has "
+              f"ν={data.shape[1]}", file=sys.stderr)
+        return 2
+    truth = GroundTruth(data, queries, max_k=args.k)
+    result = evaluate_index(index, data, queries, args.k,
+                            ground_truth=truth, build=False,
+                            dataset_name=args.dataset)
+    print(format_table([result]), file=out)
+    index.close()
+    return 0
+
+
+def cmd_compare(args, out=sys.stdout) -> int:
+    from repro.baselines import (
+        C2LSH,
+        E2LSH,
+        HNSW,
+        IDistance,
+        LinearScan,
+        Multicurves,
+        OPQIndex,
+        PQIndex,
+        QALSH,
+        SRS,
+        VAFile,
+    )
+    data, queries, spec = _load_workload(args)
+    domain = spec.domain if spec is not None else None
+    n = len(data)
+    available = {
+        "hdindex": lambda: HDIndex(_params_from_args(args, data, spec)),
+        "linear": LinearScan,
+        "idistance": lambda: IDistance(num_partitions=min(24, n)),
+        "multicurves": lambda: Multicurves(
+            num_curves=8, alpha=max(64, n // 8), domain=domain),
+        "c2lsh": lambda: C2LSH(max_functions=64),
+        "qalsh": lambda: QALSH(max_functions=32),
+        "srs": SRS,
+        "pq": lambda: PQIndex(num_subspaces=8,
+                              num_centroids=min(64, max(2, n // 8))),
+        "opq": lambda: OPQIndex(num_subspaces=8,
+                                num_centroids=min(64, max(2, n // 8)),
+                                opq_iterations=3),
+        "hnsw": lambda: HNSW(M=10, ef_construction=60, ef_search=60),
+        "vafile": VAFile,
+        "e2lsh": E2LSH,
+    }
+    chosen = {}
+    for name in args.methods.split(","):
+        name = name.strip().lower()
+        if name not in available:
+            print(f"error: unknown method {name!r}; choose from "
+                  f"{', '.join(sorted(available))}", file=sys.stderr)
+            return 2
+        chosen[name] = available[name]
+    results = run_comparison(chosen, data, queries, args.k,
+                             dataset_name=args.dataset)
+    print(format_table(results), file=out)
+    return 0
+
+
+COMMANDS = {
+    "info": cmd_info,
+    "build": cmd_build,
+    "query": cmd_query,
+    "compare": cmd_compare,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

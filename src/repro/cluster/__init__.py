@@ -1,0 +1,5 @@
+"""Clustering substrate (k-means)."""
+
+from repro.cluster.kmeans import KMeansResult, kmeans, kmeans_pp_seed
+
+__all__ = ["KMeansResult", "kmeans", "kmeans_pp_seed"]

@@ -1,0 +1,84 @@
+"""Lloyd's k-means with k-means++ seeding.
+
+Substrate for iDistance (data-space partitions, [73] Sec. 3), PQ/OPQ
+(sub-space codebooks [35, 27]) and the Marin-style clustering reference
+selection.  Implemented from scratch — no sklearn in this environment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.distance.metrics import pairwise_euclidean
+
+
+@dataclass
+class KMeansResult:
+    """Centres, assignment and convergence info of one k-means run."""
+
+    centers: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    iterations: int
+
+
+def kmeans_pp_seed(data: np.ndarray, k: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """k-means++ initial centres (D² sampling)."""
+    n = data.shape[0]
+    centers = np.empty((k, data.shape[1]), dtype=np.float64)
+    first = int(rng.integers(n))
+    centers[0] = data[first]
+    closest_sq = np.sum((data - centers[0]) ** 2, axis=1)
+    for index in range(1, k):
+        total = float(closest_sq.sum())
+        if total <= 0.0:
+            # All points coincide with chosen centres; fill uniformly.
+            centers[index] = data[int(rng.integers(n))]
+            continue
+        probabilities = closest_sq / total
+        chosen = int(rng.choice(n, p=probabilities))
+        centers[index] = data[chosen]
+        candidate_sq = np.sum((data - centers[index]) ** 2, axis=1)
+        np.minimum(closest_sq, candidate_sq, out=closest_sq)
+    return centers
+
+
+def kmeans(data: np.ndarray, k: int, rng: np.random.Generator | None = None,
+           max_iterations: int = 50, tolerance: float = 1e-6) -> KMeansResult:
+    """Lloyd iterations until assignment stabilises or budget is exhausted."""
+    data = np.asarray(data, dtype=np.float64)
+    if data.ndim != 2:
+        raise ValueError("data must be 2-D")
+    n = data.shape[0]
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    if rng is None:
+        rng = np.random.default_rng()
+    centers = kmeans_pp_seed(data, k, rng)
+    labels = np.zeros(n, dtype=np.int64)
+    inertia = np.inf
+    iteration = 0
+    for iteration in range(1, max_iterations + 1):
+        distances = pairwise_euclidean(data, centers)
+        new_labels = np.argmin(distances, axis=1)
+        new_inertia = float(
+            np.sum(distances[np.arange(n), new_labels] ** 2))
+        for index in range(k):
+            members = data[new_labels == index]
+            if members.shape[0]:
+                centers[index] = members.mean(axis=0)
+            else:
+                # Re-seed an empty cluster at the point farthest from its
+                # centre — the standard empty-cluster repair.
+                worst = int(np.argmax(distances[np.arange(n), new_labels]))
+                centers[index] = data[worst]
+        if np.array_equal(new_labels, labels) or (
+                inertia - new_inertia) <= tolerance * max(inertia, 1.0):
+            labels, inertia = new_labels, new_inertia
+            break
+        labels, inertia = new_labels, new_inertia
+    return KMeansResult(centers=centers, labels=labels, inertia=inertia,
+                        iterations=iteration)

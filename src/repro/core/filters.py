@@ -1,0 +1,89 @@
+"""Lower-bounding distance filters (paper Sec. 4.2).
+
+Both filters approximate ``d(q, o)`` from below using only the reference
+distances stored in RDB-tree leaves — no disk access, no full ν-dimensional
+computation:
+
+* **Triangular** (Eq. 5): ``max_i |d(q, R_i) - d(o, R_i)|``.
+* **Ptolemaic** (Eq. 6):
+  ``max_{i<j} |d(q,R_i)·d(o,R_j) - d(q,R_j)·d(o,R_i)| / d(R_i, R_j)`` —
+  costlier (O(m²) per candidate) but tighter; valid for Euclidean spaces
+  [30].
+
+Both are vectorised over the candidate axis: one call bounds all α (or β)
+candidates of a tree at once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distance.metrics import top_k_smallest
+
+
+def triangular_lower_bounds(query_ref: np.ndarray,
+                            cand_ref: np.ndarray) -> np.ndarray:
+    """Best triangular lower bound per candidate (Eq. 5).
+
+    Parameters
+    ----------
+    query_ref:
+        (m,) distances from the query to each reference object.
+    cand_ref:
+        (n, m) stored distances from each candidate to each reference.
+    """
+    query_ref = np.asarray(query_ref, dtype=np.float64)
+    cand_ref = np.asarray(cand_ref, dtype=np.float64)
+    if cand_ref.ndim != 2 or cand_ref.shape[1] != query_ref.shape[0]:
+        raise ValueError(
+            f"cand_ref shape {cand_ref.shape} incompatible with "
+            f"{query_ref.shape[0]} references")
+    return np.max(np.abs(cand_ref - query_ref[None, :]), axis=1)
+
+
+def ptolemaic_lower_bounds(query_ref: np.ndarray, cand_ref: np.ndarray,
+                           ref_ref: np.ndarray) -> np.ndarray:
+    """Best Ptolemaic lower bound per candidate (Eq. 6).
+
+    Parameters
+    ----------
+    query_ref:
+        (m,) query-to-reference distances.
+    cand_ref:
+        (n, m) candidate-to-reference distances.
+    ref_ref:
+        (m, m) reference-to-reference distances — the Eq. (6) denominator.
+    """
+    query_ref = np.asarray(query_ref, dtype=np.float64)
+    cand_ref = np.asarray(cand_ref, dtype=np.float64)
+    ref_ref = np.asarray(ref_ref, dtype=np.float64)
+    m = query_ref.shape[0]
+    if cand_ref.ndim != 2 or cand_ref.shape[1] != m:
+        raise ValueError(
+            f"cand_ref shape {cand_ref.shape} incompatible with {m} references")
+    if ref_ref.shape != (m, m):
+        raise ValueError(f"ref_ref must be ({m}, {m}), got {ref_ref.shape}")
+    if m < 2:
+        # A single reference admits no Ptolemaic pair; fall back to Eq. (5).
+        return triangular_lower_bounds(query_ref, cand_ref)
+    first, second = np.triu_indices(m, k=1)
+    denominators = ref_ref[first, second]
+    valid = denominators > 0.0
+    if not np.any(valid):
+        return triangular_lower_bounds(query_ref, cand_ref)
+    first, second = first[valid], second[valid]
+    denominators = denominators[valid]
+    # (n, pairs): |dq_i * Do_j - dq_j * Do_i| / d(R_i, R_j)
+    numerators = np.abs(
+        query_ref[first][None, :] * cand_ref[:, second]
+        - query_ref[second][None, :] * cand_ref[:, first]
+    )
+    return np.max(numerators / denominators[None, :], axis=1)
+
+
+def filter_candidates(bounds: np.ndarray, keep: int) -> np.ndarray:
+    """Indices of the ``keep`` candidates with the smallest lower bounds.
+
+    This is the heap selection step of Algo. 2 lines 7 and 10.
+    """
+    return top_k_smallest(bounds, keep)

@@ -1,0 +1,345 @@
+"""HD-Index: construction (Algo. 1) and kANN querying (Algo. 2).
+
+The index is a union of τ RDB-trees, one per dimension partition, plus the
+memory-resident reference set.  Querying proceeds exactly as the paper's
+three stages: (i) α nearest-by-Hilbert-key candidates per tree, (ii) filter
+refinement with the triangular and (optionally) Ptolemaic lower bounds to γ
+candidates per tree, (iii) κ ≤ τ·γ random descriptor fetches and exact
+distance ranking.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.filters import (
+    filter_candidates,
+    ptolemaic_lower_bounds,
+    triangular_lower_bounds,
+)
+from repro.core.interface import BuildStats, KNNIndex, QueryStats
+from repro.core.params import HDIndexParams
+from repro.core.partition import make_partition
+from repro.core.rdbtree import RDBTree
+from repro.core.reference import ReferenceSet
+from repro.distance.metrics import (
+    DistanceCounter,
+    euclidean_to_many,
+    top_k_smallest,
+)
+from repro.hilbert.butz import HilbertCurve
+from repro.hilbert.quantize import GridQuantizer
+from repro.storage.vectors import VectorHeapFile, heap_file_from_array
+
+
+class HDIndex(KNNIndex):
+    """The paper's primary contribution.
+
+    Typical use::
+
+        params = HDIndexParams(num_trees=8, hilbert_order=8, alpha=512)
+        index = HDIndex(params)
+        index.build(data)                  # (n, ν) array
+        ids, dists = index.query(q, k=10)
+    """
+
+    name = "HD-Index"
+
+    def __init__(self, params: HDIndexParams | None = None) -> None:
+        self.params = params if params is not None else HDIndexParams()
+        self.trees: list[RDBTree] = []
+        self.partitions: list[np.ndarray] = []
+        self.references: ReferenceSet | None = None
+        self.heap: VectorHeapFile | None = None
+        self.quantizer: GridQuantizer | None = None
+        self.dim: int = 0
+        self.count: int = 0
+        self._deleted: set[int] = set()
+        self._build_stats = BuildStats()
+        self._query_stats = QueryStats()
+        self._distance_counter = DistanceCounter()
+
+    # -- construction (Algo. 1) -------------------------------------------
+
+    def build(self, data: np.ndarray) -> None:
+        """Construct the τ RDB-trees and the descriptor heap file."""
+        started = time.perf_counter()
+        data = np.asarray(data, dtype=np.float64)
+        if data.ndim != 2:
+            raise ValueError(f"data must be 2-D, got shape {data.shape}")
+        n, dim = data.shape
+        if n < 1:
+            raise ValueError("cannot build an index over an empty dataset")
+        params = self.params
+        if params.num_trees > dim:
+            raise ValueError(
+                f"num_trees={params.num_trees} exceeds dimensionality {dim}")
+        self.dim = dim
+        self.count = n
+        rng = np.random.default_rng(params.seed)
+
+        # Descriptor heap file — the "complete object descriptors" on disk.
+        self.heap = heap_file_from_array(
+            data, dtype=params.storage_dtype, page_size=params.page_size,
+            cache_pages=params.cache_pages,
+            store=self._make_store("descriptors"))
+
+        # Reference objects and the (n, m) reference-distance matrix
+        # (Algo. 1 lines 1-2).
+        self.references = ReferenceSet.select(
+            data, params.num_references, params.reference_method, rng,
+            params.sss_fraction)
+        reference_distances = self.references.distances_from(data)
+        peak_memory = (reference_distances.nbytes
+                       + self.references.memory_bytes())
+
+        # Domain quantiser shared by all partitions (Table 4 domains are
+        # global per dataset).
+        if params.domain is not None:
+            low, high = params.domain
+            self.quantizer = GridQuantizer(low, high, params.hilbert_order)
+        else:
+            self.quantizer = GridQuantizer.from_data(
+                data, params.hilbert_order)
+
+        # One Hilbert curve + RDB-tree per partition (Algo. 1 lines 3-10).
+        self.partitions = make_partition(
+            dim, params.num_trees, params.partition_scheme, rng)
+        self.trees = []
+        object_ids = np.arange(n, dtype=np.int64)
+        for tree_index, part in enumerate(self.partitions):
+            curve = HilbertCurve(len(part), params.hilbert_order)
+            coords = self.quantizer.quantize(data[:, part])
+            keys = curve.encode_batch(coords)
+            peak_memory = max(
+                peak_memory,
+                reference_distances.nbytes + self.references.memory_bytes()
+                + coords.nbytes + n * curve.key_bytes)
+            tree = RDBTree(curve, params.num_references,
+                           store=self._make_store(f"tree_{tree_index}"),
+                           cache_pages=params.cache_pages,
+                           page_size=params.page_size)
+            tree.bulk_build(keys, object_ids, reference_distances)
+            self.trees.append(tree)
+
+        self._build_stats = BuildStats(
+            time_sec=time.perf_counter() - started,
+            page_writes=sum(t.stats.page_writes for t in self.trees)
+            + self.heap.stats.page_writes,
+            peak_memory_bytes=peak_memory,
+            extra={
+                "leaf_orders": [t.leaf_order for t in self.trees],
+                "tree_heights": [t.height for t in self.trees],
+            },
+        )
+
+    # -- querying (Algo. 2) --------------------------------------------------
+
+    def query(self, point: np.ndarray, k: int,
+              alpha: int | None = None, beta: int | None = None,
+              gamma: int | None = None,
+              use_ptolemaic: bool | None = None
+              ) -> tuple[np.ndarray, np.ndarray]:
+        """Approximate k nearest neighbours of ``point``.
+
+        The optional arguments override the corresponding
+        :class:`HDIndexParams` fields for this call only (used by the
+        parameter-sweep experiments of Sec. 5.2).
+        """
+        self._require_built()
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        params = self.params
+        ptolemaic = (params.use_ptolemaic
+                     if use_ptolemaic is None else use_ptolemaic)
+        eff_alpha, eff_beta, eff_gamma = self._effective_sizes(
+            k, alpha, beta, gamma, ptolemaic)
+
+        started = time.perf_counter()
+        reads_before = self._total_page_reads()
+        random_before, sequential_before = self._read_breakdown()
+        self._distance_counter.reset()
+
+        point = np.asarray(point, dtype=np.float64).ravel()
+        if point.shape[0] != self.dim:
+            raise ValueError(
+                f"query has dimension {point.shape[0]}, index expects {self.dim}")
+
+        # Distances from q to all m references (computed once per query).
+        query_ref = self.references.distances_from(point)[0]
+        self._distance_counter.add(self.references.size)
+
+        # Stages (i) and (ii) per tree.
+        survivor_ids: list[np.ndarray] = []
+        for tree, part in zip(self.trees, self.partitions):
+            coords = self.quantizer.quantize(point[part])[None, :]
+            key = int(tree.curve.encode_batch(coords)[0])
+            cand_ids, cand_ref = tree.candidates(key, eff_alpha)
+            if cand_ids.shape[0] == 0:
+                continue
+            tri = triangular_lower_bounds(query_ref, cand_ref)
+            keep = filter_candidates(tri, min(eff_beta, len(tri)))
+            cand_ids, cand_ref = cand_ids[keep], cand_ref[keep]
+            if ptolemaic:
+                ptol = ptolemaic_lower_bounds(query_ref, cand_ref,
+                                              self.references.ref_ref)
+                keep = filter_candidates(ptol, min(eff_gamma, len(ptol)))
+                cand_ids = cand_ids[keep]
+            survivor_ids.append(cand_ids)
+
+        # Stage (iii): union, fetch descriptors, exact distances, top-k.
+        if survivor_ids:
+            merged = np.unique(np.concatenate(survivor_ids))
+        else:
+            merged = np.empty(0, dtype=np.int64)
+        if self._deleted:
+            merged = merged[~np.isin(merged, list(self._deleted))]
+        kappa = merged.shape[0]
+        if kappa:
+            descriptors = self.heap.fetch_many(merged)
+            exact = euclidean_to_many(point, descriptors,
+                                      self._distance_counter)
+            best = top_k_smallest(exact, min(k, kappa))
+            ids = merged[best]
+            dists = exact[best]
+        else:
+            ids = np.empty(0, dtype=np.int64)
+            dists = np.empty(0, dtype=np.float64)
+
+        reads_after = self._total_page_reads()
+        random_after, sequential_after = self._read_breakdown()
+        self._query_stats = QueryStats(
+            time_sec=time.perf_counter() - started,
+            page_reads=reads_after - reads_before,
+            random_reads=random_after - random_before,
+            sequential_reads=sequential_after - sequential_before,
+            candidates=kappa,
+            distance_computations=self._distance_counter.count,
+            extra={"alpha": eff_alpha, "beta": eff_beta, "gamma": eff_gamma,
+                   "ptolemaic": ptolemaic},
+        )
+        return ids, dists
+
+    # -- updates (Sec. 3.6) ----------------------------------------------
+
+    def insert(self, vector: np.ndarray) -> int:
+        """Insert a new object; the reference set is kept as-is (Sec. 3.6)."""
+        self._require_built()
+        vector = np.asarray(vector, dtype=np.float64).ravel()
+        if vector.shape[0] != self.dim:
+            raise ValueError(
+                f"vector has dimension {vector.shape[0]}, expected {self.dim}")
+        object_id = self.heap.append(vector)
+        reference_distances = self.references.distances_from(vector)[0]
+        for tree, part in zip(self.trees, self.partitions):
+            coords = self.quantizer.quantize(vector[part])[None, :]
+            key = int(tree.curve.encode_batch(coords)[0])
+            tree.insert(key, object_id, reference_distances)
+        self.count += 1
+        return object_id
+
+    def delete(self, object_id: int) -> None:
+        """Mark an object deleted; it is never returned again (Sec. 3.6)."""
+        self._require_built()
+        if not 0 <= object_id < len(self.heap):
+            raise ValueError(f"unknown object id {object_id}")
+        self._deleted.add(int(object_id))
+
+    # -- accounting ----------------------------------------------------
+
+    def index_size_bytes(self) -> int:
+        """On-disk bytes of the τ RDB-trees (descriptor heap excluded — it
+        is the database itself, shared by all methods)."""
+        return sum(tree.size_bytes() for tree in self.trees)
+
+    def total_size_bytes(self) -> int:
+        """Index plus descriptor heap."""
+        size = self.index_size_bytes()
+        if self.heap is not None:
+            size += self.heap.size_bytes()
+        return size
+
+    def memory_bytes(self) -> int:
+        """Query-time RAM: reference set + buffer pools + α workspace."""
+        if self.references is None:
+            return 0
+        total = self.references.memory_bytes()
+        total += sum(tree.memory_bytes() for tree in self.trees)
+        if self.heap is not None:
+            total += self.heap.pool.memory_bytes()
+        # α-candidate workspace per tree scan (ids + m distances, float64).
+        total += self.params.alpha * (8 + 8 * self.params.num_references)
+        return total
+
+    def build_memory_bytes(self) -> int:
+        return self._build_stats.peak_memory_bytes
+
+    def last_query_stats(self) -> QueryStats:
+        return self._query_stats
+
+    def build_stats(self) -> BuildStats:
+        return self._build_stats
+
+    def io_snapshot(self) -> dict[str, int]:
+        """Combined I/O counters across trees and the descriptor heap."""
+        combined = {}
+        total = None
+        for tree in self.trees:
+            total = tree.stats if total is None else total + tree.stats
+        if self.heap is not None:
+            total = self.heap.stats if total is None else total + self.heap.stats
+        return total.snapshot() if total is not None else combined
+
+    # -- internals --------------------------------------------------------
+
+    def _effective_sizes(self, k: int, alpha: int | None, beta: int | None,
+                         gamma: int | None,
+                         ptolemaic: bool) -> tuple[int, int, int]:
+        base_alpha, base_beta, base_gamma = self.params.resolve_filter_sizes(k)
+        eff_alpha = max(alpha if alpha is not None else base_alpha, k)
+        eff_beta = beta if beta is not None else min(base_beta, eff_alpha)
+        eff_gamma = gamma if gamma is not None else min(base_gamma, eff_beta)
+        eff_beta = min(max(eff_beta, k), eff_alpha)
+        eff_gamma = min(max(eff_gamma, k), eff_beta)
+        if not ptolemaic:
+            eff_beta = eff_gamma
+        return eff_alpha, eff_beta, eff_gamma
+
+    def _total_page_reads(self) -> int:
+        reads = sum(tree.stats.page_reads for tree in self.trees)
+        if self.heap is not None:
+            reads += self.heap.stats.page_reads
+        return reads
+
+    def _read_breakdown(self) -> tuple[int, int]:
+        random_reads = sum(tree.stats.random_reads for tree in self.trees)
+        sequential = sum(tree.stats.sequential_reads for tree in self.trees)
+        if self.heap is not None:
+            random_reads += self.heap.stats.random_reads
+            sequential += self.heap.stats.sequential_reads
+        return random_reads, sequential
+
+    def _make_store(self, stem: str):
+        """A file-backed page store when ``storage_dir`` is set, else None
+        (the callee creates a private in-memory store)."""
+        if self.params.storage_dir is None:
+            return None
+        import os
+
+        from repro.storage.pages import FilePageStore
+        os.makedirs(self.params.storage_dir, exist_ok=True)
+        path = os.path.join(self.params.storage_dir, f"{stem}.pages")
+        return FilePageStore(path, page_size=self.params.page_size)
+
+    def close(self) -> None:
+        """Release the backing page stores (file handles in disk mode)."""
+        for tree in self.trees:
+            tree.tree.pool.store.close()
+        if self.heap is not None:
+            self.heap.close()
+
+    def _require_built(self) -> None:
+        if not self.trees or self.heap is None or self.references is None:
+            raise RuntimeError("index has not been built; call build() first")

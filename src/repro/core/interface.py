@@ -1,0 +1,107 @@
+"""Common interface implemented by HD-Index and every baseline.
+
+The comparative experiments (Fig. 8, Table 5) measure the same five things
+for each method: result quality, query time, index size, indexing RAM and
+querying RAM.  :class:`KNNIndex` fixes the vocabulary so the harness in
+:mod:`repro.eval.harness` can drive any method uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class QueryStats:
+    """Per-query (or per-batch, averaged) execution statistics."""
+
+    time_sec: float = 0.0
+    page_reads: int = 0
+    random_reads: int = 0
+    sequential_reads: int = 0
+    candidates: int = 0
+    distance_computations: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        data = {
+            "time_sec": self.time_sec,
+            "page_reads": self.page_reads,
+            "random_reads": self.random_reads,
+            "sequential_reads": self.sequential_reads,
+            "candidates": self.candidates,
+            "distance_computations": self.distance_computations,
+        }
+        data.update(self.extra)
+        return data
+
+
+@dataclass
+class BuildStats:
+    """Statistics collected while constructing an index."""
+
+    time_sec: float = 0.0
+    page_writes: int = 0
+    peak_memory_bytes: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class KNNIndex:
+    """Protocol for every kANN method in this reproduction.
+
+    Subclasses implement :meth:`build` and :meth:`query`; the base class
+    provides batching and default accounting.
+    """
+
+    #: Human-readable method name used in experiment tables.
+    name: str = "abstract"
+
+    def build(self, data: np.ndarray) -> None:
+        """Construct the index over an (n, ν) dataset."""
+        raise NotImplementedError
+
+    def query(self, point: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Return (ids, distances) of k approximate nearest neighbours,
+        ordered by increasing reported distance."""
+        raise NotImplementedError
+
+    def batch_query(self, points: np.ndarray,
+                    k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Query each row of ``points``; returns (Q, k) ids and distances."""
+        points = np.asarray(points)
+        if points.ndim == 1:
+            points = points[None, :]
+        ids = np.full((points.shape[0], k), -1, dtype=np.int64)
+        dists = np.full((points.shape[0], k), np.inf, dtype=np.float64)
+        for row, point in enumerate(points):
+            got_ids, got_dists = self.query(point, k)
+            count = min(k, len(got_ids))
+            ids[row, :count] = got_ids[:count]
+            dists[row, :count] = got_dists[:count]
+        return ids, dists
+
+    # -- accounting -------------------------------------------------------
+
+    def index_size_bytes(self) -> int:
+        """On-disk footprint of the index structure (excludes the shared
+        descriptor file unless the method embeds descriptors, as
+        Multicurves does)."""
+        raise NotImplementedError
+
+    def memory_bytes(self) -> int:
+        """RAM the method must keep resident while answering queries."""
+        raise NotImplementedError
+
+    def build_memory_bytes(self) -> int:
+        """Peak RAM during index construction (structural accounting)."""
+        return self.memory_bytes()
+
+    def last_query_stats(self) -> QueryStats:
+        """Statistics of the most recent :meth:`query` call."""
+        return QueryStats()
+
+    def build_stats(self) -> BuildStats:
+        """Statistics of the :meth:`build` call."""
+        return BuildStats()

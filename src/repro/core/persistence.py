@@ -1,0 +1,159 @@
+"""Save/load a built HD-Index to/from a directory.
+
+A persisted index is a directory containing:
+
+* ``meta.json`` — parameters, partitions, quantiser domain, per-tree
+  structural state (root page / height / count), heap record count, and the
+  deleted-id set;
+* ``references.npz`` — the reference vectors, their pairwise distances and
+  original indices (the only part of the index that is memory-resident at
+  query time, Sec. 4.4.1);
+* ``descriptors.pages`` and ``tree_<i>.pages`` — the page files.
+
+Loading re-opens the page files and reconstructs the exact tree structure
+without touching the data — the disk-resident story end to end: build once,
+reopen and query on a machine that never holds the dataset in RAM.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import numpy as np
+
+from repro.core.hdindex import HDIndex
+from repro.core.params import HDIndexParams
+from repro.core.reference import ReferenceSet
+from repro.hilbert.quantize import GridQuantizer
+from repro.storage.pages import FilePageStore
+from repro.storage.vectors import VectorHeapFile
+
+META_FILE = "meta.json"
+REFERENCES_FILE = "references.npz"
+FORMAT_VERSION = 1
+
+
+class PersistenceError(RuntimeError):
+    """Raised when a directory does not hold a valid persisted index."""
+
+
+def save_index(index: HDIndex, directory: str | os.PathLike[str]) -> None:
+    """Persist a built index.
+
+    If the index was built with ``storage_dir`` pointing at ``directory``,
+    the page files are already in place and only metadata is written;
+    otherwise every page store is copied out to files.
+    """
+    index._require_built()
+    directory = os.fspath(directory)
+    os.makedirs(directory, exist_ok=True)
+
+    _materialise_store(index.heap.pool.store, directory, "descriptors",
+                       index.params.page_size)
+    for tree_index, tree in enumerate(index.trees):
+        _materialise_store(tree.tree.pool.store, directory,
+                           f"tree_{tree_index}", index.params.page_size)
+
+    references = index.references
+    np.savez(os.path.join(directory, REFERENCES_FILE),
+             vectors=references.vectors,
+             ref_ref=references.ref_ref,
+             indices=(references.indices if references.indices is not None
+                      else np.empty(0, dtype=np.int64)))
+
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "params": dataclasses.asdict(index.params),
+        "dim": index.dim,
+        "count": index.count,
+        "deleted": sorted(index._deleted),
+        "partitions": [part.tolist() for part in index.partitions],
+        "quantizer": {"low": index.quantizer.low,
+                      "high": index.quantizer.high,
+                      "order": index.quantizer.order},
+        "heap": {"count": len(index.heap),
+                 "dtype": str(np.dtype(index.params.storage_dtype))},
+        "trees": [tree.state() for tree in index.trees],
+    }
+    with open(os.path.join(directory, META_FILE), "w") as handle:
+        json.dump(meta, handle, indent=2)
+
+
+def load_index(directory: str | os.PathLike[str],
+               cache_pages: int | None = None) -> HDIndex:
+    """Re-open a persisted index for querying (and further updates)."""
+    directory = os.fspath(directory)
+    meta_path = os.path.join(directory, META_FILE)
+    if not os.path.exists(meta_path):
+        raise PersistenceError(f"{directory} has no {META_FILE}")
+    with open(meta_path) as handle:
+        meta = json.load(handle)
+    if meta.get("format_version") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported index format {meta.get('format_version')!r}")
+
+    params_dict = dict(meta["params"])
+    if params_dict.get("domain") is not None:
+        params_dict["domain"] = tuple(params_dict["domain"])
+    params_dict["storage_dir"] = directory
+    if cache_pages is not None:
+        params_dict["cache_pages"] = cache_pages
+    params = HDIndexParams(**params_dict)
+
+    index = HDIndex(params)
+    index.dim = int(meta["dim"])
+    index.count = int(meta["count"])
+    index._deleted = set(int(i) for i in meta["deleted"])
+    index.partitions = [np.asarray(part, dtype=np.int64)
+                        for part in meta["partitions"]]
+    quantizer_meta = meta["quantizer"]
+    index.quantizer = GridQuantizer(quantizer_meta["low"],
+                                    quantizer_meta["high"],
+                                    int(quantizer_meta["order"]))
+
+    archive = np.load(os.path.join(directory, REFERENCES_FILE))
+    indices = archive["indices"]
+    index.references = ReferenceSet(
+        archive["vectors"], indices if indices.size else None)
+
+    heap_store = FilePageStore(
+        os.path.join(directory, "descriptors.pages"),
+        page_size=params.page_size)
+    index.heap = VectorHeapFile(
+        dim=index.dim, dtype=meta["heap"]["dtype"], store=heap_store,
+        cache_pages=params.cache_pages)
+    index.heap.restore_count(int(meta["heap"]["count"]))
+
+    from repro.core.rdbtree import RDBTree
+    index.trees = []
+    for tree_index, tree_state in enumerate(meta["trees"]):
+        store = FilePageStore(
+            os.path.join(directory, f"tree_{tree_index}.pages"),
+            page_size=params.page_size)
+        index.trees.append(RDBTree.from_state(
+            store, tree_state, cache_pages=params.cache_pages,
+            page_size=params.page_size))
+    return index
+
+
+def _materialise_store(store, directory: str, stem: str,
+                       page_size: int) -> None:
+    """Ensure a page store's contents exist as ``<stem>.pages`` on disk."""
+    path = os.path.join(directory, f"{stem}.pages")
+    if isinstance(store, FilePageStore):
+        if os.path.abspath(store.path) != os.path.abspath(path):
+            raise PersistenceError(
+                f"index already file-backed at {store.path}; save to its "
+                f"own directory or rebuild with storage_dir={directory!r}")
+        store._file.flush()
+        return
+    if os.path.exists(path):
+        os.remove(path)
+    out = FilePageStore(path, page_size=page_size)
+    for page_id in store.iter_page_ids():
+        new_id = out.allocate()
+        assert new_id == page_id
+        out.write(page_id, store.read(page_id))
+    out.close()

@@ -1,0 +1,163 @@
+"""RDB-tree: the Reference Distance B+-tree of paper Sec. 3.2.
+
+An RDB-tree is a B+-tree keyed by Hilbert keys whose *leaves* are modified to
+store, per object: the Hilbert key, an 8-byte pointer to the complete
+descriptor, and the distances to the m reference objects as float32.  This
+is the paper's core structural novelty — candidates can be filtered with the
+Eq. (5)/(6) lower bounds using only the leaf bytes already in memory, and
+only the final κ survivors cost a random descriptor fetch.
+
+The leaf order Ω follows Eq. (4) exactly (see
+:func:`repro.core.params.rdb_leaf_order`).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.btree.tree import BPlusTree
+from repro.core.params import rdb_leaf_order
+from repro.hilbert.butz import HilbertCurve
+from repro.storage.codecs import BytesCodec, UIntCodec
+from repro.storage.pages import DEFAULT_PAGE_SIZE, InMemoryPageStore, PageStore
+
+
+class RDBTree:
+    """One RDB-tree covering one dimension partition.
+
+    Parameters
+    ----------
+    curve:
+        The partition's Hilbert curve (fixes key width η·ω bits).
+    num_references:
+        m — reference distances stored per leaf entry.
+    store:
+        Backing page store (private in-memory store by default).
+    cache_pages:
+        Buffer-pool capacity (0 = caching off).
+    """
+
+    def __init__(self, curve: HilbertCurve, num_references: int,
+                 store: PageStore | None = None, cache_pages: int = 0,
+                 page_size: int = DEFAULT_PAGE_SIZE) -> None:
+        self.curve = curve
+        self.num_references = num_references
+        self.leaf_order = rdb_leaf_order(
+            curve.dim, curve.order, num_references, page_size)
+        key_codec = UIntCodec(curve.key_bytes)
+        self._record = struct.Struct(f">Q{num_references}f")
+        value_codec = BytesCodec(self._record.size)
+        if store is None:
+            store = InMemoryPageStore(page_size)
+        self.tree = BPlusTree(
+            key_codec, value_codec, store=store, cache_pages=cache_pages,
+            leaf_capacity_override=self.leaf_order, page_size=page_size)
+        self._key_codec = key_codec
+
+    # -- construction ------------------------------------------------------
+
+    def bulk_build(self, keys: np.ndarray, object_ids: np.ndarray,
+                   reference_distances: np.ndarray) -> None:
+        """Bulk-load from parallel arrays (Algo. 1 lines 8–10).
+
+        ``keys`` are Hilbert keys (Python ints), ``object_ids`` the pointers
+        into the descriptor heap, ``reference_distances`` the (n, m) matrix
+        restricted to these objects.  Entries are sorted by key here.
+        """
+        keys = np.asarray(keys, dtype=object)
+        object_ids = np.asarray(object_ids, dtype=np.int64)
+        reference_distances = np.asarray(reference_distances,
+                                         dtype=np.float32)
+        n = keys.shape[0]
+        if object_ids.shape[0] != n or reference_distances.shape[0] != n:
+            raise ValueError("keys, ids and distances must align")
+        if reference_distances.shape[1] != self.num_references:
+            raise ValueError(
+                f"expected {self.num_references} reference distances, got "
+                f"{reference_distances.shape[1]}")
+        order = sorted(range(n), key=lambda i: keys[i])
+        encode_key = self._key_codec.encode
+        pack = self._record.pack
+        entries = (
+            (encode_key(int(keys[i])),
+             pack(int(object_ids[i]), *reference_distances[i]))
+            for i in order
+        )
+        self.tree.bulk_load(entries)
+
+    def insert(self, key: int, object_id: int,
+               reference_distances: np.ndarray) -> None:
+        """Insert one object (Sec. 3.6 update path)."""
+        reference_distances = np.asarray(reference_distances,
+                                         dtype=np.float32).ravel()
+        if reference_distances.shape[0] != self.num_references:
+            raise ValueError(
+                f"expected {self.num_references} reference distances")
+        self.tree.insert(
+            self._key_codec.encode(int(key)),
+            self._record.pack(int(object_id), *reference_distances))
+
+    # -- persistence -------------------------------------------------------
+
+    def state(self) -> dict:
+        """Serializable state: curve geometry + B+-tree structure."""
+        return {
+            "dim": self.curve.dim,
+            "order": self.curve.order,
+            "num_references": self.num_references,
+            "tree": self.tree.state(),
+        }
+
+    @classmethod
+    def from_state(cls, store: PageStore, state: dict,
+                   cache_pages: int = 0,
+                   page_size: int = DEFAULT_PAGE_SIZE) -> "RDBTree":
+        """Re-open an RDB-tree over an existing page store."""
+        curve = HilbertCurve(int(state["dim"]), int(state["order"]))
+        rdb = cls(curve, int(state["num_references"]), store=store,
+                  cache_pages=cache_pages, page_size=page_size)
+        rdb.tree = BPlusTree.from_state(
+            rdb._key_codec, rdb.tree.value_codec, store, state["tree"],
+            cache_pages=cache_pages)
+        return rdb
+
+    # -- querying -----------------------------------------------------------
+
+    def candidates(self, query_key: int,
+                   alpha: int) -> tuple[np.ndarray, np.ndarray]:
+        """α nearest entries by Hilbert key (Algo. 2 line 4).
+
+        Returns (object_ids, reference_distances) with shapes (α',) and
+        (α', m), α' ≤ α when the tree is small.
+        """
+        raw = self.tree.nearest(self._key_codec.encode(int(query_key)), alpha)
+        count = len(raw)
+        object_ids = np.empty(count, dtype=np.int64)
+        distances = np.empty((count, self.num_references), dtype=np.float64)
+        unpack = self._record.unpack
+        for row, (_, value) in enumerate(raw):
+            fields = unpack(value)
+            object_ids[row] = fields[0]
+            distances[row] = fields[1:]
+        return object_ids, distances
+
+    # -- accounting -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.tree)
+
+    @property
+    def height(self) -> int:
+        return self.tree.height
+
+    @property
+    def stats(self):
+        return self.tree.stats
+
+    def size_bytes(self) -> int:
+        return self.tree.size_bytes()
+
+    def memory_bytes(self) -> int:
+        return self.tree.memory_bytes()

@@ -1,0 +1,158 @@
+"""Sharded HD-Index — the paper's "distributed" extension (Sec. 5.2.8).
+
+The paper observes HD-Index "can be easily parallelized and/or distributed
+with little synchronization steps".  This module implements the distributed
+half at the library level: the dataset is split into ``num_shards``
+horizontal shards, each indexed by an independent :class:`HDIndex` (in a
+real deployment, one per machine).  A query fans out to every shard and the
+per-shard top-k lists are merged by exact distance — the only
+synchronisation point, exactly as the paper predicts.
+
+Object ids are global: shard s owns the contiguous id range
+``[offsets[s], offsets[s+1])``, so results are directly comparable to the
+unsharded index over the same data.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.core.hdindex import HDIndex
+from repro.core.interface import BuildStats, KNNIndex, QueryStats
+from repro.core.params import HDIndexParams
+
+
+class ShardedHDIndex(KNNIndex):
+    """Horizontal sharding over independent HD-Index instances.
+
+    Parameters
+    ----------
+    params:
+        Per-shard HD-Index parameters (shared by all shards; seeds are
+        derived per shard so reference sets differ, as they would across
+        machines).
+    num_shards:
+        Number of horizontal partitions of the dataset.
+    """
+
+    name = "HD-Index(sharded)"
+
+    def __init__(self, params: HDIndexParams | None = None,
+                 num_shards: int = 2) -> None:
+        if num_shards < 1:
+            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
+        self.params = params if params is not None else HDIndexParams()
+        self.num_shards = num_shards
+        self.shards: list[HDIndex] = []
+        self.offsets: np.ndarray | None = None
+        self.count = 0
+        self._build_stats = BuildStats()
+        self._query_stats = QueryStats()
+
+    def build(self, data: np.ndarray) -> None:
+        started = time.perf_counter()
+        data = np.asarray(data, dtype=np.float64)
+        n = data.shape[0]
+        if n < self.num_shards:
+            raise ValueError(
+                f"cannot split {n} points into {self.num_shards} shards")
+        self.count = n
+        boundaries = np.linspace(0, n, self.num_shards + 1).astype(np.int64)
+        self.offsets = boundaries
+        self.shards = []
+        # Local-to-global id maps; grown on insert so later inserts get
+        # fresh global ids without colliding with other shards' ranges.
+        self._id_maps: list[list[int]] = []
+        import dataclasses
+        for shard_index in range(self.num_shards):
+            shard_params = dataclasses.replace(
+                self.params, seed=self.params.seed + shard_index,
+                storage_dir=None if self.params.storage_dir is None else
+                f"{self.params.storage_dir}/shard_{shard_index}")
+            shard = HDIndex(shard_params)
+            shard.build(data[boundaries[shard_index]:
+                             boundaries[shard_index + 1]])
+            self.shards.append(shard)
+            self._id_maps.append(list(range(
+                int(boundaries[shard_index]),
+                int(boundaries[shard_index + 1]))))
+        self._build_stats = BuildStats(
+            time_sec=time.perf_counter() - started,
+            page_writes=sum(s.build_stats().page_writes
+                            for s in self.shards),
+            # Peak, not sum: shards build one at a time here (and on
+            # separate machines in a deployment).
+            peak_memory_bytes=max(s.build_memory_bytes()
+                                  for s in self.shards),
+        )
+
+    def query(self, point: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        if not self.shards:
+            raise RuntimeError("index has not been built; call build() first")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        started = time.perf_counter()
+        all_ids: list[np.ndarray] = []
+        all_dists: list[np.ndarray] = []
+        reads = 0
+        candidates = 0
+        for shard_index, shard in enumerate(self.shards):
+            ids, dists = shard.query(point, k)
+            stats = shard.last_query_stats()
+            reads += stats.page_reads
+            candidates += stats.candidates
+            id_map = self._id_maps[shard_index]
+            all_ids.append(np.asarray([id_map[local] for local in ids],
+                                      dtype=np.int64))
+            all_dists.append(dists)
+        merged_ids = np.concatenate(all_ids)
+        merged_dists = np.concatenate(all_dists)
+        order = np.lexsort((merged_ids, merged_dists))[:k]
+        self._query_stats = QueryStats(
+            time_sec=time.perf_counter() - started,
+            page_reads=reads,
+            candidates=candidates,
+            distance_computations=sum(
+                s.last_query_stats().distance_computations
+                for s in self.shards),
+            extra={"shards": self.num_shards},
+        )
+        return merged_ids[order], merged_dists[order]
+
+    def insert(self, vector: np.ndarray) -> int:
+        """Route the insert to the least-loaded shard; return a global id."""
+        if not self.shards:
+            raise RuntimeError("index has not been built; call build() first")
+        sizes = [shard.count for shard in self.shards]
+        target = int(np.argmin(sizes))
+        self.shards[target].insert(vector)
+        global_id = self.count
+        self._id_maps[target].append(global_id)
+        self.count += 1
+        return global_id
+
+    # -- accounting -----------------------------------------------------
+
+    def index_size_bytes(self) -> int:
+        return sum(shard.index_size_bytes() for shard in self.shards)
+
+    def memory_bytes(self) -> int:
+        # Each machine holds one shard's reference set; report the max.
+        if not self.shards:
+            return 0
+        return max(shard.memory_bytes() for shard in self.shards)
+
+    def build_memory_bytes(self) -> int:
+        return self._build_stats.peak_memory_bytes
+
+    def last_query_stats(self) -> QueryStats:
+        return self._query_stats
+
+    def build_stats(self) -> BuildStats:
+        return self._build_stats
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()

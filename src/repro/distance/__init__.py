@@ -1,0 +1,17 @@
+"""Distance kernels and selection helpers."""
+
+from repro.distance.metrics import (
+    DistanceCounter,
+    euclidean,
+    euclidean_to_many,
+    pairwise_euclidean,
+    top_k_smallest,
+)
+
+__all__ = [
+    "DistanceCounter",
+    "euclidean",
+    "euclidean_to_many",
+    "pairwise_euclidean",
+    "top_k_smallest",
+]

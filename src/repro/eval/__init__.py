@@ -1,0 +1,33 @@
+"""Evaluation: quality metrics, exact ground truth, harness, memory model."""
+
+from repro.eval.ground_truth import GroundTruth, exact_knn
+from repro.eval.harness import (
+    ExperimentResult,
+    evaluate_index,
+    format_table,
+    run_comparison,
+)
+from repro.eval.memory import array_bytes, format_bytes
+from repro.eval.metrics import (
+    approximation_ratio,
+    average_precision,
+    mean_average_precision,
+    mean_ratio,
+    recall_at_k,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "GroundTruth",
+    "approximation_ratio",
+    "array_bytes",
+    "average_precision",
+    "evaluate_index",
+    "exact_knn",
+    "format_bytes",
+    "format_table",
+    "mean_average_precision",
+    "mean_ratio",
+    "recall_at_k",
+    "run_comparison",
+]

@@ -1,0 +1,36 @@
+"""Structural memory accounting (repro-band substitution).
+
+The paper measures process RSS during indexing and querying (Fig. 8 d/e/i/j/
+n/o).  A CPython process's RSS is dominated by the interpreter, so this
+reproduction substitutes *structural* accounting: every method reports the
+bytes its data structures must keep resident (see ``KNNIndex.memory_bytes``
+and ``build_memory_bytes``).  The ordering the paper cares about — which
+methods must hold the dataset or index in RAM — is preserved exactly.
+"""
+
+from __future__ import annotations
+
+_UNITS = ["B", "KB", "MB", "GB", "TB"]
+
+
+def format_bytes(value: float) -> str:
+    """Human-readable byte count (1024 steps, one decimal)."""
+    if value < 0:
+        raise ValueError(f"byte count must be non-negative, got {value}")
+    amount = float(value)
+    for unit in _UNITS:
+        if amount < 1024.0 or unit == _UNITS[-1]:
+            if unit == "B":
+                return f"{int(amount)} {unit}"
+            return f"{amount:.1f} {unit}"
+        amount /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def array_bytes(*arrays) -> int:
+    """Total nbytes of numpy arrays, skipping ``None`` entries."""
+    total = 0
+    for array in arrays:
+        if array is not None:
+            total += array.nbytes
+    return total

@@ -1,0 +1,98 @@
+"""Quality metrics: approximation ratio and MAP (paper Defs. 1–3).
+
+The paper's central methodological argument (Sec. 1, Fig. 1, Sec. 5.3) is
+that the approximation ratio c loses its meaning in high dimensions while
+MAP@k — which rewards returning the *right objects at the right ranks* —
+keeps discriminating.  Both are implemented here exactly as defined.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def approximation_ratio(true_distances: np.ndarray,
+                        result_distances: np.ndarray) -> float:
+    """Definition 1: mean over ranks of d(q, o'_i) / d(q, o_i).
+
+    Ranks where the true distance is zero but the returned distance is not
+    are skipped (the ratio is unbounded there); if both are zero the rank
+    contributes 1, the ideal value.
+    """
+    true_distances = np.asarray(true_distances, dtype=np.float64)
+    result_distances = np.asarray(result_distances, dtype=np.float64)
+    if true_distances.shape != result_distances.shape:
+        raise ValueError("true and result distance arrays must align")
+    if true_distances.ndim != 1 or true_distances.size == 0:
+        raise ValueError("expected non-empty 1-D distance arrays")
+    ratios = []
+    for true, got in zip(true_distances, result_distances):
+        if true == 0.0:
+            if got == 0.0:
+                ratios.append(1.0)
+            continue
+        ratios.append(got / true)
+    if not ratios:
+        return 1.0
+    return float(np.mean(ratios))
+
+
+def average_precision(true_ids, result_ids, k: int | None = None) -> float:
+    """Definition 2: AP@k of one ranked result list.
+
+    ``AP@k = (1/k) Σ_i [ I(o'_i ∈ T_k) · (j/i) ]`` where j counts how many of
+    the first i returned items are in the true top-k set T_k.  Matches the
+    paper's Example 1: AP({o4,o3,o2} vs {o1,o2,o3}) = (0 + 1/2 + 2/3)/3.
+    """
+    true_ids = list(true_ids)
+    result_ids = list(result_ids)
+    if k is None:
+        k = len(true_ids)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    true_set = set(true_ids[:k])
+    relevant_so_far = 0
+    total = 0.0
+    for rank, item in enumerate(result_ids[:k], start=1):
+        if item in true_set:
+            relevant_so_far += 1
+            total += relevant_so_far / rank
+    return total / k
+
+
+def mean_average_precision(true_id_lists, result_id_lists,
+                           k: int | None = None) -> float:
+    """Definition 3: mean of AP@k over a query workload."""
+    true_id_lists = list(true_id_lists)
+    result_id_lists = list(result_id_lists)
+    if len(true_id_lists) != len(result_id_lists):
+        raise ValueError("need one result list per true list")
+    if not true_id_lists:
+        raise ValueError("MAP over an empty workload is undefined")
+    values = [
+        average_precision(true_ids, result_ids, k)
+        for true_ids, result_ids in zip(true_id_lists, result_id_lists)
+    ]
+    return float(np.mean(values))
+
+
+def recall_at_k(true_ids, result_ids, k: int | None = None) -> float:
+    """|returned ∩ true top-k| / k — the set-overlap quality measure."""
+    true_ids = list(true_ids)
+    if k is None:
+        k = len(true_ids)
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    true_set = set(true_ids[:k])
+    return len(true_set.intersection(list(result_ids)[:k])) / k
+
+
+def mean_ratio(true_distance_lists, result_distance_lists) -> float:
+    """Average Definition-1 ratio over a query workload."""
+    values = [
+        approximation_ratio(true, got)
+        for true, got in zip(true_distance_lists, result_distance_lists)
+    ]
+    if not values:
+        raise ValueError("ratio over an empty workload is undefined")
+    return float(np.mean(values))

@@ -1,0 +1,6 @@
+"""Hilbert space-filling curve (Butz/Skilling algorithm) and quantisation."""
+
+from repro.hilbert.butz import MAX_ORDER, HilbertCurve
+from repro.hilbert.quantize import GridQuantizer
+
+__all__ = ["HilbertCurve", "GridQuantizer", "MAX_ORDER"]

@@ -1,0 +1,5 @@
+"""In-memory neighbour-search substrates."""
+
+from repro.neighbors.kdtree import KDTree
+
+__all__ = ["KDTree"]

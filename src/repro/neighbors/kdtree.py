@@ -1,0 +1,127 @@
+"""In-memory KD-tree with an incremental nearest-neighbour stream.
+
+Substrate for SRS [64]: after projecting to a handful of dimensions, SRS
+examines database points *in increasing order of projected distance* and
+stops early.  That requires not a one-shot kNN but an ordered stream —
+implemented here as the classic best-first traversal with a priority queue
+over both nodes and points (Hjaltason & Samet's incremental NN).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Iterator
+
+import numpy as np
+
+#: Leaf bucket size; small enough for accurate pruning, large enough to
+#: amortise Python overhead.
+LEAF_SIZE = 32
+
+
+class _Node:
+    __slots__ = ("axis", "threshold", "left", "right", "indices",
+                 "lower", "upper")
+
+    def __init__(self, lower: np.ndarray, upper: np.ndarray) -> None:
+        self.axis = -1
+        self.threshold = 0.0
+        self.left: "_Node | None" = None
+        self.right: "_Node | None" = None
+        self.indices: np.ndarray | None = None
+        self.lower = lower
+        self.upper = upper
+
+
+class KDTree:
+    """Static KD-tree over an (n, d) array of points."""
+
+    def __init__(self, points: np.ndarray, leaf_size: int = LEAF_SIZE) -> None:
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim != 2 or points.shape[0] == 0:
+            raise ValueError("points must be a non-empty 2-D array")
+        if leaf_size < 1:
+            raise ValueError(f"leaf_size must be >= 1, got {leaf_size}")
+        self.points = points
+        self.leaf_size = leaf_size
+        indices = np.arange(points.shape[0], dtype=np.int64)
+        self._root = self._build(indices,
+                                 points.min(axis=0), points.max(axis=0))
+
+    def _build(self, indices: np.ndarray, lower: np.ndarray,
+               upper: np.ndarray) -> _Node:
+        node = _Node(lower, upper)
+        if indices.shape[0] <= self.leaf_size:
+            node.indices = indices
+            return node
+        spans = upper - lower
+        axis = int(np.argmax(spans))
+        values = self.points[indices, axis]
+        threshold = float(np.median(values))
+        left_mask = values <= threshold
+        # Guard against degenerate medians (all values equal).
+        if left_mask.all() or not left_mask.any():
+            node.indices = indices
+            return node
+        node.axis = axis
+        node.threshold = threshold
+        left_upper = upper.copy()
+        left_upper[axis] = threshold
+        right_lower = lower.copy()
+        right_lower[axis] = threshold
+        node.left = self._build(indices[left_mask], lower, left_upper)
+        node.right = self._build(indices[~left_mask], right_lower, upper)
+        return node
+
+    # -- queries ---------------------------------------------------------
+
+    def nearest_stream(self, query: np.ndarray) -> Iterator[tuple[int, float]]:
+        """Yield (point index, distance) in strictly non-decreasing distance.
+
+        Best-first search: a single heap holds both subtrees (keyed by
+        minimum possible distance to their bounding box) and concrete points;
+        whenever a point reaches the top of the heap it is globally next.
+        """
+        query = np.asarray(query, dtype=np.float64).ravel()
+        if query.shape[0] != self.points.shape[1]:
+            raise ValueError(
+                f"query dim {query.shape[0]} != tree dim {self.points.shape[1]}")
+        counter = itertools.count()
+        heap: list[tuple[float, int, int, _Node | None]] = []
+        heapq.heappush(heap, (self._box_distance(query, self._root),
+                              next(counter), -1, self._root))
+        while heap:
+            distance, _, point_index, node = heapq.heappop(heap)
+            if node is None:
+                yield point_index, distance
+                continue
+            if node.indices is not None:
+                diffs = self.points[node.indices] - query[None, :]
+                dists = np.sqrt(np.einsum("ij,ij->i", diffs, diffs))
+                for idx, dist in zip(node.indices, dists):
+                    heapq.heappush(heap, (float(dist), next(counter),
+                                          int(idx), None))
+            else:
+                for child in (node.left, node.right):
+                    heapq.heappush(heap, (self._box_distance(query, child),
+                                          next(counter), -1, child))
+
+    def query(self, query: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+        """One-shot exact kNN (used by tests as the stream's oracle)."""
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        ids: list[int] = []
+        dists: list[float] = []
+        for index, distance in self.nearest_stream(query):
+            ids.append(index)
+            dists.append(distance)
+            if len(ids) >= k:
+                break
+        return np.asarray(ids, dtype=np.int64), np.asarray(dists)
+
+    @staticmethod
+    def _box_distance(query: np.ndarray, node: _Node) -> float:
+        clipped = np.clip(query, node.lower, node.upper)
+        diff = query - clipped
+        return float(np.sqrt(np.dot(diff, diff)))

@@ -1,0 +1,44 @@
+"""Disk substrate: fixed-size pages, buffer pool, I/O accounting, heap files.
+
+This package is the "commodity hardware" the paper runs on: everything the
+index structures persist goes through :class:`PageStore` pages so that disk
+accesses can be counted and classified (random vs sequential), and caching
+can be switched off exactly as in the paper's methodology.
+"""
+
+from repro.storage.buffer import BufferPool
+from repro.storage.codecs import (
+    BytesCodec,
+    Codec,
+    Float64Codec,
+    StructCodec,
+    UInt64Codec,
+    UIntCodec,
+)
+from repro.storage.pages import (
+    DEFAULT_PAGE_SIZE,
+    FilePageStore,
+    InMemoryPageStore,
+    PageStore,
+    StorageError,
+)
+from repro.storage.stats import IOStats
+from repro.storage.vectors import VectorHeapFile, heap_file_from_array
+
+__all__ = [
+    "BufferPool",
+    "BytesCodec",
+    "Codec",
+    "DEFAULT_PAGE_SIZE",
+    "FilePageStore",
+    "Float64Codec",
+    "IOStats",
+    "InMemoryPageStore",
+    "PageStore",
+    "StorageError",
+    "StructCodec",
+    "UInt64Codec",
+    "UIntCodec",
+    "VectorHeapFile",
+    "heap_file_from_array",
+]

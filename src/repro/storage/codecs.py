@@ -1,0 +1,123 @@
+"""Fixed-width key/value codecs for page records.
+
+The B+-tree layer is agnostic to what it stores; codecs turn logical keys and
+values into fixed-width byte strings so that node layouts (and hence the leaf
+order Ω of Eq. (4)) can be computed exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import struct
+
+
+class Codec:
+    """Encode/decode a value to a fixed number of bytes."""
+
+    #: Width in bytes of every encoded value.
+    width: int
+
+    def encode(self, value) -> bytes:
+        raise NotImplementedError
+
+    def decode(self, raw: bytes):
+        raise NotImplementedError
+
+
+class UIntCodec(Codec):
+    """Arbitrary-precision unsigned integer, big-endian fixed width.
+
+    Hilbert keys occupy η·ω bits (e.g. 16 dims × 8 bits = 128 bits for SIFT),
+    so they do not fit machine words; they are stored big-endian to preserve
+    numeric order under bytewise comparison.
+    """
+
+    def __init__(self, width: int) -> None:
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self.width = width
+        self._max = (1 << (8 * width)) - 1
+
+    def encode(self, value: int) -> bytes:
+        if not 0 <= value <= self._max:
+            raise ValueError(
+                f"value {value} does not fit in {self.width} bytes"
+            )
+        return int(value).to_bytes(self.width, "big")
+
+    def decode(self, raw: bytes) -> int:
+        return int.from_bytes(raw, "big")
+
+
+class Float64Codec(Codec):
+    """IEEE double with a total-order bijection to bytes.
+
+    The sign bit is flipped for non-negative values and *all* bits are
+    flipped for negatives, so unsigned bytewise comparison equals numeric
+    comparison across the whole double range — required by QALSH, whose
+    projection keys are signed.
+    """
+
+    width = 8
+    _SIGN = 1 << 63
+    _MASK = (1 << 64) - 1
+
+    def encode(self, value: float) -> bytes:
+        bits = struct.unpack(">Q", struct.pack(">d", float(value)))[0]
+        if bits & self._SIGN:
+            bits = ~bits & self._MASK
+        else:
+            bits |= self._SIGN
+        return struct.pack(">Q", bits)
+
+    def decode(self, raw: bytes) -> float:
+        bits = struct.unpack(">Q", raw)[0]
+        if bits & self._SIGN:
+            bits &= ~self._SIGN & self._MASK
+        else:
+            bits = ~bits & self._MASK
+        return struct.unpack(">d", struct.pack(">Q", bits))[0]
+
+
+class UInt64Codec(Codec):
+    """Plain 8-byte unsigned integer (object pointers)."""
+
+    width = 8
+
+    def encode(self, value: int) -> bytes:
+        return struct.pack(">Q", int(value))
+
+    def decode(self, raw: bytes) -> int:
+        return struct.unpack(">Q", raw)[0]
+
+
+class BytesCodec(Codec):
+    """Opaque fixed-width byte payloads (RDB-tree leaf records)."""
+
+    def __init__(self, width: int) -> None:
+        if width <= 0:
+            raise ValueError(f"width must be positive, got {width}")
+        self.width = width
+
+    def encode(self, value: bytes) -> bytes:
+        if len(value) != self.width:
+            raise ValueError(
+                f"payload must be exactly {self.width} bytes, got {len(value)}"
+            )
+        return bytes(value)
+
+    def decode(self, raw: bytes) -> bytes:
+        return bytes(raw)
+
+
+class StructCodec(Codec):
+    """Tuple payloads described by a :mod:`struct` format string."""
+
+    def __init__(self, fmt: str) -> None:
+        self._struct = struct.Struct(fmt)
+        self.width = self._struct.size
+
+    def encode(self, value: tuple) -> bytes:
+        return self._struct.pack(*value)
+
+    def decode(self, raw: bytes) -> tuple:
+        return self._struct.unpack(raw)

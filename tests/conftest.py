@@ -1,0 +1,32 @@
+"""Shared fixtures: small clustered workloads reused across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import make_dataset
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def small_sift():
+    """A small SIFT-like workload: 800 points, 16 queries, 32 dims worth of
+    clustering signal kept in 128 dims."""
+    return make_dataset("sift10k", n=800, num_queries=16, seed=7)
+
+
+@pytest.fixture(scope="session")
+def tiny_clustered(rng):
+    """Tiny low-dimensional clustered data for exactness-oriented tests."""
+    centers = rng.uniform(0.0, 100.0, size=(6, 16))
+    data = np.vstack([
+        center + rng.normal(0.0, 3.0, size=(60, 16)) for center in centers
+    ])
+    queries = data[rng.choice(len(data), 8, replace=False)] \
+        + rng.normal(0.0, 0.5, size=(8, 16))
+    return np.clip(data, 0.0, 100.0), np.clip(queries, 0.0, 100.0)

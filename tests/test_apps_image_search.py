@@ -1,0 +1,113 @@
+"""Tests for the Borda-count image search application (Sec. 5.5, App. D)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    DescriptorCorpus,
+    borda_scores,
+    image_overlap,
+    make_image_corpus,
+    search_images,
+)
+from repro.baselines import LinearScan
+from repro.core import HDIndex, HDIndexParams
+
+
+class TestCorpus:
+    def test_shapes(self):
+        corpus = make_image_corpus(num_images=5, descriptors_per_image=8,
+                                   dim=16, seed=0)
+        assert corpus.descriptors.shape == (40, 16)
+        assert corpus.image_ids.shape == (40,)
+        assert corpus.num_images == 5
+
+    def test_descriptors_cluster_by_image(self):
+        corpus = make_image_corpus(num_images=4, descriptors_per_image=10,
+                                   dim=8, seed=1)
+        from repro.distance import pairwise_euclidean
+        matrix = pairwise_euclidean(corpus.descriptors, corpus.descriptors)
+        same = matrix[corpus.image_ids[:, None] == corpus.image_ids[None, :]]
+        cross = matrix[corpus.image_ids[:, None] != corpus.image_ids[None, :]]
+        assert same.mean() < cross.mean()
+
+    def test_mismatched_ids_rejected(self):
+        with pytest.raises(ValueError):
+            DescriptorCorpus(np.zeros((5, 4)), np.zeros(4, dtype=np.int64))
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            make_image_corpus(0, 5, 4)
+
+
+class TestBorda:
+    def test_equation_7_arithmetic(self):
+        """One result list [d0, d1] with k=2: image of d0 gets 2, of d1
+        gets 1."""
+        image_ids = np.asarray([7, 3])
+        scores = borda_scores([np.asarray([0, 1])], image_ids, k=2,
+                              num_images=8)
+        assert scores[7] == 2.0
+        assert scores[3] == 1.0
+
+    def test_accumulates_across_query_descriptors(self):
+        image_ids = np.asarray([0, 1])
+        results = [np.asarray([0]), np.asarray([0]), np.asarray([1])]
+        scores = borda_scores(results, image_ids, k=1, num_images=2)
+        assert scores[0] == 2.0
+        assert scores[1] == 1.0
+
+    def test_negative_padding_ignored(self):
+        image_ids = np.asarray([0])
+        scores = borda_scores([np.asarray([-1, 0])], image_ids, k=2,
+                              num_images=1)
+        assert scores[0] == 1.0   # position 2 -> k+1-2 = 1
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            borda_scores([], np.asarray([0]), k=0, num_images=1)
+
+
+class TestSearchPipeline:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return make_image_corpus(num_images=8, descriptors_per_image=12,
+                                 dim=16, seed=3)
+
+    def test_exact_search_retrieves_own_image_first(self, corpus):
+        scan = LinearScan()
+        scan.build(corpus.descriptors)
+        # Query with slightly perturbed descriptors of image 5.
+        mask = corpus.image_ids == 5
+        queries = corpus.descriptors[mask][:6] + 0.001
+        top, scores = search_images(scan, corpus, queries,
+                                    k_descriptors=5, k_images=3)
+        assert top[0] == 5
+        assert np.all(np.diff(scores) <= 0)
+
+    def test_hdindex_matches_linear_scan_ranking(self, corpus):
+        """The paper's Table 6 comparison: approximate methods should
+        produce image rankings overlapping the linear-scan ground truth."""
+        scan = LinearScan()
+        scan.build(corpus.descriptors)
+        hd = HDIndex(HDIndexParams(num_trees=4, num_references=4,
+                                   alpha=64, gamma=32, domain=(0.0, 1.0)))
+        hd.build(corpus.descriptors)
+        mask = corpus.image_ids == 2
+        queries = corpus.descriptors[mask][:6] + 0.001
+        truth, _ = search_images(scan, corpus, queries, 5, 3)
+        approx, _ = search_images(hd, corpus, queries, 5, 3)
+        assert image_overlap(truth, approx) >= 2 / 3
+
+    def test_single_query_descriptor_accepted(self, corpus):
+        scan = LinearScan()
+        scan.build(corpus.descriptors)
+        top, _ = search_images(scan, corpus, corpus.descriptors[0],
+                               k_descriptors=3, k_images=2)
+        assert len(top) == 2
+
+    def test_overlap_metric(self):
+        assert image_overlap([1, 2, 3], [3, 2, 1]) == 1.0
+        assert image_overlap([1, 2, 3], [1, 9, 8]) == pytest.approx(1 / 3)
+        with pytest.raises(ValueError):
+            image_overlap([], [1])

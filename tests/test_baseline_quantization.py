@@ -1,0 +1,153 @@
+"""Tests for the PQ and OPQ baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import OPQIndex, PQIndex
+from repro.eval import exact_knn, recall_at_k
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(31)
+    centers = rng.uniform(0.0, 20.0, size=(8, 16))
+    data = np.vstack([
+        center + rng.normal(0.0, 0.5, size=(40, 16)) for center in centers])
+    queries = data[rng.choice(len(data), 6, replace=False)] \
+        + rng.normal(0.0, 0.1, size=(6, 16))
+    return data, queries
+
+
+class TestPQ:
+    def test_adc_recall_on_clustered_data(self, workload):
+        data, queries = workload
+        index = PQIndex(num_subspaces=4, num_centroids=32, seed=0)
+        index.build(data)
+        true_ids, _ = exact_knn(data, queries, k=10)
+        recalls = [recall_at_k(true_ids[row], index.query(q, 10)[0], 10)
+                   for row, q in enumerate(queries)]
+        assert np.mean(recalls) > 0.4
+
+    def test_codes_shape_and_dtype(self, workload):
+        data, _ = workload
+        index = PQIndex(num_subspaces=4, num_centroids=32, seed=1)
+        index.build(data)
+        assert index.codes.shape == (len(data), 4)
+        assert index.codes.dtype == np.uint8
+
+    def test_wide_codebooks_use_uint16(self, workload):
+        data, _ = workload
+        index = PQIndex(num_subspaces=4, num_centroids=300, seed=2)
+        index.build(data)
+        assert index.codes.dtype == np.uint16
+
+    def test_encode_decode_reconstruction(self, workload):
+        data, _ = workload
+        index = PQIndex(num_subspaces=4, num_centroids=64, seed=3)
+        index.build(data)
+        reconstructed = index.decode(index.encode(data[:10]))
+        error = np.mean((reconstructed - data[:10]) ** 2)
+        assert error < np.mean(data[:10] ** 2)
+
+    def test_more_centroids_reduce_error(self, workload):
+        data, _ = workload
+        coarse = PQIndex(num_subspaces=4, num_centroids=4, seed=4)
+        fine = PQIndex(num_subspaces=4, num_centroids=64, seed=4)
+        coarse.build(data)
+        fine.build(data)
+        assert fine.reconstruction_error(data) < \
+            coarse.reconstruction_error(data)
+
+    def test_rerank_improves_quality(self, workload):
+        data, queries = workload
+        plain = PQIndex(num_subspaces=8, num_centroids=8, seed=5)
+        reranked = PQIndex(num_subspaces=8, num_centroids=8,
+                           rerank_factor=5, seed=5)
+        plain.build(data)
+        reranked.build(data)
+        true_ids, _ = exact_knn(data, queries, k=10)
+        plain_recall = np.mean([
+            recall_at_k(true_ids[row], plain.query(q, 10)[0], 10)
+            for row, q in enumerate(queries)])
+        rerank_recall = np.mean([
+            recall_at_k(true_ids[row], reranked.query(q, 10)[0], 10)
+            for row, q in enumerate(queries)])
+        assert rerank_recall >= plain_recall
+
+    def test_rerank_counts_page_reads(self, workload):
+        data, queries = workload
+        index = PQIndex(num_subspaces=4, num_centroids=16,
+                        rerank_factor=3, seed=6)
+        index.build(data)
+        index.query(queries[0], 5)
+        assert index.last_query_stats().page_reads > 0
+
+    def test_pure_adc_touches_no_pages(self, workload):
+        data, queries = workload
+        index = PQIndex(num_subspaces=4, num_centroids=16, seed=7)
+        index.build(data)
+        index.query(queries[0], 5)
+        assert index.last_query_stats().page_reads == 0
+
+    def test_index_smaller_than_data(self, workload):
+        data, _ = workload
+        index = PQIndex(num_subspaces=4, num_centroids=16, seed=8)
+        index.build(data)
+        assert index.index_size_bytes() < data.nbytes
+
+    def test_invalid_parameters(self, workload):
+        data, _ = workload
+        with pytest.raises(ValueError):
+            PQIndex(num_subspaces=0)
+        index = PQIndex(num_subspaces=32)
+        with pytest.raises(ValueError):
+            index.build(data)  # 32 subspaces > 16 dims
+
+    def test_query_before_build_rejected(self):
+        with pytest.raises(RuntimeError):
+            PQIndex().query(np.zeros(4), 1)
+
+
+class TestOPQ:
+    def test_rotation_is_orthonormal(self, workload):
+        data, _ = workload
+        index = OPQIndex(num_subspaces=4, num_centroids=16,
+                         opq_iterations=3, seed=0)
+        index.build(data)
+        should_be_identity = index.rotation @ index.rotation.T
+        np.testing.assert_allclose(should_be_identity, np.eye(16), atol=1e-9)
+
+    def test_opq_no_worse_than_pq_on_correlated_data(self):
+        """OPQ's rotation decorrelates dimensions; on deliberately
+        correlated data it must match or beat PQ's quantisation error."""
+        rng = np.random.default_rng(9)
+        latent = rng.normal(size=(300, 4))
+        mixing = rng.normal(size=(4, 16))
+        data = latent @ mixing + rng.normal(0.0, 0.05, size=(300, 16))
+        pq = PQIndex(num_subspaces=4, num_centroids=16, seed=10)
+        opq = OPQIndex(num_subspaces=4, num_centroids=16,
+                       opq_iterations=6, seed=10)
+        pq.build(data)
+        opq.build(data)
+        assert opq.reconstruction_error(data) <= \
+            pq.reconstruction_error(data) * 1.05
+
+    def test_query_returns_k(self, workload):
+        data, queries = workload
+        index = OPQIndex(num_subspaces=4, num_centroids=16,
+                         opq_iterations=2, seed=11)
+        index.build(data)
+        ids, dists = index.query(queries[0], 7)
+        assert len(ids) == 7
+        assert np.all(np.diff(dists) >= 0)
+
+    def test_memory_includes_rotation(self, workload):
+        data, _ = workload
+        index = OPQIndex(num_subspaces=4, num_centroids=16,
+                         opq_iterations=2, seed=12)
+        index.build(data)
+        assert index.memory_bytes() >= index.rotation.nbytes
+
+    def test_invalid_iterations(self):
+        with pytest.raises(ValueError):
+            OPQIndex(opq_iterations=0)

@@ -1,0 +1,107 @@
+"""Tests for the SRS baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import SRS
+from repro.eval import exact_knn, recall_at_k
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(21)
+    centers = rng.uniform(0.0, 50.0, size=(5, 20))
+    data = np.vstack([
+        center + rng.normal(0.0, 1.0, size=(60, 20)) for center in centers])
+    queries = data[rng.choice(len(data), 6, replace=False)] \
+        + rng.normal(0.0, 0.2, size=(6, 20))
+    return data, queries
+
+
+class TestSRS:
+    def test_reasonable_recall_with_generous_budget(self, workload):
+        # Early termination disabled: recall is then budget-limited only.
+        data, queries = workload
+        index = SRS(max_fraction=0.3, threshold=1e-9, seed=0)
+        index.build(data)
+        true_ids, _ = exact_knn(data, queries, k=10)
+        recalls = [recall_at_k(true_ids[row], index.query(q, 10)[0], 10)
+                   for row, q in enumerate(queries)]
+        assert np.mean(recalls) > 0.6
+
+    def test_early_stop_certifies_ratio_not_rank(self, workload):
+        """The paper's core criticism of SRS: the χ² stop fires as soon as
+        the answer is c-approximate, long before the *ranking* is right —
+        good ratio, poor MAP."""
+        data, queries = workload
+        index = SRS(max_fraction=1.0, seed=0)   # paper threshold 0.1809
+        index.build(data)
+        true_ids, true_dists = exact_knn(data, queries, k=10)
+        from repro.eval import approximation_ratio, average_precision
+        ratios, aps = [], []
+        for row, query in enumerate(queries):
+            ids, dists = index.query(query, 10)
+            stats = index.last_query_stats()
+            assert stats.extra["stopped_early"]
+            ratios.append(approximation_ratio(true_dists[row], dists))
+            aps.append(average_precision(true_ids[row], ids, 10))
+        assert np.mean(ratios) <= 2.0          # the guarantee holds
+        assert np.mean(aps) < 0.9              # but the ranking suffers
+
+    def test_budget_caps_examined_points(self, workload):
+        data, queries = workload
+        index = SRS(max_fraction=0.02, threshold=1e-9, seed=1)
+        index.build(data)
+        index.query(queries[0], 3)
+        stats = index.last_query_stats()
+        assert stats.candidates <= int(np.ceil(0.02 * len(data)))
+
+    def test_tiny_index_size(self, workload):
+        """SRS's selling point: the index is m_SRS floats per point."""
+        data, _ = workload
+        index = SRS(seed=2)
+        index.build(data)
+        assert index.index_size_bytes() == len(data) * 6 * 8
+        assert index.index_size_bytes() < data.nbytes
+
+    def test_every_fetch_is_a_random_read(self, workload):
+        data, queries = workload
+        index = SRS(max_fraction=0.1, seed=3)
+        index.build(data)
+        index.query(queries[0], 5)
+        stats = index.last_query_stats()
+        assert stats.page_reads == stats.random_reads
+        assert stats.page_reads >= stats.candidates // 10
+
+    def test_early_termination_flag(self, workload):
+        data, queries = workload
+        # A lax threshold makes the χ² test fire almost immediately.
+        index = SRS(max_fraction=1.0, threshold=0.999, seed=4)
+        index.build(data)
+        index.query(queries[0], 3)
+        assert index.last_query_stats().extra["stopped_early"]
+
+    def test_full_budget_degenerates_to_exact(self, workload):
+        data, queries = workload
+        index = SRS(max_fraction=1.0, threshold=1e-12, seed=5)
+        index.build(data)
+        true_ids, _ = exact_knn(data, queries[:2], k=5)
+        for row in range(2):
+            ids, _ = index.query(queries[row], 5)
+            assert set(ids.tolist()) == set(true_ids[row].tolist())
+
+    def test_projection_dimensionality(self, workload):
+        data, _ = workload
+        index = SRS(num_projections=8, seed=6)
+        index.build(data)
+        assert index.tree.points.shape == (len(data), 8)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            SRS(num_projections=0)
+        with pytest.raises(ValueError):
+            SRS(max_fraction=0.0)
+
+    def test_query_before_build_rejected(self):
+        with pytest.raises(RuntimeError):
+            SRS().query(np.zeros(4), 1)

@@ -1,0 +1,159 @@
+"""Tests for the VA-file and E2LSH baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import E2LSH, VAFile
+from repro.eval import exact_knn, recall_at_k
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(71)
+    centers = rng.uniform(0.0, 50.0, size=(5, 16))
+    data = np.vstack([
+        center + rng.normal(0.0, 1.5, size=(60, 16)) for center in centers])
+    queries = data[rng.choice(len(data), 6, replace=False)] \
+        + rng.normal(0.0, 0.3, size=(6, 16))
+    return data, queries
+
+
+class TestVAFile:
+    def test_exactness(self, workload):
+        """VA-file is an exact method: results must equal brute force."""
+        data, queries = workload
+        index = VAFile(bits=5)
+        index.build(data)
+        true_ids, true_dists = exact_knn(data, queries, k=10)
+        for row, query in enumerate(queries):
+            ids, dists = index.query(query, 10)
+            assert set(ids.tolist()) == set(true_ids[row].tolist()), row
+            np.testing.assert_allclose(np.sort(dists),
+                                       np.sort(true_dists[row]), atol=1e-3)
+
+    def test_prunes_most_fetches(self, workload):
+        """Phase 2 should fetch far fewer vectors than a full scan."""
+        data, queries = workload
+        index = VAFile(bits=6)
+        index.build(data)
+        index.query(queries[0], 5)
+        stats = index.last_query_stats()
+        assert stats.candidates < len(data) // 2
+        assert stats.extra["phase1_survivors"] <= len(data)
+
+    def test_more_bits_prune_harder(self, workload):
+        data, queries = workload
+        coarse = VAFile(bits=2)
+        fine = VAFile(bits=6)
+        coarse.build(data)
+        fine.build(data)
+        total_coarse = total_fine = 0
+        for query in queries:
+            coarse.query(query, 5)
+            total_coarse += coarse.last_query_stats().candidates
+            fine.query(query, 5)
+            total_fine += fine.last_query_stats().candidates
+        assert total_fine < total_coarse
+
+    def test_approximation_file_smaller_than_data(self, workload):
+        data, _ = workload
+        index = VAFile(bits=4)
+        index.build(data)
+        assert index.index_size_bytes() < data.astype(np.float32).nbytes
+
+    def test_scan_reads_are_sequential(self, workload):
+        data, queries = workload
+        index = VAFile(bits=4)
+        index.build(data)
+        index.query(queries[0], 5)
+        stats = index.last_query_stats()
+        assert stats.sequential_reads > 0       # the approximation scan
+        assert stats.random_reads == stats.candidates \
+            or stats.random_reads > 0           # the candidate fetches
+
+    def test_query_outside_data_range(self, workload):
+        data, _ = workload
+        index = VAFile(bits=4)
+        index.build(data)
+        far = np.full(16, 1e4)
+        ids, dists = index.query(far, 3)
+        true_ids, _ = exact_knn(data, far, k=3)
+        assert set(ids.tolist()) == set(true_ids[0].tolist())
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            VAFile(bits=0)
+        with pytest.raises(ValueError):
+            VAFile(bits=9)
+
+    def test_query_before_build_rejected(self):
+        with pytest.raises(RuntimeError):
+            VAFile().query(np.zeros(4), 1)
+
+
+class TestE2LSH:
+    def test_reasonable_recall_on_clustered_data(self, workload):
+        data, queries = workload
+        index = E2LSH(num_tables=12, hashes_per_table=4, seed=0)
+        index.build(data)
+        true_ids, _ = exact_knn(data, queries, k=10)
+        recalls = [recall_at_k(true_ids[row], index.query(q, 10)[0], 10)
+                   for row, q in enumerate(queries)]
+        assert np.mean(recalls) > 0.4
+
+    def test_more_tables_improve_recall(self, workload):
+        data, queries = workload
+        few = E2LSH(num_tables=2, hashes_per_table=6, seed=1)
+        many = E2LSH(num_tables=16, hashes_per_table=6, seed=1)
+        few.build(data)
+        many.build(data)
+        true_ids, _ = exact_knn(data, queries, k=10)
+        recall_few = np.mean([
+            recall_at_k(true_ids[row], few.query(q, 10)[0], 10)
+            for row, q in enumerate(queries)])
+        recall_many = np.mean([
+            recall_at_k(true_ids[row], many.query(q, 10)[0], 10)
+            for row, q in enumerate(queries)])
+        assert recall_many >= recall_few
+
+    def test_index_space_linear_in_tables(self, workload):
+        """The super-linear space cost the paper's Sec. 1 criticises."""
+        data, _ = workload
+        small = E2LSH(num_tables=4, seed=2)
+        large = E2LSH(num_tables=16, seed=2)
+        small.build(data)
+        large.build(data)
+        assert large.index_size_bytes() == 4 * small.index_size_bytes()
+
+    def test_width_auto_estimation(self, workload):
+        data, queries = workload
+        index = E2LSH(seed=3)
+        index.build(data)
+        index.query(queries[0], 5)
+        assert index.last_query_stats().extra["width"] > 0
+
+    def test_explicit_width_respected(self, workload):
+        data, queries = workload
+        index = E2LSH(width=123.0, seed=4)
+        index.build(data)
+        index.query(queries[0], 5)
+        assert index.last_query_stats().extra["width"] == 123.0
+
+    def test_may_return_fewer_than_k(self, workload):
+        """With a tiny width, buckets are singletons and misses happen —
+        honest LSH behaviour the harness penalises in MAP."""
+        data, queries = workload
+        index = E2LSH(num_tables=1, hashes_per_table=16, width=1e-6, seed=5)
+        index.build(data)
+        ids, _ = index.query(queries[0] + 100.0, 10)
+        assert len(ids) <= 10
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            E2LSH(num_tables=0)
+        with pytest.raises(ValueError):
+            E2LSH(hashes_per_table=0)
+
+    def test_query_before_build_rejected(self):
+        with pytest.raises(RuntimeError):
+            E2LSH().query(np.zeros(4), 1)

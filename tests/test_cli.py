@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import build_parser, cmd_build, cmd_compare, cmd_info, cmd_query, main
+
+
+def run(argv, out=None):
+    args = build_parser().parse_args(argv)
+    from repro.cli import COMMANDS
+    return COMMANDS[args.command](args, out=out or io.StringIO())
+
+
+class TestInfo:
+    def test_lists_all_datasets(self):
+        out = io.StringIO()
+        assert run(["info"], out) == 0
+        text = out.getvalue()
+        for name in ("sift10k", "audio", "sun", "glove", "enron", "yorck"):
+            assert name in text
+
+    def test_mentions_paper_defaults(self):
+        out = io.StringIO()
+        run(["info"], out)
+        assert "m=10" in out.getvalue()
+
+
+class TestBuildQuery:
+    def test_build_then_query_round_trip(self, tmp_path):
+        out = io.StringIO()
+        code = run(["build", "--dataset", "glove", "--n", "300",
+                    "--out", str(tmp_path / "idx"), "--trees", "4",
+                    "--alpha", "64", "--gamma", "16"], out)
+        assert code == 0
+        assert "built HD-Index" in out.getvalue()
+        assert (tmp_path / "idx" / "meta.json").exists()
+
+        out = io.StringIO()
+        code = run(["query", "--index", str(tmp_path / "idx"),
+                    "--dataset", "glove", "--n", "300",
+                    "--queries", "5", "-k", "5"], out)
+        assert code == 0
+        assert "MAP@k" in out.getvalue()
+
+    def test_query_dimension_mismatch_fails_cleanly(self, tmp_path):
+        run(["build", "--dataset", "glove", "--n", "200",
+             "--out", str(tmp_path / "idx"), "--trees", "4",
+             "--alpha", "32", "--gamma", "8"])
+        code = run(["query", "--index", str(tmp_path / "idx"),
+                    "--dataset", "sift10k", "--n", "200", "-k", "3"])
+        assert code == 2
+
+    def test_build_from_fvecs(self, tmp_path):
+        import numpy as np
+
+        from repro.datasets import write_vecs
+        vectors = np.random.default_rng(0).uniform(
+            0, 10, size=(220, 16)).astype(np.float32)
+        path = tmp_path / "data.fvecs"
+        write_vecs(path, vectors)
+        out = io.StringIO()
+        code = run(["build", "--fvecs", str(path), "--n", "200",
+                    "--queries", "20", "--out", str(tmp_path / "idx"),
+                    "--trees", "4", "--alpha", "32", "--gamma", "8"], out)
+        assert code == 0
+        assert "n=200" in out.getvalue()
+
+
+class TestCompare:
+    def test_compare_selected_methods(self):
+        out = io.StringIO()
+        code = run(["compare", "--dataset", "glove", "--n", "250",
+                    "--queries", "4", "-k", "5",
+                    "--methods", "hdindex,linear,vafile"], out)
+        assert code == 0
+        text = out.getvalue()
+        for name in ("hdindex", "linear", "vafile"):
+            assert name in text
+
+    def test_unknown_method_rejected(self):
+        code = run(["compare", "--dataset", "glove", "--n", "100",
+                    "--methods", "faiss"])
+        assert code == 2
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_main_dispatches(self, capsys):
+        assert main(["info"]) == 0

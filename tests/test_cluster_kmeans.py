@@ -1,0 +1,85 @@
+"""Unit tests for the k-means substrate."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import kmeans, kmeans_pp_seed
+
+
+@pytest.fixture(scope="module")
+def three_blobs():
+    rng = np.random.default_rng(0)
+    centers = np.asarray([[0.0, 0.0], [10.0, 10.0], [0.0, 10.0]])
+    data = np.vstack([
+        center + rng.normal(0.0, 0.4, size=(50, 2)) for center in centers])
+    return data, centers
+
+
+class TestKMeans:
+    def test_recovers_well_separated_blobs(self, three_blobs):
+        data, true_centers = three_blobs
+        result = kmeans(data, 3, np.random.default_rng(1))
+        # Every learned centre is close to one true centre.
+        for center in result.centers:
+            nearest = np.min(np.linalg.norm(true_centers - center, axis=1))
+            assert nearest < 1.0
+
+    def test_labels_partition_all_points(self, three_blobs):
+        data, _ = three_blobs
+        result = kmeans(data, 3, np.random.default_rng(2))
+        assert result.labels.shape == (len(data),)
+        assert set(result.labels.tolist()) == {0, 1, 2}
+
+    def test_inertia_decreases_with_more_clusters(self, three_blobs):
+        data, _ = three_blobs
+        rng = np.random.default_rng(3)
+        inertia_2 = kmeans(data, 2, rng).inertia
+        inertia_6 = kmeans(data, 6, np.random.default_rng(3)).inertia
+        assert inertia_6 < inertia_2
+
+    def test_k_equals_n_zero_inertia(self):
+        data = np.random.default_rng(4).normal(size=(8, 3))
+        result = kmeans(data, 8, np.random.default_rng(4))
+        assert result.inertia == pytest.approx(0.0, abs=1e-12)
+
+    def test_k_one_center_is_mean(self):
+        data = np.random.default_rng(5).normal(size=(40, 4))
+        result = kmeans(data, 1, np.random.default_rng(5))
+        np.testing.assert_allclose(result.centers[0], data.mean(axis=0),
+                                   atol=1e-9)
+
+    def test_identical_points_handled(self):
+        data = np.ones((20, 3))
+        result = kmeans(data, 4, np.random.default_rng(6))
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_invalid_k_rejected(self):
+        data = np.zeros((5, 2))
+        with pytest.raises(ValueError):
+            kmeans(data, 0)
+        with pytest.raises(ValueError):
+            kmeans(data, 6)
+
+    def test_converges_within_budget(self, three_blobs):
+        data, _ = three_blobs
+        result = kmeans(data, 3, np.random.default_rng(7),
+                        max_iterations=100)
+        assert result.iterations < 100
+
+
+class TestSeeding:
+    def test_pp_seed_picks_data_points(self, three_blobs):
+        data, _ = three_blobs
+        centers = kmeans_pp_seed(data, 5, np.random.default_rng(8))
+        for center in centers:
+            assert np.any(np.all(np.isclose(data, center), axis=1))
+
+    def test_pp_seed_spreads_over_blobs(self, three_blobs):
+        data, true_centers = three_blobs
+        centers = kmeans_pp_seed(data, 3, np.random.default_rng(9))
+        # D² sampling should land one seed near each well-separated blob.
+        assigned = set()
+        for center in centers:
+            assigned.add(int(np.argmin(
+                np.linalg.norm(true_centers - center, axis=1))))
+        assert len(assigned) == 3

@@ -1,0 +1,137 @@
+"""Unit and property tests for the lower-bound filters (Sec. 4.2).
+
+The load-bearing invariant: *neither filter ever exceeds the true distance*
+(they are lower bounds), and Ptolemaic is at least as tight as triangular
+on average — the reason the paper applies it second.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    filter_candidates,
+    ptolemaic_lower_bounds,
+    triangular_lower_bounds,
+)
+from repro.distance import euclidean_to_many, pairwise_euclidean
+
+finite = st.floats(min_value=-100.0, max_value=100.0,
+                   allow_nan=False, allow_infinity=False)
+
+
+def make_instance(seed, n=30, m=6, dim=10):
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(n, dim)) * 10
+    refs = rng.normal(size=(m, dim)) * 10
+    query = rng.normal(size=dim) * 10
+    query_ref = euclidean_to_many(query, refs)
+    cand_ref = pairwise_euclidean(points, refs)
+    ref_ref = pairwise_euclidean(refs, refs)
+    true = euclidean_to_many(query, points)
+    return query_ref, cand_ref, ref_ref, true
+
+
+class TestTriangular:
+    def test_is_a_lower_bound(self):
+        for seed in range(5):
+            query_ref, cand_ref, _, true = make_instance(seed)
+            bounds = triangular_lower_bounds(query_ref, cand_ref)
+            assert np.all(bounds <= true + 1e-9)
+
+    def test_exact_when_point_is_a_reference(self):
+        rng = np.random.default_rng(0)
+        refs = rng.normal(size=(4, 6))
+        query = rng.normal(size=6)
+        query_ref = euclidean_to_many(query, refs)
+        # Candidate 0 IS reference 0: |d(q,R0) - 0| = d(q,R0), tight.
+        cand_ref = pairwise_euclidean(refs[:1], refs)
+        bounds = triangular_lower_bounds(query_ref, cand_ref)
+        assert bounds[0] == pytest.approx(query_ref[0])
+
+    def test_takes_max_over_references(self):
+        query_ref = np.asarray([10.0, 2.0])
+        cand_ref = np.asarray([[1.0, 1.0]])
+        assert triangular_lower_bounds(query_ref, cand_ref)[0] == 9.0
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            triangular_lower_bounds(np.zeros(3), np.zeros((5, 4)))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_lower_bound_property(self, seed):
+        query_ref, cand_ref, _, true = make_instance(seed, n=12, m=4, dim=6)
+        bounds = triangular_lower_bounds(query_ref, cand_ref)
+        assert np.all(bounds <= true + 1e-8)
+
+
+class TestPtolemaic:
+    def test_is_a_lower_bound(self):
+        for seed in range(5):
+            query_ref, cand_ref, ref_ref, true = make_instance(seed)
+            bounds = ptolemaic_lower_bounds(query_ref, cand_ref, ref_ref)
+            assert np.all(bounds <= true + 1e-9)
+
+    def test_at_least_as_tight_on_average(self):
+        """The Sec. 4.2 claim: Ptolemaic yields tighter bounds (on average;
+        pointwise it can lose to triangular for specific pairs)."""
+        totals_tri, totals_ptol = 0.0, 0.0
+        for seed in range(10):
+            query_ref, cand_ref, ref_ref, _ = make_instance(seed, m=8)
+            totals_tri += triangular_lower_bounds(query_ref, cand_ref).sum()
+            totals_ptol += ptolemaic_lower_bounds(
+                query_ref, cand_ref, ref_ref).sum()
+        assert totals_ptol >= 0.8 * totals_tri
+
+    def test_single_reference_falls_back_to_triangular(self):
+        query_ref, cand_ref, ref_ref, _ = make_instance(0, m=1)
+        np.testing.assert_allclose(
+            ptolemaic_lower_bounds(query_ref, cand_ref, ref_ref),
+            triangular_lower_bounds(query_ref, cand_ref))
+
+    def test_coincident_references_fall_back(self):
+        query_ref = np.asarray([3.0, 3.0])
+        cand_ref = np.asarray([[1.0, 1.0], [5.0, 5.0]])
+        ref_ref = np.zeros((2, 2))  # degenerate: all pairs distance zero
+        np.testing.assert_allclose(
+            ptolemaic_lower_bounds(query_ref, cand_ref, ref_ref),
+            triangular_lower_bounds(query_ref, cand_ref))
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ptolemaic_lower_bounds(np.zeros(3), np.zeros((5, 3)),
+                                   np.zeros((2, 2)))
+        with pytest.raises(ValueError):
+            ptolemaic_lower_bounds(np.zeros(3), np.zeros((5, 4)),
+                                   np.zeros((3, 3)))
+
+    @given(st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_lower_bound_property(self, seed):
+        query_ref, cand_ref, ref_ref, true = make_instance(
+            seed, n=12, m=5, dim=6)
+        bounds = ptolemaic_lower_bounds(query_ref, cand_ref, ref_ref)
+        assert np.all(bounds <= true + 1e-8)
+
+
+class TestFilterCandidates:
+    def test_keeps_smallest_bounds(self):
+        bounds = np.asarray([4.0, 1.0, 3.0, 2.0])
+        kept = filter_candidates(bounds, 2)
+        assert kept.tolist() == [1, 3]
+
+    def test_keep_all(self):
+        bounds = np.asarray([2.0, 1.0])
+        assert filter_candidates(bounds, 5).tolist() == [1, 0]
+
+    def test_never_drops_a_true_nearest_with_valid_bounds(self):
+        """If the filter keeps j candidates and the true NN's lower bound is
+        among the j smallest, it survives — sanity for the pipeline."""
+        query_ref, cand_ref, ref_ref, true = make_instance(3)
+        bounds = triangular_lower_bounds(query_ref, cand_ref)
+        nearest = int(np.argmin(true))
+        kept = filter_candidates(bounds, 15)
+        # The true nearest has a small lower bound, so a 50% cut keeps it
+        # in this well-separated instance.
+        assert nearest in kept.tolist()

@@ -1,0 +1,91 @@
+"""Unit tests for dimension partitioning (Sec. 3.1 / 5.2.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import contiguous_partition, make_partition, random_partition
+
+
+class TestContiguous:
+    def test_even_split(self):
+        parts = contiguous_partition(128, 8)
+        assert len(parts) == 8
+        assert all(len(p) == 16 for p in parts)
+        np.testing.assert_array_equal(np.concatenate(parts), np.arange(128))
+
+    def test_uneven_split_spreads_remainder(self):
+        parts = contiguous_partition(10, 3)
+        sizes = [len(p) for p in parts]
+        assert sizes == [4, 3, 3]
+        np.testing.assert_array_equal(np.concatenate(parts), np.arange(10))
+
+    def test_single_partition(self):
+        parts = contiguous_partition(7, 1)
+        assert len(parts) == 1
+        np.testing.assert_array_equal(parts[0], np.arange(7))
+
+    def test_one_dim_per_partition(self):
+        parts = contiguous_partition(5, 5)
+        assert [p.tolist() for p in parts] == [[0], [1], [2], [3], [4]]
+
+    def test_blocks_are_contiguous(self):
+        for parts in (contiguous_partition(37, 5), contiguous_partition(64, 8)):
+            for block in parts:
+                np.testing.assert_array_equal(
+                    block, np.arange(block[0], block[-1] + 1))
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            contiguous_partition(0, 1)
+        with pytest.raises(ValueError):
+            contiguous_partition(4, 5)
+        with pytest.raises(ValueError):
+            contiguous_partition(4, 0)
+
+
+class TestRandom:
+    def test_covers_all_dimensions_exactly_once(self):
+        rng = np.random.default_rng(0)
+        parts = random_partition(30, 4, rng)
+        merged = np.concatenate(parts)
+        assert sorted(merged.tolist()) == list(range(30))
+
+    def test_sizes_near_equal(self):
+        rng = np.random.default_rng(1)
+        parts = random_partition(10, 3, rng)
+        sizes = sorted(len(p) for p in parts)
+        assert sizes == [3, 3, 4]
+
+    def test_each_partition_sorted(self):
+        rng = np.random.default_rng(2)
+        for part in random_partition(20, 4, rng):
+            assert np.all(np.diff(part) > 0)
+
+    def test_seeded_reproducibility(self):
+        a = random_partition(16, 4, np.random.default_rng(9))
+        b = random_partition(16, 4, np.random.default_rng(9))
+        for left, right in zip(a, b):
+            np.testing.assert_array_equal(left, right)
+
+    def test_differs_from_contiguous_usually(self):
+        rng = np.random.default_rng(3)
+        random_parts = random_partition(64, 8, rng)
+        contiguous_parts = contiguous_partition(64, 8)
+        same = all(np.array_equal(a, b)
+                   for a, b in zip(random_parts, contiguous_parts))
+        assert not same
+
+
+class TestDispatch:
+    def test_contiguous_by_name(self):
+        parts = make_partition(12, 3, "contiguous")
+        assert [p.tolist() for p in parts] == [[0, 1, 2, 3], [4, 5, 6, 7],
+                                               [8, 9, 10, 11]]
+
+    def test_random_by_name(self):
+        parts = make_partition(12, 3, "random", np.random.default_rng(0))
+        assert sorted(np.concatenate(parts).tolist()) == list(range(12))
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            make_partition(12, 3, "spiral")

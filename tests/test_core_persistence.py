@@ -1,0 +1,128 @@
+"""Tests for HD-Index save/load persistence."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HDIndex,
+    HDIndexParams,
+    PersistenceError,
+    load_index,
+    save_index,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(99)
+    centers = rng.uniform(0.0, 100.0, size=(5, 16))
+    data = np.vstack([
+        center + rng.normal(0.0, 3.0, size=(60, 16)) for center in centers])
+    queries = data[rng.choice(len(data), 6, replace=False)] \
+        + rng.normal(0.0, 0.5, size=(6, 16))
+    return np.clip(data, 0, 100), np.clip(queries, 0, 100)
+
+
+def params(**overrides):
+    defaults = dict(num_trees=4, num_references=5, alpha=128, gamma=32,
+                    domain=(0.0, 100.0), seed=0)
+    defaults.update(overrides)
+    return HDIndexParams(**defaults)
+
+
+class TestSaveLoad:
+    def test_round_trip_from_memory_build(self, workload, tmp_path):
+        data, queries = workload
+        original = HDIndex(params())
+        original.build(data)
+        save_index(original, tmp_path / "index")
+        reloaded = load_index(tmp_path / "index")
+        for query in queries:
+            ids_a, dists_a = original.query(query, 10)
+            ids_b, dists_b = reloaded.query(query, 10)
+            np.testing.assert_array_equal(ids_a, ids_b)
+            np.testing.assert_allclose(dists_a, dists_b)
+        reloaded.close()
+
+    def test_round_trip_from_disk_build(self, workload, tmp_path):
+        data, queries = workload
+        directory = tmp_path / "hd"
+        original = HDIndex(params(storage_dir=str(directory)))
+        original.build(data)
+        save_index(original, directory)   # metadata only; pages in place
+        original.close()
+        reloaded = load_index(directory)
+        ids, dists = reloaded.query(queries[0], 10)
+        assert len(ids) == 10
+        assert np.all(np.diff(dists) >= 0)
+        reloaded.close()
+
+    def test_reloaded_index_accepts_updates(self, workload, tmp_path):
+        data, queries = workload
+        original = HDIndex(params())
+        original.build(data)
+        save_index(original, tmp_path / "index")
+        reloaded = load_index(tmp_path / "index")
+        new_point = np.full(16, 55.0)
+        new_id = reloaded.insert(new_point)
+        ids, _ = reloaded.query(new_point, 1)
+        assert ids[0] == new_id
+        reloaded.close()
+
+    def test_deleted_ids_survive_round_trip(self, workload, tmp_path):
+        data, queries = workload
+        original = HDIndex(params())
+        original.build(data)
+        ids, _ = original.query(data[7], 1)
+        assert ids[0] == 7
+        original.delete(7)
+        save_index(original, tmp_path / "index")
+        reloaded = load_index(tmp_path / "index")
+        ids, _ = reloaded.query(data[7], 1)
+        assert ids[0] != 7
+        reloaded.close()
+
+    def test_meta_file_contents(self, workload, tmp_path):
+        data, _ = workload
+        index = HDIndex(params())
+        index.build(data)
+        save_index(index, tmp_path / "index")
+        meta = json.loads((tmp_path / "index" / "meta.json").read_text())
+        assert meta["format_version"] == 1
+        assert meta["dim"] == 16
+        assert meta["count"] == len(data)
+        assert len(meta["trees"]) == 4
+        assert meta["params"]["num_references"] == 5
+
+    def test_load_missing_directory_rejected(self, tmp_path):
+        with pytest.raises(PersistenceError):
+            load_index(tmp_path / "nothing")
+
+    def test_load_bad_version_rejected(self, workload, tmp_path):
+        data, _ = workload
+        index = HDIndex(params())
+        index.build(data)
+        save_index(index, tmp_path / "index")
+        meta_path = tmp_path / "index" / "meta.json"
+        meta = json.loads(meta_path.read_text())
+        meta["format_version"] = 99
+        meta_path.write_text(json.dumps(meta))
+        with pytest.raises(PersistenceError):
+            load_index(tmp_path / "index")
+
+    def test_save_unbuilt_index_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            save_index(HDIndex(params()), tmp_path / "index")
+
+    def test_cache_override_on_load(self, workload, tmp_path):
+        data, queries = workload
+        index = HDIndex(params())
+        index.build(data)
+        save_index(index, tmp_path / "index")
+        cached = load_index(tmp_path / "index", cache_pages=256)
+        cached.query(queries[0], 5)
+        cached.query(queries[0], 5)
+        assert cached.io_snapshot()["cache_hits"] > 0
+        cached.close()

@@ -1,0 +1,108 @@
+"""Unit tests for the RDB-tree (Sec. 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import rdb_leaf_order
+from repro.core.rdbtree import RDBTree
+from repro.hilbert import HilbertCurve
+
+
+def build_tree(n=200, dim=4, order=8, m=5, seed=0):
+    rng = np.random.default_rng(seed)
+    curve = HilbertCurve(dim, order)
+    coords = rng.integers(0, 1 << order, size=(n, dim))
+    keys = curve.encode_batch(coords)
+    ids = np.arange(n, dtype=np.int64)
+    ref_dists = rng.uniform(0.0, 100.0, size=(n, m)).astype(np.float32)
+    tree = RDBTree(curve, m)
+    tree.bulk_build(keys, ids, ref_dists)
+    return tree, keys, ids, ref_dists
+
+
+class TestConstruction:
+    def test_leaf_order_matches_eq4(self):
+        curve = HilbertCurve(16, 8)
+        tree = RDBTree(curve, 10)
+        assert tree.leaf_order == rdb_leaf_order(16, 8, 10)
+
+    def test_bulk_build_count_and_height(self):
+        tree, *_ = build_tree(n=500)
+        assert len(tree) == 500
+        assert tree.height >= 1
+
+    def test_misaligned_inputs_rejected(self):
+        curve = HilbertCurve(4, 8)
+        tree = RDBTree(curve, 5)
+        with pytest.raises(ValueError):
+            tree.bulk_build(np.asarray([1, 2], dtype=object),
+                            np.asarray([0]), np.zeros((2, 5)))
+        with pytest.raises(ValueError):
+            tree.bulk_build(np.asarray([1], dtype=object),
+                            np.asarray([0]), np.zeros((1, 3)))
+
+    def test_unsorted_keys_accepted(self):
+        """bulk_build sorts internally (Algo. 1 inserts by Hilbert key)."""
+        curve = HilbertCurve(2, 4)
+        tree = RDBTree(curve, 2)
+        keys = np.asarray([9, 1, 5], dtype=object)
+        tree.bulk_build(keys, np.asarray([0, 1, 2]),
+                        np.zeros((3, 2), dtype=np.float32))
+        assert len(tree) == 3
+
+
+class TestCandidates:
+    def test_returns_alpha_nearest_by_key(self):
+        tree, keys, ids, _ = build_tree(n=300, seed=1)
+        probe = int(keys[137])
+        got_ids, got_dists = tree.candidates(probe, 20)
+        assert got_ids.shape == (20,)
+        assert got_dists.shape == (20, 5)
+        expected = sorted(range(300), key=lambda i: abs(int(keys[i]) - probe))
+        got_key_dists = sorted(abs(int(keys[i]) - probe) for i in got_ids)
+        expected_dists = sorted(abs(int(keys[i]) - probe)
+                                for i in expected[:20])
+        assert got_key_dists == expected_dists
+
+    def test_reference_distances_round_trip(self):
+        tree, keys, ids, ref = build_tree(n=100, seed=2)
+        got_ids, got_dists = tree.candidates(int(keys[0]), 100)
+        for row, object_id in enumerate(got_ids):
+            np.testing.assert_allclose(got_dists[row],
+                                       ref[object_id], rtol=1e-6)
+
+    def test_alpha_larger_than_tree(self):
+        tree, *_ = build_tree(n=30)
+        got_ids, _ = tree.candidates(0, 100)
+        assert got_ids.shape == (30,)
+
+    def test_io_counted(self):
+        tree, keys, *_ = build_tree(n=500)
+        tree.stats.reset()
+        tree.candidates(int(keys[250]), 50)
+        # Descent + ceil(50/leaf_order) leaves at minimum.
+        assert tree.stats.page_reads >= tree.height
+
+
+class TestInsert:
+    def test_insert_then_retrieve(self):
+        tree, keys, ids, ref = build_tree(n=50, seed=3)
+        new_dists = np.linspace(0, 1, 5).astype(np.float32)
+        tree.insert(12345, 999, new_dists)
+        assert len(tree) == 51
+        got_ids, got_dists = tree.candidates(12345, 1)
+        assert got_ids[0] == 999
+        np.testing.assert_allclose(got_dists[0], new_dists, rtol=1e-6)
+
+    def test_insert_wrong_reference_count_rejected(self):
+        tree, *_ = build_tree(m=5)
+        with pytest.raises(ValueError):
+            tree.insert(1, 1, np.zeros(3, dtype=np.float32))
+
+    def test_size_grows_with_inserts(self):
+        tree, *_ = build_tree(n=50)
+        before = tree.size_bytes()
+        for index in range(200):
+            tree.insert(index * 7, 1000 + index,
+                        np.zeros(5, dtype=np.float32))
+        assert tree.size_bytes() > before

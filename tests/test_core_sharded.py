@@ -1,0 +1,106 @@
+"""Tests for the sharded (distributed) HD-Index extension."""
+
+import numpy as np
+import pytest
+
+from repro.core import HDIndexParams, ShardedHDIndex
+from repro.eval import exact_knn, recall_at_k
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(123)
+    centers = rng.uniform(0.0, 100.0, size=(6, 16))
+    data = np.vstack([
+        center + rng.normal(0.0, 3.0, size=(60, 16)) for center in centers])
+    # Shuffle so clusters are spread over shards, as in a real deployment.
+    data = data[rng.permutation(len(data))]
+    queries = data[rng.choice(len(data), 8, replace=False)] \
+        + rng.normal(0.0, 0.5, size=(8, 16))
+    return np.clip(data, 0, 100), np.clip(queries, 0, 100)
+
+
+def params(**overrides):
+    defaults = dict(num_trees=4, num_references=5, alpha=96, gamma=32,
+                    domain=(0.0, 100.0), seed=0)
+    defaults.update(overrides)
+    return HDIndexParams(**defaults)
+
+
+class TestShardedHDIndex:
+    def test_global_ids_are_consistent(self, workload):
+        data, queries = workload
+        index = ShardedHDIndex(params(), num_shards=3)
+        index.build(data)
+        # Querying with a database point must return its global id.
+        for probe in (0, len(data) // 2, len(data) - 1):
+            ids, dists = index.query(data[probe], 1)
+            assert ids[0] == probe
+            assert dists[0] < 1e-3
+
+    def test_quality_close_to_unsharded(self, workload):
+        data, queries = workload
+        sharded = ShardedHDIndex(params(), num_shards=3)
+        sharded.build(data)
+        k = 10
+        true_ids, _ = exact_knn(data, queries, k)
+        recalls = [recall_at_k(true_ids[row], sharded.query(q, k)[0], k)
+                   for row, q in enumerate(queries)]
+        assert np.mean(recalls) > 0.8
+
+    def test_merge_is_sorted_by_distance(self, workload):
+        data, queries = workload
+        index = ShardedHDIndex(params(), num_shards=4)
+        index.build(data)
+        _, dists = index.query(queries[0], 12)
+        assert np.all(np.diff(dists) >= 0)
+
+    def test_single_shard_equals_plain_index(self, workload):
+        from repro.core import HDIndex
+        data, queries = workload
+        plain = HDIndex(params())
+        one_shard = ShardedHDIndex(params(), num_shards=1)
+        plain.build(data)
+        one_shard.build(data)
+        ids_a, _ = plain.query(queries[0], 10)
+        ids_b, _ = one_shard.query(queries[0], 10)
+        np.testing.assert_array_equal(ids_a, ids_b)
+
+    def test_insert_gets_fresh_global_id(self, workload):
+        data, _ = workload
+        index = ShardedHDIndex(params(), num_shards=3)
+        index.build(data)
+        point = np.full(16, 50.0)
+        new_id = index.insert(point)
+        assert new_id == len(data)
+        ids, _ = index.query(point, 1)
+        assert ids[0] == new_id
+
+    def test_per_shard_stats_aggregate(self, workload):
+        data, queries = workload
+        index = ShardedHDIndex(params(), num_shards=2)
+        index.build(data)
+        index.query(queries[0], 5)
+        stats = index.last_query_stats()
+        assert stats.extra["shards"] == 2
+        assert stats.page_reads > 0
+
+    def test_build_memory_is_per_machine(self, workload):
+        """Distributed build RAM is the max over shards, not the sum."""
+        data, _ = workload
+        index = ShardedHDIndex(params(), num_shards=3)
+        index.build(data)
+        per_shard = [s.build_memory_bytes() for s in index.shards]
+        assert index.build_memory_bytes() == max(per_shard)
+
+    def test_invalid_configuration(self, workload):
+        data, _ = workload
+        with pytest.raises(ValueError):
+            ShardedHDIndex(params(), num_shards=0)
+        tiny = ShardedHDIndex(params(), num_shards=10)
+        with pytest.raises(ValueError):
+            tiny.build(data[:5])
+
+    def test_query_before_build_rejected(self):
+        with pytest.raises(RuntimeError):
+            ShardedHDIndex(params()).query(np.zeros(16), 1)

@@ -1,0 +1,155 @@
+"""Unit and property tests for the quality metrics (Defs. 1-3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eval import (
+    approximation_ratio,
+    average_precision,
+    mean_average_precision,
+    mean_ratio,
+    recall_at_k,
+)
+
+
+class TestApproximationRatio:
+    def test_perfect_answer_is_one(self):
+        true = np.asarray([1.0, 2.0, 3.0])
+        assert approximation_ratio(true, true) == pytest.approx(1.0)
+
+    def test_definition_1_arithmetic(self):
+        true = np.asarray([1.0, 2.0])
+        got = np.asarray([2.0, 2.0])
+        # (2/1 + 2/2)/2 = 1.5
+        assert approximation_ratio(true, got) == pytest.approx(1.5)
+
+    def test_zero_true_distance_skipped(self):
+        true = np.asarray([0.0, 1.0])
+        got = np.asarray([0.5, 2.0])
+        assert approximation_ratio(true, got) == pytest.approx(2.0)
+
+    def test_both_zero_counts_as_ideal(self):
+        true = np.asarray([0.0, 1.0])
+        got = np.asarray([0.0, 1.0])
+        assert approximation_ratio(true, got) == pytest.approx(1.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            approximation_ratio(np.asarray([1.0]), np.asarray([1.0, 2.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            approximation_ratio(np.asarray([]), np.asarray([]))
+
+    @given(st.lists(st.floats(0.1, 1e6), min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_at_least_one_when_results_worse(self, true_list):
+        true = np.sort(np.asarray(true_list))
+        got = true * 1.3
+        assert approximation_ratio(true, got) >= 1.0
+
+
+class TestAveragePrecision:
+    def test_paper_example_1_first_ordering(self):
+        """{o4, o3, o2} against truth {o1, o2, o3} -> (0 + 1/2 + 2/3)/3."""
+        ap = average_precision(["o1", "o2", "o3"], ["o4", "o3", "o2"])
+        assert ap == pytest.approx((0 + 1 / 2 + 2 / 3) / 3, abs=1e-9)
+
+    def test_paper_example_1_second_ordering(self):
+        """{o3, o2, o4} -> (1 + 1 + 0)/3 = 0.67."""
+        ap = average_precision(["o1", "o2", "o3"], ["o3", "o2", "o4"])
+        assert ap == pytest.approx(2 / 3, abs=1e-9)
+
+    def test_paper_example_1_map(self):
+        first = average_precision(["o1", "o2", "o3"], ["o4", "o3", "o2"])
+        second = average_precision(["o1", "o2", "o3"], ["o3", "o2", "o4"])
+        assert (first + second) / 2 == pytest.approx(0.5278, abs=1e-3)
+
+    def test_perfect_ranking(self):
+        assert average_precision([1, 2, 3], [1, 2, 3]) == pytest.approx(1.0)
+
+    def test_completely_wrong(self):
+        assert average_precision([1, 2, 3], [7, 8, 9]) == 0.0
+
+    def test_rank_sensitivity(self):
+        """Same set, better order -> higher AP (the argument for MAP)."""
+        good = average_precision([1, 2, 3, 4], [1, 2, 9, 4])
+        bad = average_precision([1, 2, 3, 4], [9, 1, 2, 4])
+        assert good > bad
+
+    def test_short_result_list_penalised(self):
+        assert average_precision([1, 2, 3, 4], [1]) < 1.0
+
+    def test_k_override(self):
+        ap = average_precision([1, 2, 3, 4, 5], [1, 2], k=2)
+        assert ap == pytest.approx(1.0)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            average_precision([1], [1], k=0)
+
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=15,
+                    unique=True),
+           st.lists(st.integers(0, 30), min_size=1, max_size=15,
+                    unique=True))
+    @settings(max_examples=80, deadline=None)
+    def test_bounded_zero_one(self, true_ids, result_ids):
+        ap = average_precision(true_ids, result_ids, k=len(true_ids))
+        assert 0.0 <= ap <= 1.0
+
+    @given(st.lists(st.integers(0, 50), min_size=2, max_size=12,
+                    unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_identity_ranking_is_optimal(self, ids):
+        perfect = average_precision(ids, ids)
+        assert perfect == pytest.approx(1.0)
+        shuffled = list(reversed(ids))
+        assert average_precision(ids, shuffled) <= 1.0
+
+
+class TestMAP:
+    def test_mean_over_queries(self):
+        truth = [[1, 2], [3, 4]]
+        results = [[1, 2], [9, 9]]
+        assert mean_average_precision(truth, results) == pytest.approx(0.5)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            mean_average_precision([[1]], [[1], [2]])
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ValueError):
+            mean_average_precision([], [])
+
+
+class TestRecall:
+    def test_full_overlap(self):
+        assert recall_at_k([1, 2, 3], [3, 1, 2]) == 1.0
+
+    def test_partial_overlap(self):
+        assert recall_at_k([1, 2, 3, 4], [1, 2, 9, 9]) == 0.5
+
+    def test_k_slice(self):
+        assert recall_at_k([1, 2, 3, 4], [1, 5, 6, 7], k=2) == 0.5
+
+    def test_recall_ignores_order_but_ap_does_not(self):
+        """Def. 2 is set-membership based, so AP only drops when an
+        irrelevant item pushes the relevant ones to later ranks."""
+        truth = [1, 2, 3, 4]
+        early_miss = [9, 1, 2, 3]
+        late_miss = [1, 2, 3, 9]
+        assert recall_at_k(truth, early_miss) == recall_at_k(truth, late_miss)
+        assert average_precision(truth, late_miss) > average_precision(
+            truth, early_miss)
+
+
+class TestMeanRatio:
+    def test_average_of_definition_1(self):
+        truths = [np.asarray([1.0]), np.asarray([1.0])]
+        results = [np.asarray([1.0]), np.asarray([3.0])]
+        assert mean_ratio(truths, results) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_ratio([], [])

@@ -1,0 +1,102 @@
+"""Extreme-dimensionality integration tests.
+
+The paper's Enron corpus has ν = 1369 (the catalog scales it down for the
+benches); these tests exercise the genuinely extreme configurations: vector
+records spanning multiple pages, very wide Hilbert keys (η·ω > 1000 bits),
+and k exceeding every candidate bound.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import HDIndex, HDIndexParams
+from repro.eval import exact_knn
+from repro.hilbert import HilbertCurve
+
+
+@pytest.fixture(scope="module")
+def enron_like():
+    """ν = 1369 like the paper's Enron: one descriptor spans > 1 page."""
+    rng = np.random.default_rng(5)
+    centers = rng.uniform(0.0, 1000.0, size=(4, 1369))
+    data = np.vstack([
+        center + rng.normal(0.0, 30.0, size=(30, 1369))
+        for center in centers])
+    queries = data[:4] + rng.normal(0.0, 5.0, size=(4, 1369))
+    return np.clip(data, 0, 1000), np.clip(queries, 0, 1000)
+
+
+class TestUltraHighDimensional:
+    def test_build_and_query_nu_1369(self, enron_like):
+        data, queries = enron_like
+        # τ = 37 trees of η = 37 dims, the paper's Enron configuration.
+        index = HDIndex(HDIndexParams(
+            num_trees=37, num_references=5, alpha=32, gamma=16,
+            domain=(0.0, 1000.0), seed=0))
+        index.build(data)
+        assert len(index.trees) == 37
+        assert all(len(part) == 37 for part in index.partitions)
+        ids, dists = index.query(queries[0], 5)
+        assert len(ids) == 5
+        assert np.all(np.diff(dists) >= 0)
+
+    def test_descriptor_spans_multiple_pages(self, enron_like):
+        """1369 float32 = 5476 B > 4096 B: each fetch costs 2 page reads."""
+        data, _ = enron_like
+        index = HDIndex(HDIndexParams(
+            num_trees=8, num_references=4, alpha=16, gamma=8,
+            domain=(0.0, 1000.0), seed=0))
+        index.build(data)
+        assert index.heap.records_per_page == 1
+        reads_before = index.heap.stats.page_reads
+        index.heap.fetch(0)
+        assert index.heap.stats.page_reads - reads_before == 2
+
+    def test_finds_true_neighbours_in_clusters(self, enron_like):
+        data, queries = enron_like
+        index = HDIndex(HDIndexParams(
+            num_trees=8, num_references=5, alpha=48, gamma=24,
+            domain=(0.0, 1000.0), seed=0))
+        index.build(data)
+        true_ids, _ = exact_knn(data, queries, 5)
+        hits = 0
+        for row, query in enumerate(queries):
+            ids, _ = index.query(query, 5)
+            hits += len(set(ids.tolist()) & set(true_ids[row].tolist()))
+        assert hits / (len(queries) * 5) > 0.5
+
+
+class TestWideHilbertKeys:
+    def test_171_dims_8_bits(self):
+        """η·ω = 1368-bit keys — far beyond machine words."""
+        curve = HilbertCurve(171, 8)
+        assert curve.key_bits == 1368
+        rng = np.random.default_rng(0)
+        points = rng.integers(0, 256, size=(10, 171))
+        keys = curve.encode_batch(points)
+        decoded = curve.decode_batch(keys)
+        np.testing.assert_array_equal(decoded, points.astype(np.uint64))
+        assert max(int(k) for k in keys) < (1 << 1368)
+
+
+class TestKExceedsBounds:
+    def test_k_larger_than_tau_gamma(self, enron_like):
+        """resolve_filter_sizes floors every stage at k, so asking for more
+        neighbours than γ still returns k answers."""
+        data, queries = enron_like
+        index = HDIndex(HDIndexParams(
+            num_trees=4, num_references=4, alpha=16, gamma=4,
+            domain=(0.0, 1000.0), seed=0))
+        index.build(data)
+        ids, _ = index.query(queries[0], 40)
+        assert len(ids) == 40
+        assert len(set(ids.tolist())) == 40
+
+    def test_k_equals_n(self, enron_like):
+        data, queries = enron_like
+        index = HDIndex(HDIndexParams(
+            num_trees=4, num_references=4, alpha=len(data),
+            gamma=len(data), domain=(0.0, 1000.0), seed=0))
+        index.build(data)
+        ids, _ = index.query(queries[0], len(data))
+        assert sorted(ids.tolist()) == list(range(len(data)))

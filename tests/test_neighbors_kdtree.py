@@ -1,0 +1,87 @@
+"""Unit and property tests for the incremental-NN KD-tree (SRS substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.neighbors import KDTree
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    return np.random.default_rng(0).normal(size=(300, 6))
+
+
+class TestQueries:
+    def test_query_matches_brute_force(self, cloud):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            query = rng.normal(size=6)
+            tree = KDTree(cloud)
+            ids, dists = tree.query(query, k=12)
+            naive = np.sqrt(((cloud - query) ** 2).sum(axis=1))
+            np.testing.assert_allclose(np.sort(dists),
+                                       np.sort(naive)[:12], atol=1e-9)
+
+    def test_stream_is_monotone_nondecreasing(self, cloud):
+        tree = KDTree(cloud)
+        query = np.zeros(6)
+        previous = -1.0
+        for count, (_, distance) in enumerate(tree.nearest_stream(query)):
+            assert distance >= previous - 1e-12
+            previous = distance
+            if count > 100:
+                break
+
+    def test_stream_exhausts_every_point_once(self):
+        points = np.random.default_rng(2).normal(size=(50, 3))
+        tree = KDTree(points)
+        seen = [index for index, _ in tree.nearest_stream(np.zeros(3))]
+        assert sorted(seen) == list(range(50))
+
+    def test_exact_match_streams_first(self, cloud):
+        tree = KDTree(cloud)
+        index, distance = next(tree.nearest_stream(cloud[42]))
+        assert index == 42
+        assert distance == pytest.approx(0.0, abs=1e-12)
+
+    def test_duplicate_points_handled(self):
+        points = np.vstack([np.zeros((10, 2)), np.ones((10, 2))])
+        tree = KDTree(points, leaf_size=4)
+        ids, dists = tree.query(np.zeros(2), k=10)
+        assert np.allclose(dists, 0.0)
+        assert sorted(ids.tolist()) == list(range(10))
+
+    def test_small_leaf_size(self, cloud):
+        tree = KDTree(cloud, leaf_size=1)
+        ids, _ = tree.query(cloud[0], k=5)
+        assert ids[0] == 0
+
+    def test_dim_mismatch_rejected(self, cloud):
+        tree = KDTree(cloud)
+        with pytest.raises(ValueError):
+            next(tree.nearest_stream(np.zeros(4)))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            KDTree(np.empty((0, 3)))
+        with pytest.raises(ValueError):
+            KDTree(np.zeros(5))
+        with pytest.raises(ValueError):
+            KDTree(np.zeros((5, 2)), leaf_size=0)
+
+    def test_invalid_k(self, cloud):
+        tree = KDTree(cloud)
+        with pytest.raises(ValueError):
+            tree.query(np.zeros(6), k=0)
+
+    @given(st.integers(0, 10**6), st.integers(5, 60), st.integers(1, 10))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force_property(self, seed, n, k):
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(n, 4))
+        query = rng.normal(size=4)
+        tree = KDTree(points, leaf_size=5)
+        _, dists = tree.query(query, k=min(k, n))
+        naive = np.sort(np.sqrt(((points - query) ** 2).sum(axis=1)))
+        np.testing.assert_allclose(dists, naive[:min(k, n)], atol=1e-9)

@@ -1,0 +1,98 @@
+"""Unit tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.storage import BufferPool, InMemoryPageStore
+
+
+def make_pool(capacity, pages=6, page_size=32):
+    store = InMemoryPageStore(page_size=page_size)
+    pool = BufferPool(store, capacity=capacity)
+    for index in range(pages):
+        page_id = pool.allocate()
+        pool.write(page_id, bytes([index]) * page_size)
+    return store, pool
+
+
+class TestDisabledCache:
+    """capacity=0 reproduces the paper's caching-off methodology."""
+
+    def test_every_read_hits_the_store(self):
+        store, pool = make_pool(capacity=0)
+        store.stats.reset()
+        for _ in range(3):
+            pool.read(0)
+        assert store.stats.page_reads == 3
+        assert store.stats.cache_hits == 0
+
+    def test_no_memory_held(self):
+        _, pool = make_pool(capacity=0)
+        pool.read(0)
+        assert pool.cached_pages() == 0
+        assert pool.memory_bytes() == 0
+
+
+class TestLRU:
+    def test_repeated_read_served_from_cache(self):
+        store, pool = make_pool(capacity=4)
+        store.stats.reset()
+        pool.read(0)
+        pool.read(0)
+        pool.read(0)
+        assert store.stats.page_reads == 1
+        assert store.stats.cache_hits == 2
+
+    def test_eviction_order_is_least_recently_used(self):
+        store, pool = make_pool(capacity=2)
+        pool.clear()
+        store.stats.reset()
+        pool.read(0)
+        pool.read(1)
+        pool.read(0)        # refresh page 0
+        pool.read(2)        # evicts page 1
+        store.stats.reset()
+        pool.read(0)        # hit
+        assert store.stats.cache_hits == 1
+        pool.read(1)        # miss: was evicted
+        assert store.stats.page_reads == 1
+
+    def test_capacity_never_exceeded(self):
+        _, pool = make_pool(capacity=3)
+        for page_id in range(6):
+            pool.read(page_id)
+        assert pool.cached_pages() == 3
+        assert pool.memory_bytes() == 3 * 32
+
+    def test_write_through_updates_cache(self):
+        store, pool = make_pool(capacity=4)
+        pool.read(0)
+        pool.write(0, b"updated")
+        store.stats.reset()
+        data = pool.read(0)
+        assert data.startswith(b"updated")
+        assert store.stats.page_reads == 0  # served from refreshed cache
+
+    def test_write_always_reaches_store(self):
+        store, pool = make_pool(capacity=4)
+        writes_before = store.stats.page_writes
+        pool.write(0, b"direct")
+        assert store.stats.page_writes == writes_before + 1
+        assert store.read(0).startswith(b"direct")
+
+    def test_clear_drops_cache(self):
+        store, pool = make_pool(capacity=4)
+        pool.read(0)
+        pool.clear()
+        store.stats.reset()
+        pool.read(0)
+        assert store.stats.page_reads == 1
+
+    def test_negative_capacity_rejected(self):
+        store = InMemoryPageStore()
+        with pytest.raises(ValueError):
+            BufferPool(store, capacity=-1)
+
+    def test_page_size_passthrough(self):
+        store = InMemoryPageStore(page_size=128)
+        pool = BufferPool(store)
+        assert pool.page_size == 128

@@ -1,0 +1,109 @@
+"""Unit and property tests for the fixed-width codecs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.storage import (
+    BytesCodec,
+    Float64Codec,
+    StructCodec,
+    UInt64Codec,
+    UIntCodec,
+)
+
+
+class TestUIntCodec:
+    def test_round_trip(self):
+        codec = UIntCodec(16)
+        for value in (0, 1, 2**64, 2**127, 2**128 - 1):
+            assert codec.decode(codec.encode(value)) == value
+
+    def test_width_enforced(self):
+        codec = UIntCodec(2)
+        with pytest.raises(ValueError):
+            codec.encode(2**16)
+        with pytest.raises(ValueError):
+            codec.encode(-1)
+
+    def test_byte_order_matches_numeric_order(self):
+        codec = UIntCodec(8)
+        values = [0, 1, 255, 256, 2**32, 2**63, 2**64 - 1]
+        encoded = [codec.encode(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            UIntCodec(0)
+
+    @given(st.integers(min_value=0, max_value=2**128 - 1))
+    def test_round_trip_property(self, value):
+        codec = UIntCodec(16)
+        assert codec.decode(codec.encode(value)) == value
+
+
+class TestFloat64Codec:
+    def test_round_trip_signed(self):
+        codec = Float64Codec()
+        for value in (-1e300, -2.5, -0.0, 0.0, 1e-12, 3.14, 1e300):
+            assert codec.decode(codec.encode(value)) == value
+
+    def test_total_order_with_negatives(self):
+        codec = Float64Codec()
+        values = [-1e9, -42.0, -1.5, -1e-9, 0.0, 1e-9, 1.5, 42.0, 1e9]
+        encoded = [codec.encode(v) for v in values]
+        assert encoded == sorted(encoded)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False),
+           st.floats(allow_nan=False, allow_infinity=False))
+    def test_order_preserving_property(self, a, b):
+        codec = Float64Codec()
+        if a < b:
+            assert codec.encode(a) < codec.encode(b)
+        elif a > b:
+            assert codec.encode(a) > codec.encode(b)
+
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_round_trip_property(self, value):
+        codec = Float64Codec()
+        decoded = codec.decode(codec.encode(value))
+        assert decoded == value or (value == 0.0 and decoded == 0.0)
+
+
+class TestUInt64Codec:
+    def test_round_trip(self):
+        codec = UInt64Codec()
+        for value in (0, 7, 2**63, 2**64 - 1):
+            assert codec.decode(codec.encode(value)) == value
+
+    def test_width_is_eight(self):
+        assert UInt64Codec().width == 8
+
+
+class TestBytesCodec:
+    def test_round_trip(self):
+        codec = BytesCodec(4)
+        assert codec.decode(codec.encode(b"abcd")) == b"abcd"
+
+    def test_wrong_width_rejected(self):
+        codec = BytesCodec(4)
+        with pytest.raises(ValueError):
+            codec.encode(b"abc")
+        with pytest.raises(ValueError):
+            codec.encode(b"abcde")
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            BytesCodec(0)
+
+
+class TestStructCodec:
+    def test_round_trip_mixed_tuple(self):
+        codec = StructCodec(">Qd3f")
+        value = (42, 2.5, 1.0, 2.0, 3.0)
+        decoded = codec.decode(codec.encode(value))
+        assert decoded[0] == 42
+        assert decoded[1] == pytest.approx(2.5)
+        assert decoded[2:] == pytest.approx((1.0, 2.0, 3.0))
+
+    def test_width_matches_struct(self):
+        assert StructCodec(">Q10f").width == 8 + 40

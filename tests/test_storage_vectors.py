@@ -1,0 +1,112 @@
+"""Unit tests for the paged descriptor heap file."""
+
+import numpy as np
+import pytest
+
+from repro.storage import InMemoryPageStore, StorageError, VectorHeapFile
+from repro.storage.vectors import heap_file_from_array
+
+
+class TestVectorHeapFile:
+    def test_append_and_fetch_round_trip(self):
+        heap = VectorHeapFile(dim=8, dtype=np.float32)
+        vectors = np.arange(24, dtype=np.float32).reshape(3, 8)
+        ids = heap.append_batch(vectors)
+        assert list(ids) == [0, 1, 2]
+        for object_id in ids:
+            np.testing.assert_array_equal(heap.fetch(object_id),
+                                          vectors[object_id])
+
+    def test_fetch_many_preserves_order(self):
+        heap = heap_file_from_array(
+            np.arange(40, dtype=np.float32).reshape(5, 8))
+        out = heap.fetch_many([3, 1, 4])
+        np.testing.assert_array_equal(out[0], np.arange(24, 32))
+        np.testing.assert_array_equal(out[1], np.arange(8, 16))
+
+    def test_scan_returns_everything_in_order(self):
+        data = np.random.default_rng(0).normal(size=(17, 6)).astype(np.float32)
+        heap = heap_file_from_array(data)
+        np.testing.assert_array_equal(heap.scan(), data)
+
+    def test_records_packed_per_page(self):
+        heap = VectorHeapFile(dim=4, dtype=np.float32,
+                              store=InMemoryPageStore(page_size=64))
+        # 4 × 4 B = 16 B per record -> 4 records per 64 B page.
+        assert heap.records_per_page == 4
+        heap.append_batch(np.zeros((9, 4), dtype=np.float32))
+        assert heap.size_bytes() == 3 * 64  # ceil(9/4) pages
+
+    def test_fetch_counts_page_reads(self):
+        data = np.zeros((8, 4), dtype=np.float32)
+        heap = VectorHeapFile(dim=4, dtype=np.float32,
+                              store=InMemoryPageStore(page_size=64))
+        heap.append_batch(data)
+        reads_before = heap.stats.page_reads
+        heap.fetch(0)
+        heap.fetch(7)
+        assert heap.stats.page_reads == reads_before + 2
+
+    def test_record_spanning_multiple_pages(self):
+        # 48 dims × 4 B = 192 B record on 64 B pages -> 3 pages per record.
+        heap = VectorHeapFile(dim=48, dtype=np.float32,
+                              store=InMemoryPageStore(page_size=64))
+        vectors = np.random.default_rng(1).normal(
+            size=(3, 48)).astype(np.float32)
+        heap.append_batch(vectors)
+        for object_id in range(3):
+            np.testing.assert_array_equal(heap.fetch(object_id),
+                                          vectors[object_id])
+        reads_before = heap.stats.page_reads
+        heap.fetch(1)
+        assert heap.stats.page_reads == reads_before + 3
+
+    def test_unknown_id_rejected(self):
+        heap = heap_file_from_array(np.zeros((2, 4), dtype=np.float32))
+        with pytest.raises(StorageError):
+            heap.fetch(2)
+        with pytest.raises(StorageError):
+            heap.fetch(-1)
+
+    def test_wrong_shape_rejected(self):
+        heap = VectorHeapFile(dim=4)
+        with pytest.raises(ValueError):
+            heap.append_batch(np.zeros((2, 5), dtype=np.float32))
+
+    def test_invalid_dim_rejected(self):
+        with pytest.raises(ValueError):
+            VectorHeapFile(dim=0)
+
+    def test_dtype_is_respected(self):
+        heap = VectorHeapFile(dim=4, dtype=np.float64)
+        heap.append(np.asarray([0.1, 0.2, 0.3, 0.4]))
+        got = heap.fetch(0)
+        assert got.dtype == np.float64
+        np.testing.assert_allclose(got, [0.1, 0.2, 0.3, 0.4])
+
+    def test_float32_rounding_is_visible(self):
+        heap = VectorHeapFile(dim=1, dtype=np.float32)
+        heap.append(np.asarray([1.0 + 1e-12]))
+        assert heap.fetch(0)[0] == np.float32(1.0)
+
+    def test_len_tracks_appends(self):
+        heap = VectorHeapFile(dim=4)
+        assert len(heap) == 0
+        heap.append_batch(np.zeros((5, 4), dtype=np.float32))
+        assert len(heap) == 5
+
+    def test_empty_scan(self):
+        heap = VectorHeapFile(dim=3)
+        assert heap.scan().shape == (0, 3)
+
+    def test_cache_pages_reduces_reads(self):
+        data = np.zeros((8, 4), dtype=np.float32)
+        cached = VectorHeapFile(dim=4, dtype=np.float32,
+                                store=InMemoryPageStore(page_size=64),
+                                cache_pages=4)
+        cached.append_batch(data)
+        cached.stats.reset()
+        cached.fetch(0)   # page still resident from the append
+        cached.fetch(1)   # same page
+        assert cached.stats.page_reads == 0
+        assert cached.stats.cache_hits == 2
