@@ -65,6 +65,21 @@ def main() -> None:
     print(f"page reads/query = {stats.page_reads} "
           f"(κ = {stats.candidates} candidates refined exactly)")
 
+    # 3b. The same workload as one vectorized batch: query_batch returns
+    #     (Q, k) arrays with identical per-row answers, but shares the
+    #     query-to-reference matmul, the per-tree Hilbert encoding and
+    #     the descriptor fetches across the whole batch — the serving
+    #     path (see benchmarks/bench_batch_throughput.py).
+    started = time.perf_counter()
+    batch_ids, batch_dists = index.query_batch(dataset.queries, k)
+    batch_elapsed = (time.perf_counter() - started) / len(dataset.queries)
+    batch_stats = index.last_query_stats()
+    assert all(np.array_equal(batch_ids[row], results[row])
+               for row in range(len(results)))
+    print(f"\nbatched ({batch_stats.extra['batch_size']} queries/batch): "
+          f"{batch_elapsed * 1e3:.1f} ms/query "
+          f"({elapsed / batch_elapsed:.1f}x the loop)")
+
     # 4. The index is updatable (paper Sec. 3.6).
     new_vector = dataset.queries[0]
     new_id = index.insert(new_vector)

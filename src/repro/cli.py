@@ -34,6 +34,14 @@ from repro.eval import (
 )
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {text}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -53,12 +61,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="directory holding a persisted index")
     _add_data_arguments(query)
     query.add_argument("-k", type=int, default=10)
+    query.add_argument("--batch-size", type=_positive_int, default=None,
+                       help="answer queries through the vectorized "
+                            "query_batch path in chunks of this size")
 
     compare = commands.add_parser(
         "compare", help="compare methods on one dataset")
     _add_data_arguments(compare)
     _add_param_arguments(compare)
     compare.add_argument("-k", type=int, default=10)
+    compare.add_argument("--batch-size", type=_positive_int, default=None,
+                         help="run each method's workload through "
+                              "query_batch in chunks of this size")
     compare.add_argument(
         "--methods", default="hdindex,linear,srs",
         help="comma list from: hdindex,linear,idistance,multicurves,"
@@ -166,7 +180,8 @@ def cmd_query(args, out=sys.stdout) -> int:
     truth = GroundTruth(data, queries, max_k=args.k)
     result = evaluate_index(index, data, queries, args.k,
                             ground_truth=truth, build=False,
-                            dataset_name=args.dataset)
+                            dataset_name=args.dataset,
+                            batch_size=args.batch_size)
     print(format_table([result]), file=out)
     index.close()
     return 0
@@ -216,7 +231,8 @@ def cmd_compare(args, out=sys.stdout) -> int:
             return 2
         chosen[name] = available[name]
     results = run_comparison(chosen, data, queries, args.k,
-                             dataset_name=args.dataset)
+                             dataset_name=args.dataset,
+                             batch_size=args.batch_size)
     print(format_table(results), file=out)
     return 0
 

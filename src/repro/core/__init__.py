@@ -5,6 +5,11 @@ from repro.core.filters import (
     ptolemaic_lower_bounds,
     triangular_lower_bounds,
 )
+from repro.core.engine import (
+    QueryEngine,
+    SequentialExecutor,
+    ThreadedExecutor,
+)
 from repro.core.hdindex import HDIndex
 from repro.core.interface import BuildStats, KNNIndex, QueryStats
 from repro.core.parallel import ParallelHDIndex
@@ -40,13 +45,16 @@ __all__ = [
     "KNNIndex",
     "ParallelHDIndex",
     "PersistenceError",
+    "QueryEngine",
     "QueryStats",
     "RDBTree",
+    "SequentialExecutor",
     "ReferenceSet",
     "ShardedHDIndex",
     "TABLE3_CONFIGS",
     "TABLE3_CONSISTENT",
     "TABLE3_LEAF_ORDERS",
+    "ThreadedExecutor",
     "contiguous_partition",
     "estimate_dmax",
     "filter_candidates",

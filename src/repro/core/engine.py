@@ -1,0 +1,362 @@
+"""Shared Algorithm-2 query engine for the HD-Index family.
+
+The paper claims HD-Index "can be easily parallelized and/or distributed
+with little synchronization" because the three stages of Algo. 2 —
+(i) α nearest-by-Hilbert-key candidates per RDB-tree, (ii) triangular /
+Ptolemaic filter refinement, (iii) exact re-ranking of the κ survivors —
+touch independent trees until the final merge.  This module is the single
+implementation of those stages.  :class:`repro.core.hdindex.HDIndex`,
+:class:`repro.core.parallel.ParallelHDIndex` and (per shard)
+:class:`repro.core.sharded.ShardedHDIndex` are configurations of this one
+code path: the only degree of freedom is the :class:`Executor` that maps
+the per-tree stage-(i)/(ii) work, so the variants cannot drift apart in
+semantics or in the :class:`~repro.core.interface.QueryStats` they report.
+
+Besides the one-point path (:meth:`QueryEngine.run`), the engine provides a
+vectorised batch path (:meth:`QueryEngine.run_batch`) that amortises the
+per-query fixed costs across the whole batch, MRPT/HDIdx-style:
+
+* query-to-reference distances for all Q points in one matmul;
+* Hilbert keys per tree for all Q points in one ``encode_batch`` pass;
+* one descriptor fetch per *unique* candidate across the batch (the κ sets
+  of nearby queries overlap heavily, so this collapses the stage-(iii)
+  random reads);
+* a single executor (thread pool, for the parallel index) reused across
+  all Q × τ tree scans.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.filters import (
+    filter_candidates,
+    ptolemaic_lower_bounds,
+    triangular_lower_bounds,
+)
+from repro.core.interface import QueryStats
+from repro.distance.metrics import euclidean_to_many, top_k_smallest
+
+
+class Executor:
+    """Strategy for mapping the independent per-tree scans of Algo. 2.
+
+    ``workers`` is ``None`` for sequential execution (the stats then omit a
+    worker count, as the sequential index always has) and the pool width
+    otherwise.
+    """
+
+    workers: int | None = None
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (idempotent)."""
+
+
+class SequentialExecutor(Executor):
+    """Run tree scans inline, in order — the plain :class:`HDIndex` mode."""
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        return [fn(item) for item in items]
+
+
+class ThreadedExecutor(Executor):
+    """Fan tree scans over a lazily created, reusable thread pool.
+
+    The numpy filter kernels release the GIL, so the independent per-tree
+    scans genuinely overlap; only the survivor merge synchronises — the
+    paper's "little synchronization".
+
+    Parameters
+    ----------
+    num_workers:
+        Pool width; when ``None`` it is resolved by ``default_workers`` at
+        first use (the parallel index sizes it to its tree count, which is
+        only known after ``build()``).
+    default_workers:
+        Zero-argument callable producing the fallback width.
+    """
+
+    def __init__(self, num_workers: int | None = None,
+                 default_workers: Callable[[], int] | None = None) -> None:
+        if num_workers is not None and num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self.num_workers = num_workers
+        self._default_workers = default_workers or (lambda: 8)
+        self._pool: ThreadPoolExecutor | None = None
+
+    @property
+    def workers(self) -> int | None:  # type: ignore[override]
+        if self._pool is not None:
+            return self._pool._max_workers
+        return self.num_workers
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            workers = self.num_workers or max(1, self._default_workers())
+            self._pool = ThreadPoolExecutor(max_workers=workers)
+        return self._pool
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        return list(self._ensure_pool().map(fn, items))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class QueryEngine:
+    """The three stages of Algo. 2 over one HD-Index's components.
+
+    The engine reads the index's live attributes (``trees``, ``partitions``,
+    ``quantizer``, ``references``, ``heap``, ``_deleted``) at call time, so
+    it survives rebuilds, inserts and persistence reloads without
+    re-wiring.
+    """
+
+    def __init__(self, index, executor: Executor | None = None) -> None:
+        self.index = index
+        self.executor = executor if executor is not None else SequentialExecutor()
+
+    # -- stage (i): RDB-tree candidate retrieval --------------------------
+
+    def scan_tree(self, tree, part: np.ndarray, point: np.ndarray,
+                  alpha: int, key: int | None = None
+                  ) -> tuple[np.ndarray, np.ndarray]:
+        """α nearest entries by Hilbert key in one tree (Algo. 2 line 4).
+
+        ``key`` may be precomputed (the batch path encodes all queries'
+        keys per tree in one pass); otherwise the point's sub-vector is
+        quantised and encoded here.
+        """
+        if key is None:
+            coords = self.index.quantizer.quantize(point[part])[None, :]
+            key = int(tree.curve.encode_batch(coords)[0])
+        return tree.candidates(key, alpha)
+
+    # -- stage (ii): lower-bound filtering --------------------------------
+
+    def filter_survivors(self, query_ref: np.ndarray, cand_ids: np.ndarray,
+                         cand_ref: np.ndarray, beta: int, gamma: int,
+                         ptolemaic: bool) -> np.ndarray:
+        """Triangular (Eq. 5) then optional Ptolemaic (Eq. 6) refinement
+        of one tree's candidates down to γ survivors (Algo. 2 lines 5-10).
+        """
+        if cand_ids.shape[0] == 0:
+            return cand_ids
+        tri = triangular_lower_bounds(query_ref, cand_ref)
+        keep = filter_candidates(tri, min(beta, len(tri)))
+        cand_ids, cand_ref = cand_ids[keep], cand_ref[keep]
+        if ptolemaic:
+            ptol = ptolemaic_lower_bounds(query_ref, cand_ref,
+                                          self.index.references.ref_ref)
+            keep = filter_candidates(ptol, min(gamma, len(ptol)))
+            cand_ids = cand_ids[keep]
+        return cand_ids
+
+    # -- stage (iii): exact re-ranking ------------------------------------
+
+    def rerank(self, point: np.ndarray, merged: np.ndarray, k: int
+               ) -> tuple[np.ndarray, np.ndarray]:
+        """Fetch the κ merged survivors' descriptors and rank exactly
+        (Algo. 2 lines 12-14)."""
+        kappa = merged.shape[0]
+        if not kappa:
+            return (np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.float64))
+        descriptors = self.index.heap.fetch_many(merged)
+        exact = euclidean_to_many(point, descriptors,
+                                  self.index._distance_counter)
+        best = top_k_smallest(exact, min(k, kappa))
+        return merged[best], exact[best]
+
+    # -- full Algo. 2, one query ------------------------------------------
+
+    def run(self, point: np.ndarray, k: int,
+            alpha: int | None = None, beta: int | None = None,
+            gamma: int | None = None, use_ptolemaic: bool | None = None
+            ) -> tuple[np.ndarray, np.ndarray, QueryStats]:
+        """Answer one query; returns (ids, dists, stats)."""
+        index = self.index
+        ptolemaic = (index.params.use_ptolemaic
+                     if use_ptolemaic is None else use_ptolemaic)
+        eff_alpha, eff_beta, eff_gamma = index._effective_sizes(
+            k, alpha, beta, gamma, ptolemaic)
+
+        started = time.perf_counter()
+        reads_before = index._total_page_reads()
+        random_before, sequential_before = index._read_breakdown()
+        index._distance_counter.reset()
+
+        point = np.asarray(point, dtype=np.float64).ravel()
+        if point.shape[0] != index.dim:
+            raise ValueError(
+                f"query has dimension {point.shape[0]}, "
+                f"index expects {index.dim}")
+
+        # Distances from q to all m references (computed once per query).
+        query_ref = index.references.distances_from(point)[0]
+        index._distance_counter.add(index.references.size)
+
+        def scan(tree_and_part):
+            tree, part = tree_and_part
+            cand_ids, cand_ref = self.scan_tree(tree, part, point, eff_alpha)
+            return self.filter_survivors(query_ref, cand_ids, cand_ref,
+                                         eff_beta, eff_gamma, ptolemaic)
+
+        survivor_ids = self.executor.map(
+            scan, list(zip(index.trees, index.partitions)))
+        merged = self._merge_survivors(survivor_ids)
+        ids, dists = self.rerank(point, merged, k)
+
+        random_after, sequential_after = index._read_breakdown()
+        stats = QueryStats(
+            time_sec=time.perf_counter() - started,
+            page_reads=index._total_page_reads() - reads_before,
+            random_reads=random_after - random_before,
+            sequential_reads=sequential_after - sequential_before,
+            candidates=merged.shape[0],
+            distance_computations=index._distance_counter.count,
+            extra=self._stats_extra(eff_alpha, eff_beta, eff_gamma,
+                                    ptolemaic),
+        )
+        return ids, dists, stats
+
+    # -- full Algo. 2, vectorised over a batch ----------------------------
+
+    def run_batch(self, points: np.ndarray, k: int,
+                  alpha: int | None = None, beta: int | None = None,
+                  gamma: int | None = None,
+                  use_ptolemaic: bool | None = None
+                  ) -> tuple[np.ndarray, np.ndarray, QueryStats]:
+        """Answer Q queries; returns ((Q, k) ids, (Q, k) dists, stats).
+
+        Per-query results are identical to Q calls of :meth:`run` (rows
+        short of k answers are padded with id -1 / distance +inf); only
+        the work layout changes, as described in the module docstring.
+        The returned stats aggregate the whole batch and carry
+        ``extra["batch_size"]``.
+        """
+        index = self.index
+        ptolemaic = (index.params.use_ptolemaic
+                     if use_ptolemaic is None else use_ptolemaic)
+        eff_alpha, eff_beta, eff_gamma = index._effective_sizes(
+            k, alpha, beta, gamma, ptolemaic)
+
+        started = time.perf_counter()
+        reads_before = index._total_page_reads()
+        random_before, sequential_before = index._read_breakdown()
+        index._distance_counter.reset()
+
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim == 1:
+            points = points[None, :]
+        if points.ndim != 2 or points.shape[1] != index.dim:
+            raise ValueError(
+                f"queries have shape {points.shape}, index expects "
+                f"(Q, {index.dim})")
+        batch = points.shape[0]
+
+        # One (Q, m) reference-distance matmul for the whole batch.
+        query_ref = index.references.distances_from(points)
+        index._distance_counter.add(batch * index.references.size)
+
+        # One Hilbert-encoding pass per tree covering all Q queries.
+        tree_keys: list[np.ndarray] = []
+        for tree, part in zip(index.trees, index.partitions):
+            coords = index.quantizer.quantize(points[:, part])
+            tree_keys.append(tree.curve.encode_batch(coords))
+
+        trees = index.trees
+        partitions = index.partitions
+
+        # One task per tree, scanning all Q queries against it.  Keeping a
+        # tree's page store on a single thread preserves the one-thread-
+        # per-tree invariant of the parallel single-query path — the
+        # stores (shared file handles, buffer pools, I/O counters) are not
+        # thread-safe, and the trees are the independent units the paper's
+        # "little synchronization" argument rests on.
+        def scan_tree_rows(tree_index):
+            tree = trees[tree_index]
+            part = partitions[tree_index]
+            keys = tree_keys[tree_index]
+            out = []
+            for row in range(batch):
+                cand_ids, cand_ref = self.scan_tree(
+                    tree, part, points[row], eff_alpha, key=int(keys[row]))
+                out.append(self.filter_survivors(
+                    query_ref[row], cand_ids, cand_ref, eff_beta,
+                    eff_gamma, ptolemaic))
+            return out
+
+        per_tree = self.executor.map(scan_tree_rows, range(len(trees)))
+        merged_per_row = [
+            self._merge_survivors([tree_rows[row] for tree_rows in per_tree])
+            for row in range(batch)]
+
+        # Stage (iii), amortised: fetch each distinct candidate once for
+        # the whole batch, then rank per query against the shared block.
+        ids_out = np.full((batch, k), -1, dtype=np.int64)
+        dists_out = np.full((batch, k), np.inf, dtype=np.float64)
+        total_kappa = sum(m.shape[0] for m in merged_per_row)
+        if total_kappa:
+            unique_ids = np.unique(np.concatenate(merged_per_row))
+            descriptors = index.heap.fetch_many(unique_ids)
+            for row in range(batch):
+                merged = merged_per_row[row]
+                if not merged.shape[0]:
+                    continue
+                block = descriptors[np.searchsorted(unique_ids, merged)]
+                exact = euclidean_to_many(points[row], block,
+                                          index._distance_counter)
+                best = top_k_smallest(exact, min(k, merged.shape[0]))
+                ids_out[row, :best.shape[0]] = merged[best]
+                dists_out[row, :best.shape[0]] = exact[best]
+
+        random_after, sequential_after = index._read_breakdown()
+        extra = self._stats_extra(eff_alpha, eff_beta, eff_gamma, ptolemaic)
+        extra["batch_size"] = batch
+        stats = QueryStats(
+            time_sec=time.perf_counter() - started,
+            page_reads=index._total_page_reads() - reads_before,
+            random_reads=random_after - random_before,
+            sequential_reads=sequential_after - sequential_before,
+            candidates=total_kappa,
+            distance_computations=index._distance_counter.count,
+            extra=extra,
+        )
+        return ids_out, dists_out, stats
+
+    # -- internals --------------------------------------------------------
+
+    def _merge_survivors(self, survivor_ids: Sequence[np.ndarray]
+                         ) -> np.ndarray:
+        """Union of per-tree survivor sets minus deleted ids (Algo. 2
+        line 11) — the single synchronisation point."""
+        survivor_ids = [ids for ids in survivor_ids if ids.shape[0]]
+        if survivor_ids:
+            merged = np.unique(np.concatenate(survivor_ids))
+        else:
+            merged = np.empty(0, dtype=np.int64)
+        deleted = self.index._deleted
+        if deleted:
+            merged = merged[~np.isin(merged, list(deleted))]
+        return merged
+
+    def _stats_extra(self, alpha: int, beta: int, gamma: int,
+                     ptolemaic: bool) -> dict:
+        extra = {"alpha": alpha, "beta": beta, "gamma": gamma,
+                 "ptolemaic": ptolemaic}
+        if self.executor.workers is not None:
+            extra["workers"] = self.executor.workers
+        return extra
+
+    def close(self) -> None:
+        self.executor.close()

@@ -14,21 +14,13 @@ import time
 
 import numpy as np
 
-from repro.core.filters import (
-    filter_candidates,
-    ptolemaic_lower_bounds,
-    triangular_lower_bounds,
-)
+from repro.core.engine import QueryEngine
 from repro.core.interface import BuildStats, KNNIndex, QueryStats
 from repro.core.params import HDIndexParams
 from repro.core.partition import make_partition
 from repro.core.rdbtree import RDBTree
 from repro.core.reference import ReferenceSet
-from repro.distance.metrics import (
-    DistanceCounter,
-    euclidean_to_many,
-    top_k_smallest,
-)
+from repro.distance.metrics import DistanceCounter
 from repro.hilbert.butz import HilbertCurve
 from repro.hilbert.quantize import GridQuantizer
 from repro.storage.vectors import VectorHeapFile, heap_file_from_array
@@ -60,6 +52,7 @@ class HDIndex(KNNIndex):
         self._build_stats = BuildStats()
         self._query_stats = QueryStats()
         self._distance_counter = DistanceCounter()
+        self._engine = QueryEngine(self)
 
     # -- construction (Algo. 1) -------------------------------------------
 
@@ -146,80 +139,39 @@ class HDIndex(KNNIndex):
 
         The optional arguments override the corresponding
         :class:`HDIndexParams` fields for this call only (used by the
-        parameter-sweep experiments of Sec. 5.2).
+        parameter-sweep experiments of Sec. 5.2).  The three stages run in
+        the shared :class:`~repro.core.engine.QueryEngine`; subclasses
+        change *how* the per-tree scans execute (thread pool, shards), not
+        *what* they compute.
         """
         self._require_built()
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
-        params = self.params
-        ptolemaic = (params.use_ptolemaic
-                     if use_ptolemaic is None else use_ptolemaic)
-        eff_alpha, eff_beta, eff_gamma = self._effective_sizes(
-            k, alpha, beta, gamma, ptolemaic)
+        ids, dists, self._query_stats = self._engine.run(
+            point, k, alpha=alpha, beta=beta, gamma=gamma,
+            use_ptolemaic=use_ptolemaic)
+        return ids, dists
 
-        started = time.perf_counter()
-        reads_before = self._total_page_reads()
-        random_before, sequential_before = self._read_breakdown()
-        self._distance_counter.reset()
+    def query_batch(self, points: np.ndarray, k: int,
+                    alpha: int | None = None, beta: int | None = None,
+                    gamma: int | None = None,
+                    use_ptolemaic: bool | None = None
+                    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorised batch querying: (Q, k) ids and distances.
 
-        point = np.asarray(point, dtype=np.float64).ravel()
-        if point.shape[0] != self.dim:
-            raise ValueError(
-                f"query has dimension {point.shape[0]}, index expects {self.dim}")
-
-        # Distances from q to all m references (computed once per query).
-        query_ref = self.references.distances_from(point)[0]
-        self._distance_counter.add(self.references.size)
-
-        # Stages (i) and (ii) per tree.
-        survivor_ids: list[np.ndarray] = []
-        for tree, part in zip(self.trees, self.partitions):
-            coords = self.quantizer.quantize(point[part])[None, :]
-            key = int(tree.curve.encode_batch(coords)[0])
-            cand_ids, cand_ref = tree.candidates(key, eff_alpha)
-            if cand_ids.shape[0] == 0:
-                continue
-            tri = triangular_lower_bounds(query_ref, cand_ref)
-            keep = filter_candidates(tri, min(eff_beta, len(tri)))
-            cand_ids, cand_ref = cand_ids[keep], cand_ref[keep]
-            if ptolemaic:
-                ptol = ptolemaic_lower_bounds(query_ref, cand_ref,
-                                              self.references.ref_ref)
-                keep = filter_candidates(ptol, min(eff_gamma, len(ptol)))
-                cand_ids = cand_ids[keep]
-            survivor_ids.append(cand_ids)
-
-        # Stage (iii): union, fetch descriptors, exact distances, top-k.
-        if survivor_ids:
-            merged = np.unique(np.concatenate(survivor_ids))
-        else:
-            merged = np.empty(0, dtype=np.int64)
-        if self._deleted:
-            merged = merged[~np.isin(merged, list(self._deleted))]
-        kappa = merged.shape[0]
-        if kappa:
-            descriptors = self.heap.fetch_many(merged)
-            exact = euclidean_to_many(point, descriptors,
-                                      self._distance_counter)
-            best = top_k_smallest(exact, min(k, kappa))
-            ids = merged[best]
-            dists = exact[best]
-        else:
-            ids = np.empty(0, dtype=np.int64)
-            dists = np.empty(0, dtype=np.float64)
-
-        reads_after = self._total_page_reads()
-        random_after, sequential_after = self._read_breakdown()
-        self._query_stats = QueryStats(
-            time_sec=time.perf_counter() - started,
-            page_reads=reads_after - reads_before,
-            random_reads=random_after - random_before,
-            sequential_reads=sequential_after - sequential_before,
-            candidates=kappa,
-            distance_computations=self._distance_counter.count,
-            extra={"alpha": eff_alpha, "beta": eff_beta, "gamma": eff_gamma,
-                   "ptolemaic": ptolemaic},
-        )
+        Row r equals ``query(points[r], k, ...)`` (padded with -1 / +inf
+        when fewer than k neighbours exist), but the batch shares one
+        reference-distance matmul, one Hilbert-encoding pass per tree and
+        one descriptor fetch per distinct candidate, so throughput is well
+        above the one-at-a-time loop.  ``last_query_stats()`` afterwards
+        reports batch totals with ``extra["batch_size"]``.
+        """
+        self._require_built()
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        ids, dists, self._query_stats = self._engine.run_batch(
+            points, k, alpha=alpha, beta=beta, gamma=gamma,
+            use_ptolemaic=use_ptolemaic)
         return ids, dists
 
     # -- updates (Sec. 3.6) ----------------------------------------------
@@ -334,7 +286,9 @@ class HDIndex(KNNIndex):
         return FilePageStore(path, page_size=self.params.page_size)
 
     def close(self) -> None:
-        """Release the backing page stores (file handles in disk mode)."""
+        """Release the query executor and the backing page stores (file
+        handles in disk mode).  Idempotent."""
+        self._engine.close()
         for tree in self.trees:
             tree.tree.pool.store.close()
         if self.heap is not None:

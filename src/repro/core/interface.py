@@ -67,20 +67,48 @@ class KNNIndex:
         ordered by increasing reported distance."""
         raise NotImplementedError
 
-    def batch_query(self, points: np.ndarray,
-                    k: int) -> tuple[np.ndarray, np.ndarray]:
-        """Query each row of ``points``; returns (Q, k) ids and distances."""
+    def query_batch(self, points: np.ndarray, k: int,
+                    **overrides) -> tuple[np.ndarray, np.ndarray]:
+        """Query each row of ``points``; returns (Q, k) ids and distances.
+
+        Rows with fewer than k answers are padded with id -1 and distance
+        +inf.  ``overrides`` are forwarded to :meth:`query` (the HD-Index
+        family accepts per-call ``alpha``/``beta``/``gamma``/
+        ``use_ptolemaic``).  This default runs a plain loop; indexes that
+        can amortise work across the batch override it with a vectorised
+        implementation returning identical results.
+
+        Afterwards :meth:`last_query_stats` reports totals over the whole
+        batch with ``extra["batch_size"]`` — matching the vectorised
+        overrides — provided the subclass stores its stats in the
+        conventional ``_query_stats`` attribute (all in-repo methods do).
+        """
         points = np.asarray(points)
         if points.ndim == 1:
             points = points[None, :]
         ids = np.full((points.shape[0], k), -1, dtype=np.int64)
         dists = np.full((points.shape[0], k), np.inf, dtype=np.float64)
+        total = QueryStats(extra={"batch_size": points.shape[0]})
         for row, point in enumerate(points):
-            got_ids, got_dists = self.query(point, k)
+            got_ids, got_dists = self.query(point, k, **overrides)
             count = min(k, len(got_ids))
             ids[row, :count] = got_ids[:count]
             dists[row, :count] = got_dists[:count]
+            stats = self.last_query_stats()
+            total.time_sec += stats.time_sec
+            total.page_reads += stats.page_reads
+            total.random_reads += stats.random_reads
+            total.sequential_reads += stats.sequential_reads
+            total.candidates += stats.candidates
+            total.distance_computations += stats.distance_computations
+        if hasattr(self, "_query_stats"):
+            self._query_stats = total
         return ids, dists
+
+    def batch_query(self, points: np.ndarray,
+                    k: int) -> tuple[np.ndarray, np.ndarray]:
+        """Backward-compatible alias for :meth:`query_batch`."""
+        return self.query_batch(points, k)
 
     # -- accounting -------------------------------------------------------
 

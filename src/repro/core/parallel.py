@@ -2,28 +2,28 @@
 
 The paper notes that HD-Index "can be easily parallelized and/or
 distributed with little synchronization ... due to its nature of building
-and querying using multiple independent RDB-trees".  This module implements
-that extension: the per-tree candidate retrieval + filtering stages of
-Algo. 2 are fanned out over a thread pool (the numpy filter kernels release
-the GIL), and only the final κ-candidate merge is synchronised — exactly the
-"little synchronization" the paper predicts.
+and querying using multiple independent RDB-trees".  This class realises
+that extension as a *configuration* of the shared
+:class:`~repro.core.engine.QueryEngine`: the per-tree candidate retrieval +
+filtering stages of Algo. 2 are fanned out over a reusable thread pool (the
+numpy filter kernels release the GIL), and only the final κ-candidate merge
+is synchronised — exactly the "little synchronization" the paper predicts.
+Because the stage logic itself lives in the engine, results and
+:class:`~repro.core.interface.QueryStats` (including the random/sequential
+read breakdown) are identical to the sequential index by construction.
+
+The batch path (:meth:`~repro.core.hdindex.HDIndex.query_batch`) reuses the
+same pool across all Q × τ tree scans of a batch instead of paying the
+fan-out synchronisation once per query.
 """
 
 from __future__ import annotations
 
-import time
-from concurrent.futures import ThreadPoolExecutor
-
-import numpy as np
-
-from repro.core.filters import (
-    filter_candidates,
-    ptolemaic_lower_bounds,
-    triangular_lower_bounds,
-)
+from repro.core.engine import QueryEngine, ThreadedExecutor
 from repro.core.hdindex import HDIndex
-from repro.core.interface import QueryStats
-from repro.distance.metrics import euclidean_to_many, top_k_smallest
+
+#: Default pool width cap when ``num_workers`` is not given.
+MAX_DEFAULT_WORKERS = 8
 
 
 class ParallelHDIndex(HDIndex):
@@ -31,7 +31,8 @@ class ParallelHDIndex(HDIndex):
 
     Results are bit-identical to the sequential :class:`HDIndex` (the union
     of per-tree survivor sets does not depend on scan order); only the
-    wall-clock changes.  Use ``num_workers`` to bound the pool.
+    wall-clock changes.  Use ``num_workers`` to bound the pool; by default
+    it is sized to ``min(8, τ)`` once the index is built.
     """
 
     name = "HD-Index(parallel)"
@@ -41,103 +42,13 @@ class ParallelHDIndex(HDIndex):
         if num_workers is not None and num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
         self.num_workers = num_workers
-        self._executor: ThreadPoolExecutor | None = None
-
-    # -- lifecycle -------------------------------------------------------
-
-    def _ensure_executor(self) -> ThreadPoolExecutor:
-        if self._executor is None:
-            workers = self.num_workers or min(8, max(1, len(self.trees)))
-            self._executor = ThreadPoolExecutor(max_workers=workers)
-        return self._executor
-
-    def close(self) -> None:
-        """Shut the worker pool down and release stores (idempotent)."""
-        if self._executor is not None:
-            self._executor.shutdown(wait=True)
-            self._executor = None
-        super().close()
+        self._engine = QueryEngine(self, ThreadedExecutor(
+            num_workers,
+            default_workers=lambda: min(MAX_DEFAULT_WORKERS,
+                                        max(1, len(self.trees)))))
 
     def __enter__(self) -> "ParallelHDIndex":
         return self
 
     def __exit__(self, *exc_info: object) -> None:
         self.close()
-
-    # -- querying -----------------------------------------------------------
-
-    def query(self, point: np.ndarray, k: int,
-              alpha: int | None = None, beta: int | None = None,
-              gamma: int | None = None,
-              use_ptolemaic: bool | None = None
-              ) -> tuple[np.ndarray, np.ndarray]:
-        self._require_built()
-        if k < 1:
-            raise ValueError(f"k must be >= 1, got {k}")
-        params = self.params
-        ptolemaic = (params.use_ptolemaic
-                     if use_ptolemaic is None else use_ptolemaic)
-        eff_alpha, eff_beta, eff_gamma = self._effective_sizes(
-            k, alpha, beta, gamma, ptolemaic)
-
-        started = time.perf_counter()
-        reads_before = self._total_page_reads()
-        self._distance_counter.reset()
-
-        point = np.asarray(point, dtype=np.float64).ravel()
-        if point.shape[0] != self.dim:
-            raise ValueError(
-                f"query has dimension {point.shape[0]}, index expects {self.dim}")
-        query_ref = self.references.distances_from(point)[0]
-        self._distance_counter.add(self.references.size)
-
-        executor = self._ensure_executor()
-
-        def scan_tree(tree_and_part):
-            tree, part = tree_and_part
-            coords = self.quantizer.quantize(point[part])[None, :]
-            key = int(tree.curve.encode_batch(coords)[0])
-            cand_ids, cand_ref = tree.candidates(key, eff_alpha)
-            if cand_ids.shape[0] == 0:
-                return cand_ids
-            tri = triangular_lower_bounds(query_ref, cand_ref)
-            keep = filter_candidates(tri, min(eff_beta, len(tri)))
-            cand_ids, cand_ref = cand_ids[keep], cand_ref[keep]
-            if ptolemaic:
-                ptol = ptolemaic_lower_bounds(query_ref, cand_ref,
-                                              self.references.ref_ref)
-                keep = filter_candidates(ptol, min(eff_gamma, len(ptol)))
-                cand_ids = cand_ids[keep]
-            return cand_ids
-
-        survivor_ids = list(executor.map(
-            scan_tree, zip(self.trees, self.partitions)))
-        survivor_ids = [ids for ids in survivor_ids if ids.shape[0]]
-
-        if survivor_ids:
-            merged = np.unique(np.concatenate(survivor_ids))
-        else:
-            merged = np.empty(0, dtype=np.int64)
-        if self._deleted:
-            merged = merged[~np.isin(merged, list(self._deleted))]
-        kappa = merged.shape[0]
-        if kappa:
-            descriptors = self.heap.fetch_many(merged)
-            exact = euclidean_to_many(point, descriptors,
-                                      self._distance_counter)
-            best = top_k_smallest(exact, min(k, kappa))
-            ids, dists = merged[best], exact[best]
-        else:
-            ids = np.empty(0, dtype=np.int64)
-            dists = np.empty(0, dtype=np.float64)
-
-        self._query_stats = QueryStats(
-            time_sec=time.perf_counter() - started,
-            page_reads=self._total_page_reads() - reads_before,
-            candidates=kappa,
-            distance_computations=self._distance_counter.count,
-            extra={"alpha": eff_alpha, "beta": eff_beta,
-                   "gamma": eff_gamma, "ptolemaic": ptolemaic,
-                   "workers": executor._max_workers},
-        )
-        return ids, dists

@@ -48,6 +48,9 @@ class RDBTree:
             curve.dim, curve.order, num_references, page_size)
         key_codec = UIntCodec(curve.key_bytes)
         self._record = struct.Struct(f">Q{num_references}f")
+        #: Vectorised view of the same layout for batch decoding.
+        self._record_dtype = np.dtype(
+            [("id", ">u8"), ("ref", ">f4", (num_references,))])
         value_codec = BytesCodec(self._record.size)
         if store is None:
             store = InMemoryPageStore(page_size)
@@ -77,7 +80,13 @@ class RDBTree:
             raise ValueError(
                 f"expected {self.num_references} reference distances, got "
                 f"{reference_distances.shape[1]}")
-        order = sorted(range(n), key=lambda i: keys[i])
+        if self.curve.key_bits <= 64:
+            # η·ω ≤ 64: keys fit a machine word, so the sort is a single
+            # numpy argsort instead of a Python comparison sort over
+            # object-dtype big ints (stable, to match the fallback).
+            order = np.argsort(keys.astype(np.uint64), kind="stable")
+        else:
+            order = sorted(range(n), key=lambda i: keys[i])
         encode_key = self._key_codec.encode
         pack = self._record.pack
         entries = (
@@ -134,13 +143,15 @@ class RDBTree:
         """
         raw = self.tree.nearest(self._key_codec.encode(int(query_key)), alpha)
         count = len(raw)
-        object_ids = np.empty(count, dtype=np.int64)
-        distances = np.empty((count, self.num_references), dtype=np.float64)
-        unpack = self._record.unpack
-        for row, (_, value) in enumerate(raw):
-            fields = unpack(value)
-            object_ids[row] = fields[0]
-            distances[row] = fields[1:]
+        if count == 0:
+            return (np.empty(0, dtype=np.int64),
+                    np.empty((0, self.num_references), dtype=np.float64))
+        # One frombuffer decode of all leaf records beats per-row
+        # struct.unpack by an order of magnitude at α = 4096.
+        records = np.frombuffer(b"".join(value for _, value in raw),
+                                dtype=self._record_dtype, count=count)
+        object_ids = records["id"].astype(np.int64)
+        distances = records["ref"].astype(np.float64)
         return object_ids, distances
 
     # -- accounting -------------------------------------------------------

@@ -65,6 +65,9 @@ class ShardedHDIndex(KNNIndex):
         # Local-to-global id maps; grown on insert so later inserts get
         # fresh global ids without colliding with other shards' ranges.
         self._id_maps: list[list[int]] = []
+        # Array views of _id_maps for vectorised lookups, rebuilt lazily
+        # after inserts.
+        self._id_arrays: list[np.ndarray | None] = [None] * self.num_shards
         import dataclasses
         for shard_index in range(self.num_shards):
             shard_params = dataclasses.replace(
@@ -88,7 +91,16 @@ class ShardedHDIndex(KNNIndex):
                                   for s in self.shards),
         )
 
-    def query(self, point: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    def query(self, point: np.ndarray, k: int,
+              alpha: int | None = None, beta: int | None = None,
+              gamma: int | None = None,
+              use_ptolemaic: bool | None = None
+              ) -> tuple[np.ndarray, np.ndarray]:
+        """Fan the query out to every shard and merge by exact distance.
+
+        The per-call parameter overrides are forwarded to every shard, so
+        α/β/γ sweeps behave exactly as on the unsharded index.
+        """
         if not self.shards:
             raise RuntimeError("index has not been built; call build() first")
         if k < 1:
@@ -96,13 +108,12 @@ class ShardedHDIndex(KNNIndex):
         started = time.perf_counter()
         all_ids: list[np.ndarray] = []
         all_dists: list[np.ndarray] = []
-        reads = 0
-        candidates = 0
+        shard_stats: list[QueryStats] = []
         for shard_index, shard in enumerate(self.shards):
-            ids, dists = shard.query(point, k)
-            stats = shard.last_query_stats()
-            reads += stats.page_reads
-            candidates += stats.candidates
+            ids, dists = shard.query(point, k, alpha=alpha, beta=beta,
+                                     gamma=gamma,
+                                     use_ptolemaic=use_ptolemaic)
+            shard_stats.append(shard.last_query_stats())
             id_map = self._id_maps[shard_index]
             all_ids.append(np.asarray([id_map[local] for local in ids],
                                       dtype=np.int64))
@@ -110,16 +121,75 @@ class ShardedHDIndex(KNNIndex):
         merged_ids = np.concatenate(all_ids)
         merged_dists = np.concatenate(all_dists)
         order = np.lexsort((merged_ids, merged_dists))[:k]
-        self._query_stats = QueryStats(
-            time_sec=time.perf_counter() - started,
-            page_reads=reads,
-            candidates=candidates,
-            distance_computations=sum(
-                s.last_query_stats().distance_computations
-                for s in self.shards),
-            extra={"shards": self.num_shards},
-        )
+        self._query_stats = self._aggregate_stats(
+            shard_stats, time.perf_counter() - started)
         return merged_ids[order], merged_dists[order]
+
+    def query_batch(self, points: np.ndarray, k: int,
+                    alpha: int | None = None, beta: int | None = None,
+                    gamma: int | None = None,
+                    use_ptolemaic: bool | None = None
+                    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batch querying: each shard answers the whole batch through its
+        vectorised :meth:`HDIndex.query_batch`, then the per-shard (Q, k)
+        blocks are merged by exact distance per query."""
+        if not self.shards:
+            raise RuntimeError("index has not been built; call build() first")
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        started = time.perf_counter()
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim == 1:
+            points = points[None, :]
+        batch = points.shape[0]
+        shard_stats: list[QueryStats] = []
+        shard_ids: list[np.ndarray] = []
+        shard_dists: list[np.ndarray] = []
+        for shard_index, shard in enumerate(self.shards):
+            ids, dists = shard.query_batch(
+                points, k, alpha=alpha, beta=beta, gamma=gamma,
+                use_ptolemaic=use_ptolemaic)
+            shard_stats.append(shard.last_query_stats())
+            # Map local ids to global ids; -1 padding stays -1.
+            id_map = self._id_array(shard_index)
+            valid = ids >= 0
+            global_ids = np.full_like(ids, -1)
+            global_ids[valid] = id_map[ids[valid]]
+            shard_ids.append(global_ids)
+            shard_dists.append(dists)
+        # (Q, shards*k) candidate pools; padded entries rank last (+inf).
+        pool_ids = np.concatenate(shard_ids, axis=1)
+        pool_dists = np.concatenate(shard_dists, axis=1)
+        ids_out = np.full((batch, k), -1, dtype=np.int64)
+        dists_out = np.full((batch, k), np.inf, dtype=np.float64)
+        for row in range(batch):
+            order = np.lexsort((pool_ids[row], pool_dists[row]))[:k]
+            keep = pool_ids[row][order] >= 0
+            ids_out[row, :keep.sum()] = pool_ids[row][order][keep]
+            dists_out[row, :keep.sum()] = pool_dists[row][order][keep]
+        self._query_stats = self._aggregate_stats(
+            shard_stats, time.perf_counter() - started,
+            extra={"batch_size": batch})
+        return ids_out, dists_out
+
+    def _aggregate_stats(self, shard_stats: list[QueryStats],
+                         elapsed: float,
+                         extra: dict | None = None) -> QueryStats:
+        """Sum the per-shard counters (each shard is one machine; the
+        merge adds no I/O)."""
+        merged_extra = {"shards": self.num_shards}
+        if extra:
+            merged_extra.update(extra)
+        return QueryStats(
+            time_sec=elapsed,
+            page_reads=sum(s.page_reads for s in shard_stats),
+            random_reads=sum(s.random_reads for s in shard_stats),
+            sequential_reads=sum(s.sequential_reads for s in shard_stats),
+            candidates=sum(s.candidates for s in shard_stats),
+            distance_computations=sum(s.distance_computations
+                                      for s in shard_stats),
+            extra=merged_extra,
+        )
 
     def insert(self, vector: np.ndarray) -> int:
         """Route the insert to the least-loaded shard; return a global id."""
@@ -130,13 +200,53 @@ class ShardedHDIndex(KNNIndex):
         self.shards[target].insert(vector)
         global_id = self.count
         self._id_maps[target].append(global_id)
+        self._id_arrays[target] = None
         self.count += 1
         return global_id
+
+    def _id_array(self, shard_index: int) -> np.ndarray:
+        cached = self._id_arrays[shard_index]
+        if cached is None:
+            cached = np.asarray(self._id_maps[shard_index], dtype=np.int64)
+            self._id_arrays[shard_index] = cached
+        return cached
+
+    def delete(self, object_id: int) -> None:
+        """Delete a *global* id by routing it to the owning shard
+        (Sec. 3.6 update path, distributed)."""
+        if not self.shards:
+            raise RuntimeError("index has not been built; call build() first")
+        shard_index, local_id = self._locate(int(object_id))
+        self.shards[shard_index].delete(local_id)
+
+    def _locate(self, object_id: int) -> tuple[int, int]:
+        """Resolve a global id to (shard index, shard-local id).
+
+        Build-time ids live in the contiguous ranges recorded in
+        ``offsets``; ids handed out by :meth:`insert` are found in the
+        grown tails of ``_id_maps``.
+        """
+        base = int(self.offsets[-1])
+        if 0 <= object_id < base:
+            shard_index = int(np.searchsorted(
+                self.offsets, object_id, side="right")) - 1
+            return shard_index, object_id - int(self.offsets[shard_index])
+        for shard_index, id_map in enumerate(self._id_maps):
+            built = int(self.offsets[shard_index + 1]
+                        - self.offsets[shard_index])
+            for local in range(built, len(id_map)):
+                if id_map[local] == object_id:
+                    return shard_index, local
+        raise ValueError(f"unknown object id {object_id}")
 
     # -- accounting -----------------------------------------------------
 
     def index_size_bytes(self) -> int:
         return sum(shard.index_size_bytes() for shard in self.shards)
+
+    def total_size_bytes(self) -> int:
+        """Index plus descriptor heaps, summed over all shards."""
+        return sum(shard.total_size_bytes() for shard in self.shards)
 
     def memory_bytes(self) -> int:
         # Each machine holds one shard's reference set; report the max.

@@ -1,0 +1,327 @@
+"""Cross-implementation parity suite for the shared Algo.-2 query engine.
+
+The engine extraction makes drift between the sequential, parallel and
+sharded indexes structurally impossible; these tests pin the contract:
+
+* identical (ids, dists) across `HDIndex`, `ParallelHDIndex` and the
+  vectorised batch path on the same data/seed;
+* ``query_batch`` equals a loop of ``query`` for all three index classes;
+* the parallel index reports the same ``QueryStats`` fields — including
+  the random/sequential read breakdown the Sec. 5 evaluation metrics
+  depend on — as the sequential index (regression: it used to drop them);
+* the sharded index forwards per-call α/β/γ/Ptolemaic overrides and
+  supports global-id ``delete``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HDIndex,
+    HDIndexParams,
+    ParallelHDIndex,
+    QueryEngine,
+    SequentialExecutor,
+    ShardedHDIndex,
+    ThreadedExecutor,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(4242)
+    centers = rng.uniform(0.0, 100.0, size=(6, 16))
+    data = np.vstack([
+        center + rng.normal(0.0, 3.0, size=(60, 16)) for center in centers])
+    data = data[rng.permutation(len(data))]
+    queries = data[rng.choice(len(data), 10, replace=False)] \
+        + rng.normal(0.0, 0.5, size=(10, 16))
+    return np.clip(data, 0, 100), np.clip(queries, 0, 100)
+
+
+def params(**overrides):
+    defaults = dict(num_trees=4, num_references=5, alpha=96, gamma=32,
+                    domain=(0.0, 100.0), seed=0)
+    defaults.update(overrides)
+    return HDIndexParams(**defaults)
+
+
+@pytest.fixture(scope="module")
+def built_trio(workload):
+    data, _ = workload
+    sequential = HDIndex(params())
+    parallel = ParallelHDIndex(params(), num_workers=3)
+    sharded = ShardedHDIndex(params(), num_shards=3)
+    for index in (sequential, parallel, sharded):
+        index.build(data)
+    yield sequential, parallel, sharded
+    parallel.close()
+
+
+class TestCrossImplementationParity:
+    def test_sequential_parallel_and_batch_agree(self, workload, built_trio):
+        _, queries = workload
+        sequential, parallel, _ = built_trio
+        batch_ids, batch_dists = sequential.query_batch(queries, 10)
+        for row, query in enumerate(queries):
+            ids_seq, dists_seq = sequential.query(query, 10)
+            ids_par, dists_par = parallel.query(query, 10)
+            np.testing.assert_array_equal(ids_seq, ids_par)
+            np.testing.assert_allclose(dists_seq, dists_par)
+            np.testing.assert_array_equal(
+                batch_ids[row][: len(ids_seq)], ids_seq)
+            np.testing.assert_allclose(
+                batch_dists[row][: len(dists_seq)], dists_seq)
+
+    @pytest.mark.parametrize("which", ["sequential", "parallel", "sharded"])
+    def test_query_batch_equals_query_loop(self, workload, built_trio,
+                                           which):
+        _, queries = workload
+        index = dict(zip(("sequential", "parallel", "sharded"),
+                         built_trio))[which]
+        k = 10
+        batch_ids, batch_dists = index.query_batch(queries, k)
+        assert batch_ids.shape == (len(queries), k)
+        assert batch_dists.shape == (len(queries), k)
+        for row, query in enumerate(queries):
+            ids, dists = index.query(query, k)
+            np.testing.assert_array_equal(batch_ids[row][: len(ids)], ids)
+            np.testing.assert_allclose(batch_dists[row][: len(dists)],
+                                       dists)
+            assert np.all(batch_ids[row][len(ids):] == -1)
+            assert np.all(np.isinf(batch_dists[row][len(dists):]))
+
+    def test_batch_with_overrides_equals_loop_with_overrides(self, workload,
+                                                             built_trio):
+        _, queries = workload
+        sequential, _, _ = built_trio
+        overrides = dict(alpha=48, gamma=16, use_ptolemaic=True)
+        batch_ids, _ = sequential.query_batch(queries, 5, **overrides)
+        for row, query in enumerate(queries):
+            ids, _ = sequential.query(query, 5, **overrides)
+            np.testing.assert_array_equal(batch_ids[row][: len(ids)], ids)
+
+    def test_ptolemaic_path_parity(self, workload):
+        data, queries = workload
+        sequential = HDIndex(params(use_ptolemaic=True))
+        parallel = ParallelHDIndex(params(use_ptolemaic=True))
+        sequential.build(data)
+        parallel.build(data)
+        batch_ids, _ = parallel.query_batch(queries, 10)
+        for row, query in enumerate(queries):
+            ids_seq, _ = sequential.query(query, 10)
+            ids_par, _ = parallel.query(query, 10)
+            np.testing.assert_array_equal(ids_seq, ids_par)
+            np.testing.assert_array_equal(
+                batch_ids[row][: len(ids_seq)], ids_seq)
+        parallel.close()
+
+    def test_disk_backed_parallel_batch_parity(self, workload, tmp_path):
+        """The batch fan-out must keep each tree's (thread-unsafe) page
+        store on a single thread; disk mode would corrupt reads
+        otherwise."""
+        data, queries = workload
+        disk = ParallelHDIndex(params(storage_dir=str(tmp_path / "hd")),
+                               num_workers=4)
+        memory = HDIndex(params())
+        disk.build(data)
+        memory.build(data)
+        ids_disk, dists_disk = disk.query_batch(queries, 10)
+        ids_mem, dists_mem = memory.query_batch(queries, 10)
+        np.testing.assert_array_equal(ids_disk, ids_mem)
+        np.testing.assert_allclose(dists_disk, dists_mem)
+        disk.close()
+
+    def test_batch_accepts_single_vector(self, workload, built_trio):
+        _, queries = workload
+        sequential, _, _ = built_trio
+        ids, dists = sequential.query_batch(queries[0], 5)
+        assert ids.shape == (1, 5)
+        ref_ids, _ = sequential.query(queries[0], 5)
+        np.testing.assert_array_equal(ids[0], ref_ids)
+
+    def test_legacy_batch_query_alias(self, workload, built_trio):
+        _, queries = workload
+        sequential, _, _ = built_trio
+        ids_new, dists_new = sequential.query_batch(queries, 5)
+        ids_old, dists_old = sequential.batch_query(queries, 5)
+        np.testing.assert_array_equal(ids_new, ids_old)
+        np.testing.assert_allclose(dists_new, dists_old)
+
+    def test_default_loop_batch_aggregates_stats(self, workload):
+        """Indexes without a vectorised override (the baselines) must
+        still report batch-total stats after query_batch, so harness
+        batch-mode comparisons stay apples-to-apples."""
+        from repro.baselines import LinearScan
+        data, queries = workload
+        index = LinearScan()
+        index.build(data)
+        index.query(queries[0], 5)
+        per_query = index.last_query_stats()
+        index.query_batch(queries, 5)
+        total = index.last_query_stats()
+        assert total.extra["batch_size"] == len(queries)
+        assert total.page_reads == per_query.page_reads * len(queries)
+        assert total.candidates == per_query.candidates * len(queries)
+
+
+class TestStatsParity:
+    def test_parallel_reports_read_breakdown(self, workload, built_trio):
+        """Regression: the parallel index used to drop the random/
+        sequential read split from its QueryStats."""
+        _, queries = workload
+        sequential, parallel, _ = built_trio
+        sequential.query(queries[0], 10)
+        parallel.query(queries[0], 10)
+        stats_seq = sequential.last_query_stats()
+        stats_par = parallel.last_query_stats()
+        assert stats_par.page_reads == stats_seq.page_reads
+        assert stats_par.random_reads == stats_seq.random_reads
+        assert stats_par.sequential_reads == stats_seq.sequential_reads
+        assert stats_par.random_reads > 0
+        assert (stats_par.random_reads + stats_par.sequential_reads
+                == stats_par.page_reads)
+        # Same schema either way; the parallel index adds the pool width.
+        assert stats_par.extra["workers"] == 3
+        seq_keys = set(stats_seq.as_dict()) | {"workers"}
+        assert set(stats_par.as_dict()) == seq_keys
+
+    def test_sharded_reports_read_breakdown(self, workload, built_trio):
+        _, queries = workload
+        _, _, sharded = built_trio
+        sharded.query(queries[0], 10)
+        stats = sharded.last_query_stats()
+        assert stats.random_reads > 0
+        assert (stats.random_reads + stats.sequential_reads
+                == stats.page_reads)
+
+    def test_batch_stats_aggregate(self, workload, built_trio):
+        _, queries = workload
+        sequential, _, _ = built_trio
+        sequential.query_batch(queries, 10)
+        stats = sequential.last_query_stats()
+        assert stats.extra["batch_size"] == len(queries)
+        assert stats.candidates > 0
+        assert stats.page_reads > 0
+
+    def test_batch_dedupes_descriptor_fetches(self, workload, built_trio):
+        """The batch path fetches each distinct survivor once, so a batch
+        of overlapping queries reads far fewer pages than the loop."""
+        _, queries = workload
+        sequential, _, _ = built_trio
+        loop_reads = 0
+        for query in queries:
+            sequential.query(query, 10)
+            loop_reads += sequential.last_query_stats().page_reads
+        sequential.query_batch(queries, 10)
+        assert sequential.last_query_stats().page_reads < loop_reads
+
+
+class TestShardedOverridesAndUpdates:
+    def test_overrides_forwarded_to_shards(self, workload):
+        """Regression: per-call α/β/γ overrides used to be dropped, so
+        sweeps over a sharded index silently ran with defaults."""
+        data, queries = workload
+        sharded = ShardedHDIndex(params(), num_shards=2)
+        unsharded_like = ShardedHDIndex(params(), num_shards=2)
+        sharded.build(data)
+        unsharded_like.build(data)
+        overrides = dict(alpha=16, gamma=8)
+        swept, _ = sharded.query(queries[0], 10, **overrides)
+        default, _ = sharded.query(queries[0], 10)
+        assert not np.array_equal(swept, default)
+        # The override must reach every shard's stats, not just shard 0.
+        sharded.query(queries[0], 10, alpha=16, gamma=8)
+        for shard in sharded.shards:
+            assert shard.last_query_stats().extra["alpha"] == 16
+
+    def test_ptolemaic_override_forwarded(self, workload):
+        data, queries = workload
+        sharded = ShardedHDIndex(params(), num_shards=2)
+        sharded.build(data)
+        sharded.query(queries[0], 5, use_ptolemaic=True)
+        for shard in sharded.shards:
+            assert shard.last_query_stats().extra["ptolemaic"] is True
+
+    def test_delete_routes_to_owning_shard(self, workload):
+        data, _ = workload
+        sharded = ShardedHDIndex(params(), num_shards=3)
+        sharded.build(data)
+        for probe in (0, len(data) // 2, len(data) - 1):
+            ids, _ = sharded.query(data[probe], 1)
+            assert ids[0] == probe
+            sharded.delete(probe)
+            ids, _ = sharded.query(data[probe], 1)
+            assert ids[0] != probe
+
+    def test_delete_inserted_object(self, workload):
+        data, _ = workload
+        sharded = ShardedHDIndex(params(), num_shards=3)
+        sharded.build(data)
+        point = np.full(16, 50.0)
+        new_id = sharded.insert(point)
+        ids, _ = sharded.query(point, 1)
+        assert ids[0] == new_id
+        sharded.delete(new_id)
+        ids, _ = sharded.query(point, 1)
+        assert ids[0] != new_id
+
+    def test_delete_unknown_id_rejected(self, workload):
+        data, _ = workload
+        sharded = ShardedHDIndex(params(), num_shards=2)
+        sharded.build(data)
+        with pytest.raises(ValueError):
+            sharded.delete(len(data) + 7)
+        with pytest.raises(ValueError):
+            sharded.delete(-1)
+
+    def test_delete_before_build_rejected(self):
+        with pytest.raises(RuntimeError):
+            ShardedHDIndex(params()).delete(0)
+
+    def test_total_size_bytes_sums_shards(self, workload):
+        data, _ = workload
+        sharded = ShardedHDIndex(params(), num_shards=2)
+        sharded.build(data)
+        assert sharded.total_size_bytes() == sum(
+            shard.total_size_bytes() for shard in sharded.shards)
+        assert sharded.total_size_bytes() > sharded.index_size_bytes()
+
+
+class TestEngineComponents:
+    def test_indexes_share_one_engine_implementation(self, built_trio):
+        sequential, parallel, sharded = built_trio
+        assert type(sequential._engine) is type(parallel._engine) is \
+            QueryEngine
+        assert isinstance(sequential._engine.executor, SequentialExecutor)
+        assert isinstance(parallel._engine.executor, ThreadedExecutor)
+        for shard in sharded.shards:
+            assert type(shard._engine) is QueryEngine
+
+    def test_parallel_defines_no_query_override(self):
+        """The structural guarantee: the parallel index has no second copy
+        of the Algo.-2 stage logic."""
+        assert "query" not in ParallelHDIndex.__dict__
+        assert "query_batch" not in ParallelHDIndex.__dict__
+
+    def test_threaded_executor_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            ThreadedExecutor(num_workers=0)
+
+    def test_threaded_executor_close_idempotent(self):
+        executor = ThreadedExecutor(num_workers=2)
+        assert executor.map(lambda v: v * 2, [1, 2, 3]) == [2, 4, 6]
+        assert executor.workers == 2
+        executor.close()
+        executor.close()
+
+    def test_deleted_ids_excluded_from_batch(self, workload):
+        data, _ = workload
+        index = HDIndex(params())
+        index.build(data)
+        probe = 17
+        ids, _ = index.query_batch(data[probe][None, :], 1)
+        assert ids[0, 0] == probe
+        index.delete(probe)
+        ids, _ = index.query_batch(data[probe][None, :], 1)
+        assert ids[0, 0] != probe
