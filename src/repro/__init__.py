@@ -45,6 +45,7 @@ from repro.core import (
     save_index,
 )
 from repro.datasets import DATASET_CATALOG, Dataset, DatasetSpec, make_dataset
+from repro.serve import QueryService, ServiceConfig, ServiceStats
 from repro.eval import (
     GroundTruth,
     approximation_ratio,
@@ -77,8 +78,11 @@ __all__ = [
     "PQIndex",
     "ParallelHDIndex",
     "QALSH",
+    "QueryService",
     "QueryStats",
     "SRS",
+    "ServiceConfig",
+    "ServiceStats",
     "ShardedHDIndex",
     "VAFile",
     "approximation_ratio",

@@ -51,6 +51,8 @@ class VAFile(KNNIndex):
         self.seed = seed
         self.heap: VectorHeapFile | None = None
         self.boundaries: np.ndarray | None = None   # (ν, cells + 1)
+        self._extent_low: np.ndarray | None = None   # true per-dim minima
+        self._extent_high: np.ndarray | None = None  # true per-dim maxima
         self.approximations: np.ndarray | None = None  # (n, ν) uint8
         self.count = 0
         self.dim = 0
@@ -68,6 +70,11 @@ class VAFile(KNNIndex):
         # cover queries outside the data range.
         quantiles = np.linspace(0.0, 1.0, self.cells + 1)
         self.boundaries = np.quantile(data, quantiles, axis=0).T.copy()
+        # Keep the true data extent before stretching the edge cells: the
+        # upper-bound tables need the farthest point that can actually
+        # occupy an edge cell, not the cell's (infinite) geometric corner.
+        self._extent_low = self.boundaries[:, 0].copy()
+        self._extent_high = self.boundaries[:, -1].copy()
         self.boundaries[:, 0] = -np.inf
         self.boundaries[:, -1] = np.inf
         self.approximations = np.empty((n, dim), dtype=np.uint8)
@@ -153,17 +160,15 @@ class VAFile(KNNIndex):
         above = np.maximum(q - high, 0.0)
         lower = np.maximum(below, above)
         lower_sq = lower ** 2
-        # Upper bound: farthest corner of the cell; infinite edge cells
-        # fall back to the farthest *data* boundary.
+        # Upper bound: farthest corner of the cell.  Edge cells extend to
+        # infinity geometrically but hold no data past the true extent, so
+        # their far corner is the dimension's data minimum / maximum — an
+        # inner edge here would *under*-estimate the bound and let phase 1
+        # prune true neighbours.
         low_finite = np.where(np.isfinite(low), low,
-                              np.take_along_axis(
-                                  self.boundaries, np.ones(
-                                      (self.dim, 1), dtype=np.int64), 1))
+                              self._extent_low[:, None])
         high_finite = np.where(np.isfinite(high), high,
-                               np.take_along_axis(
-                                   self.boundaries,
-                                   np.full((self.dim, 1), self.cells - 1,
-                                           dtype=np.int64), 1))
+                               self._extent_high[:, None])
         upper = np.maximum(np.abs(q - low_finite), np.abs(q - high_finite))
         upper_sq = upper ** 2
         return lower_sq, upper_sq

@@ -1,12 +1,16 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four commands cover the library's main workflows without writing code:
+Five commands cover the library's main workflows without writing code:
 
 * ``info``      — list dataset configurations and paper-recommended params;
-* ``build``     — build an HD-Index over a dataset (synthetic or .fvecs)
-  and persist it to a directory;
+* ``build``     — build an index (plain, ``--workers`` parallel or
+  ``--shards`` sharded) over a dataset (synthetic or .fvecs) and persist
+  it to a directory;
 * ``query``     — load a persisted index and run a query workload against
   it, reporting MAP/ratio/time/I/O;
+* ``serve``     — load a persisted index into a micro-batching
+  :class:`~repro.serve.QueryService` and drive it with concurrent client
+  threads, reporting throughput and batching statistics;
 * ``compare``   — run several methods on one dataset and print the
   comparison table (a Fig. 8 row group on demand).
 """
@@ -21,6 +25,8 @@ import numpy as np
 from repro.core import (
     HDIndex,
     HDIndexParams,
+    ParallelHDIndex,
+    ShardedHDIndex,
     load_index,
     recommended_params,
     save_index,
@@ -55,6 +61,12 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--out", required=True,
                        help="directory to persist the index into")
     _add_param_arguments(build)
+    build.add_argument("--shards", type=_positive_int, default=None,
+                       help="build a sharded index over this many "
+                            "horizontal shards")
+    build.add_argument("--workers", type=_positive_int, default=None,
+                       help="build a thread-parallel index with this "
+                            "many per-tree scan workers")
 
     query = commands.add_parser("query", help="query a persisted index")
     query.add_argument("--index", required=True,
@@ -64,6 +76,29 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--batch-size", type=_positive_int, default=None,
                        help="answer queries through the vectorized "
                             "query_batch path in chunks of this size")
+
+    serve = commands.add_parser(
+        "serve", help="serve a persisted index to concurrent clients")
+    serve.add_argument("--index", required=True,
+                       help="directory holding a persisted index "
+                            "(plain, parallel or sharded snapshot)")
+    _add_data_arguments(serve)
+    serve.add_argument("-k", type=int, default=10)
+    serve.add_argument("--clients", type=_positive_int, default=4,
+                       help="concurrent client threads")
+    serve.add_argument("--repeat", type=_positive_int, default=1,
+                       help="send the query workload this many times")
+    serve.add_argument("--max-batch", type=_positive_int, default=64,
+                       help="flush a micro-batch at this many requests")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="flush an incomplete micro-batch after this "
+                            "many milliseconds")
+    serve.add_argument("--max-pending", type=_positive_int, default=1024,
+                       help="backpressure bound on queued requests")
+    serve.add_argument("--cache", type=int, default=0,
+                       help="LRU result-cache capacity (0 disables)")
+    serve.add_argument("--cache-pages", type=int, default=None,
+                       help="buffer-pool pages per store when loading")
 
     compare = commands.add_parser(
         "compare", help="compare methods on one dataset")
@@ -155,18 +190,33 @@ def cmd_info(_args, out=sys.stdout) -> int:
 
 
 def cmd_build(args, out=sys.stdout) -> int:
+    if args.shards is not None and args.workers is not None:
+        print("error: --shards and --workers are mutually exclusive",
+              file=sys.stderr)
+        return 2
     data, _, spec = _load_workload(args)
     params = _params_from_args(args, data, spec)
-    index = HDIndex(params)
+    if args.shards is not None:
+        index = ShardedHDIndex(params, num_shards=args.shards)
+    elif args.workers is not None:
+        index = ParallelHDIndex(params, num_workers=args.workers)
+    else:
+        index = HDIndex(params)
     index.build(data)
     save_index(index, args.out)
     stats = index.build_stats()
-    print(f"built HD-Index over n={len(data)}, ν={data.shape[1]} in "
+    print(f"built {index.name} over n={len(data)}, ν={data.shape[1]} in "
           f"{stats.time_sec:.2f}s", file=out)
-    print(f"τ={params.num_trees} trees, m={params.num_references} "
-          f"references, leaf orders {stats.extra['leaf_orders']}", file=out)
+    if args.shards is not None:
+        print(f"{index.num_shards} shards x τ={params.num_trees} trees, "
+              f"m={params.num_references} references", file=out)
+    else:
+        print(f"τ={params.num_trees} trees, m={params.num_references} "
+              f"references, leaf orders {stats.extra['leaf_orders']}",
+              file=out)
+    descriptors = index.total_size_bytes() - index.index_size_bytes()
     print(f"index {index.index_size_bytes():,} B + descriptors "
-          f"{index.heap.size_bytes():,} B -> {args.out}", file=out)
+          f"{descriptors:,} B -> {args.out}", file=out)
     return 0
 
 
@@ -184,6 +234,62 @@ def cmd_query(args, out=sys.stdout) -> int:
                             batch_size=args.batch_size)
     print(format_table([result]), file=out)
     index.close()
+    return 0
+
+
+def cmd_serve(args, out=sys.stdout) -> int:
+    import threading
+    import time
+
+    from repro.serve import QueryService, ServiceConfig
+
+    index = load_index(args.index, cache_pages=args.cache_pages)
+    data, queries, _ = _load_workload(args)
+    if data.shape[1] != index.dim:
+        print(f"error: index expects ν={index.dim}, dataset has "
+              f"ν={data.shape[1]}", file=sys.stderr)
+        index.close()
+        return 2
+    workload = np.tile(queries, (args.repeat, 1))
+    config = ServiceConfig(max_batch=args.max_batch,
+                           max_wait_ms=args.max_wait_ms,
+                           max_pending=args.max_pending,
+                           cache_size=max(0, args.cache))
+    errors: list[Exception] = []
+
+    def client(service, client_index):
+        futures = [service.submit(workload[i], args.k)
+                   for i in range(client_index, len(workload), args.clients)]
+        for future in futures:
+            try:
+                future.result()
+            except Exception as error:  # surfaced after the run
+                errors.append(error)
+
+    with QueryService(index, config) as service:
+        started = time.perf_counter()
+        threads = [threading.Thread(target=client, args=(service, c))
+                   for c in range(args.clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        stats = service.stats()
+    index.close()
+    if errors:
+        print(f"error: {len(errors)} queries failed "
+              f"({errors[0]!r})", file=sys.stderr)
+        return 1
+    print(f"served {stats.queries} queries from {args.clients} clients in "
+          f"{elapsed:.2f}s -> {stats.queries / elapsed:.1f} q/s", file=out)
+    print(f"{stats.batches} micro-batches, mean size "
+          f"{stats.mean_batch_size():.1f}, max {stats.max_batch_size} "
+          f"(max_batch={args.max_batch}, "
+          f"max_wait_ms={args.max_wait_ms:g})", file=out)
+    if config.cache_size:
+        print(f"result cache: {stats.cache_hits} hits / "
+              f"{stats.cache_misses} misses", file=out)
     return 0
 
 
@@ -241,6 +347,7 @@ COMMANDS = {
     "info": cmd_info,
     "build": cmd_build,
     "query": cmd_query,
+    "serve": cmd_serve,
     "compare": cmd_compare,
 }
 

@@ -133,3 +133,19 @@ class KNNIndex:
     def build_stats(self) -> BuildStats:
         """Statistics of the :meth:`build` call."""
         return BuildStats()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Release backing resources (executors, page-store file handles).
+
+        A no-op by default; disk-resident methods override it.  Must be
+        idempotent, so generic drivers (the CLI, the serve subsystem) can
+        close any index unconditionally.
+        """
+
+    def __enter__(self) -> "KNNIndex":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -46,9 +46,3 @@ class ParallelHDIndex(HDIndex):
             num_workers,
             default_workers=lambda: min(MAX_DEFAULT_WORKERS,
                                         max(1, len(self.trees)))))
-
-    def __enter__(self) -> "ParallelHDIndex":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()

@@ -1,18 +1,26 @@
-"""Save/load a built HD-Index to/from a directory.
+"""Save/load a built index of the HD-Index family to/from a directory.
 
-A persisted index is a directory containing:
+A persisted plain (or parallel) index is a directory containing:
 
 * ``meta.json`` — parameters, partitions, quantiser domain, per-tree
-  structural state (root page / height / count), heap record count, and the
-  deleted-id set;
+  structural state (root page / height / count), heap record count, the
+  deleted-id set, and the index *kind* (``hdindex`` or ``parallel``);
 * ``references.npz`` — the reference vectors, their pairwise distances and
   original indices (the only part of the index that is memory-resident at
   query time, Sec. 4.4.1);
 * ``descriptors.pages`` and ``tree_<i>.pages`` — the page files.
 
+A persisted :class:`~repro.core.sharded.ShardedHDIndex` is a directory
+containing a ``manifest.json`` (shard count, global-id layout, base
+parameters) plus one ``shard_<s>/`` subdirectory per shard, each of which
+is a plain persisted index as above — the "build offline, serve online"
+split, with every shard deployable to its own machine.
+
 Loading re-opens the page files and reconstructs the exact tree structure
 without touching the data — the disk-resident story end to end: build once,
 reopen and query on a machine that never holds the dataset in RAM.
+:func:`load_index` returns an instance of the class that was saved, so a
+service can start from any family member's snapshot without rebuilding.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ from repro.storage.pages import FilePageStore
 from repro.storage.vectors import VectorHeapFile
 
 META_FILE = "meta.json"
+MANIFEST_FILE = "manifest.json"
 REFERENCES_FILE = "references.npz"
 FORMAT_VERSION = 1
 
@@ -39,15 +48,54 @@ class PersistenceError(RuntimeError):
     """Raised when a directory does not hold a valid persisted index."""
 
 
-def save_index(index: HDIndex, directory: str | os.PathLike[str]) -> None:
-    """Persist a built index.
+def save_index(index, directory: str | os.PathLike[str]) -> None:
+    """Persist a built index of the HD-Index family.
+
+    Accepts :class:`HDIndex`, :class:`~repro.core.parallel.ParallelHDIndex`
+    and :class:`~repro.core.sharded.ShardedHDIndex`; the snapshot records
+    which class was saved so :func:`load_index` reconstructs the same kind.
 
     If the index was built with ``storage_dir`` pointing at ``directory``,
     the page files are already in place and only metadata is written;
-    otherwise every page store is copied out to files.
+    otherwise every page store is copied out to files.  Saving is
+    idempotent over the same directory: save -> load -> ``insert()`` /
+    ``delete()`` -> save again keeps the snapshot consistent.
     """
-    index._require_built()
+    from repro.core.sharded import ShardedHDIndex
+    if isinstance(index, ShardedHDIndex):
+        _save_sharded(index, os.fspath(directory))
+    elif isinstance(index, HDIndex):
+        _save_hdindex(index, os.fspath(directory))
+    else:
+        raise PersistenceError(
+            f"cannot persist a {type(index).__name__}; expected a member "
+            f"of the HD-Index family")
+
+
+def load_index(directory: str | os.PathLike[str],
+               cache_pages: int | None = None):
+    """Re-open a persisted index for querying (and further updates).
+
+    The directory is inspected for a ``manifest.json`` (sharded snapshot)
+    or a ``meta.json`` (plain / parallel snapshot) and an instance of the
+    saved class is returned.  ``cache_pages`` overrides the buffer-pool
+    capacity recorded at save time (plumbed through to every shard).
+    """
     directory = os.fspath(directory)
+    if os.path.exists(os.path.join(directory, MANIFEST_FILE)):
+        return _load_sharded(directory, cache_pages)
+    if os.path.exists(os.path.join(directory, META_FILE)):
+        return _load_hdindex(directory, cache_pages)
+    raise PersistenceError(
+        f"{directory} has neither {META_FILE} nor {MANIFEST_FILE}")
+
+
+# -- plain / parallel indexes ----------------------------------------------
+
+
+def _save_hdindex(index: HDIndex, directory: str) -> None:
+    from repro.core.parallel import ParallelHDIndex
+    index._require_built()
     os.makedirs(directory, exist_ok=True)
 
     _materialise_store(index.heap.pool.store, directory, "descriptors",
@@ -65,6 +113,8 @@ def save_index(index: HDIndex, directory: str | os.PathLike[str]) -> None:
 
     meta = {
         "format_version": FORMAT_VERSION,
+        "kind": ("parallel" if isinstance(index, ParallelHDIndex)
+                 else "hdindex"),
         "params": dataclasses.asdict(index.params),
         "dim": index.dim,
         "count": index.count,
@@ -77,14 +127,13 @@ def save_index(index: HDIndex, directory: str | os.PathLike[str]) -> None:
                  "dtype": str(np.dtype(index.params.storage_dtype))},
         "trees": [tree.state() for tree in index.trees],
     }
+    if isinstance(index, ParallelHDIndex):
+        meta["num_workers"] = index.num_workers
     with open(os.path.join(directory, META_FILE), "w") as handle:
         json.dump(meta, handle, indent=2)
 
 
-def load_index(directory: str | os.PathLike[str],
-               cache_pages: int | None = None) -> HDIndex:
-    """Re-open a persisted index for querying (and further updates)."""
-    directory = os.fspath(directory)
+def _load_hdindex(directory: str, cache_pages: int | None) -> HDIndex:
     meta_path = os.path.join(directory, META_FILE)
     if not os.path.exists(meta_path):
         raise PersistenceError(f"{directory} has no {META_FILE}")
@@ -94,15 +143,15 @@ def load_index(directory: str | os.PathLike[str],
         raise PersistenceError(
             f"unsupported index format {meta.get('format_version')!r}")
 
-    params_dict = dict(meta["params"])
-    if params_dict.get("domain") is not None:
-        params_dict["domain"] = tuple(params_dict["domain"])
-    params_dict["storage_dir"] = directory
-    if cache_pages is not None:
-        params_dict["cache_pages"] = cache_pages
-    params = HDIndexParams(**params_dict)
-
-    index = HDIndex(params)
+    params = _restore_params(meta["params"], directory, cache_pages)
+    kind = meta.get("kind", "hdindex")
+    if kind == "parallel":
+        from repro.core.parallel import ParallelHDIndex
+        index = ParallelHDIndex(params, num_workers=meta.get("num_workers"))
+    elif kind == "hdindex":
+        index = HDIndex(params)
+    else:
+        raise PersistenceError(f"unknown index kind {kind!r}")
     index.dim = int(meta["dim"])
     index.count = int(meta["count"])
     index._deleted = set(int(i) for i in meta["deleted"])
@@ -138,6 +187,83 @@ def load_index(directory: str | os.PathLike[str],
     return index
 
 
+def _restore_params(params_dict: dict, directory: str,
+                    cache_pages: int | None) -> HDIndexParams:
+    params_dict = dict(params_dict)
+    if params_dict.get("domain") is not None:
+        params_dict["domain"] = tuple(params_dict["domain"])
+    params_dict["storage_dir"] = directory
+    if cache_pages is not None:
+        params_dict["cache_pages"] = cache_pages
+    return HDIndexParams(**params_dict)
+
+
+# -- sharded indexes -------------------------------------------------------
+
+
+def _shard_dir(directory: str, shard_index: int) -> str:
+    return os.path.join(directory, f"shard_{shard_index}")
+
+
+def _save_sharded(index, directory: str) -> None:
+    index._require_built()
+    os.makedirs(directory, exist_ok=True)
+    for shard_index, shard in enumerate(index.shards):
+        _save_hdindex(shard, _shard_dir(directory, shard_index))
+    params = dataclasses.asdict(index.params)
+    # The wrapper's storage_dir is a property of the *deployment*, not the
+    # snapshot; load_index re-points it at the snapshot directory.
+    params["storage_dir"] = None
+    manifest = {
+        "format_version": FORMAT_VERSION,
+        "kind": "sharded",
+        "num_shards": index.num_shards,
+        "count": index.count,
+        "offsets": [int(v) for v in index.offsets],
+        # Only ids handed out by insert(); the build-time ranges are
+        # implied by the contiguous offsets.
+        "insert_tails": [
+            [int(v) for v in id_map[int(index.offsets[s + 1])
+                                    - int(index.offsets[s]):]]
+            for s, id_map in enumerate(index._id_maps)],
+        "params": params,
+    }
+    with open(os.path.join(directory, MANIFEST_FILE), "w") as handle:
+        json.dump(manifest, handle, indent=2)
+
+
+def _load_sharded(directory: str, cache_pages: int | None):
+    from repro.core.sharded import ShardedHDIndex
+    with open(os.path.join(directory, MANIFEST_FILE)) as handle:
+        manifest = json.load(handle)
+    if manifest.get("format_version") != FORMAT_VERSION:
+        raise PersistenceError(
+            f"unsupported index format {manifest.get('format_version')!r}")
+    if manifest.get("kind") != "sharded":
+        raise PersistenceError(
+            f"manifest kind {manifest.get('kind')!r} is not 'sharded'")
+
+    params = _restore_params(manifest["params"], directory, cache_pages)
+    num_shards = int(manifest["num_shards"])
+    index = ShardedHDIndex(params, num_shards=num_shards)
+    index.count = int(manifest["count"])
+    index.offsets = np.asarray(manifest["offsets"], dtype=np.int64)
+    index.shards = []
+    index._id_maps = []
+    index._id_arrays = [None] * num_shards
+    for shard_index in range(num_shards):
+        shard_directory = _shard_dir(directory, shard_index)
+        index.shards.append(_load_hdindex(shard_directory, cache_pages))
+        built = list(range(int(index.offsets[shard_index]),
+                           int(index.offsets[shard_index + 1])))
+        tail = [int(v) for v in manifest["insert_tails"][shard_index]]
+        index._id_maps.append(built + tail)
+    return index
+
+
+# -- page-store materialisation --------------------------------------------
+
+
 def _materialise_store(store, directory: str, stem: str,
                        page_size: int) -> None:
     """Ensure a page store's contents exist as ``<stem>.pages`` on disk."""
@@ -152,8 +278,15 @@ def _materialise_store(store, directory: str, stem: str,
     if os.path.exists(path):
         os.remove(path)
     out = FilePageStore(path, page_size=page_size)
-    for page_id in store.iter_page_ids():
-        new_id = out.allocate()
-        assert new_id == page_id
-        out.write(page_id, store.read(page_id))
-    out.close()
+    try:
+        for page_id in store.iter_page_ids():
+            new_id = out.allocate()
+            if new_id != page_id:
+                # Not an assert: it must hold under ``python -O`` too, or a
+                # permuted store would be copied out silently corrupted.
+                raise PersistenceError(
+                    f"page ids of {stem!r} are not contiguous: copied page "
+                    f"{new_id} but store yielded id {page_id}")
+            out.write(page_id, store.read(page_id))
+    finally:
+        out.close()

@@ -101,8 +101,7 @@ class ShardedHDIndex(KNNIndex):
         The per-call parameter overrides are forwarded to every shard, so
         α/β/γ sweeps behave exactly as on the unsharded index.
         """
-        if not self.shards:
-            raise RuntimeError("index has not been built; call build() first")
+        self._require_built()
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         started = time.perf_counter()
@@ -114,9 +113,7 @@ class ShardedHDIndex(KNNIndex):
                                      gamma=gamma,
                                      use_ptolemaic=use_ptolemaic)
             shard_stats.append(shard.last_query_stats())
-            id_map = self._id_maps[shard_index]
-            all_ids.append(np.asarray([id_map[local] for local in ids],
-                                      dtype=np.int64))
+            all_ids.append(self._id_array(shard_index)[ids])
             all_dists.append(dists)
         merged_ids = np.concatenate(all_ids)
         merged_dists = np.concatenate(all_dists)
@@ -133,8 +130,7 @@ class ShardedHDIndex(KNNIndex):
         """Batch querying: each shard answers the whole batch through its
         vectorised :meth:`HDIndex.query_batch`, then the per-shard (Q, k)
         blocks are merged by exact distance per query."""
-        if not self.shards:
-            raise RuntimeError("index has not been built; call build() first")
+        self._require_built()
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
         started = time.perf_counter()
@@ -193,8 +189,7 @@ class ShardedHDIndex(KNNIndex):
 
     def insert(self, vector: np.ndarray) -> int:
         """Route the insert to the least-loaded shard; return a global id."""
-        if not self.shards:
-            raise RuntimeError("index has not been built; call build() first")
+        self._require_built()
         sizes = [shard.count for shard in self.shards]
         target = int(np.argmin(sizes))
         self.shards[target].insert(vector)
@@ -214,10 +209,13 @@ class ShardedHDIndex(KNNIndex):
     def delete(self, object_id: int) -> None:
         """Delete a *global* id by routing it to the owning shard
         (Sec. 3.6 update path, distributed)."""
-        if not self.shards:
-            raise RuntimeError("index has not been built; call build() first")
+        self._require_built()
         shard_index, local_id = self._locate(int(object_id))
         self.shards[shard_index].delete(local_id)
+
+    def _require_built(self) -> None:
+        if not self.shards:
+            raise RuntimeError("index has not been built; call build() first")
 
     def _locate(self, object_id: int) -> tuple[int, int]:
         """Resolve a global id to (shard index, shard-local id).
@@ -240,6 +238,11 @@ class ShardedHDIndex(KNNIndex):
         raise ValueError(f"unknown object id {object_id}")
 
     # -- accounting -----------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality ν of the indexed vectors (0 before build)."""
+        return self.shards[0].dim if self.shards else 0
 
     def index_size_bytes(self) -> int:
         return sum(shard.index_size_bytes() for shard in self.shards)

@@ -1,0 +1,30 @@
+"""Online serving: micro-batched concurrent querying over a built index.
+
+``QueryService`` turns the vectorised ``query_batch`` engine path into a
+thread-safe service for live traffic: many client threads submit single
+queries, the service coalesces them into micro-batches, and each caller
+gets its answer through a future — with an optional LRU result cache and a
+backpressure bound on queue depth.  Combined with whole-family
+``save_index``/``load_index`` it gives the ROADMAP's deployment story:
+build offline, snapshot, then serve online without rebuilding.
+"""
+
+from repro.serve.cache import ResultCache, canonical_overrides, make_key
+from repro.serve.service import (
+    QueryService,
+    ServiceClosed,
+    ServiceConfig,
+    ServiceOverloaded,
+    ServiceStats,
+)
+
+__all__ = [
+    "QueryService",
+    "ResultCache",
+    "ServiceClosed",
+    "ServiceConfig",
+    "ServiceOverloaded",
+    "ServiceStats",
+    "canonical_overrides",
+    "make_key",
+]

@@ -1,0 +1,101 @@
+"""LRU result cache for the query service.
+
+Real query streams are heavily skewed (popular images, trending queries),
+so a small cache in front of the index absorbs a disproportionate share of
+traffic before it costs any page reads.  Entries are keyed on the exact
+query bytes plus ``k`` and the per-call parameter overrides, so a hit is
+guaranteed to be byte-identical to recomputing — the cache can never
+change an answer, only skip the work.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+#: Cache key: (query bytes, k, canonicalised overrides).
+CacheKey = tuple[bytes, int, tuple]
+
+
+def canonical_overrides(overrides: dict) -> tuple:
+    """Hashable, order-independent form of per-call overrides.
+
+    ``None``-valued overrides mean "use the index default" and are dropped,
+    so ``query(q, 5)`` and ``query(q, 5, alpha=None)`` canonicalise (and
+    therefore cache and batch) identically.
+    """
+    return tuple(sorted(
+        (name, value) for name, value in overrides.items()
+        if value is not None))
+
+
+def make_key(point: np.ndarray, k: int, overrides: dict | tuple) -> CacheKey:
+    """Build a cache key from a float64 query vector and call parameters.
+
+    ``overrides`` may be the raw keyword dict or an already-canonical
+    tuple from :func:`canonical_overrides` (the service canonicalises once
+    and reuses the tuple for batch grouping).
+    """
+    if isinstance(overrides, dict):
+        overrides = canonical_overrides(overrides)
+    return (point.tobytes(), int(k), overrides)
+
+
+class ResultCache:
+    """Thread-safe LRU map from :data:`CacheKey` to (ids, dists) arrays.
+
+    Stored arrays are private copies marked read-only; hits return them
+    directly, so concurrent clients share one immutable result instead of
+    each holding a mutable row of some batch output.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[CacheKey,
+                                   tuple[np.ndarray, np.ndarray]] = \
+            OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: CacheKey) -> tuple[np.ndarray, np.ndarray] | None:
+        """Look up a result, refreshing its LRU position on a hit."""
+        if self.capacity == 0:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
+
+    def put(self, key: CacheKey, ids: np.ndarray,
+            dists: np.ndarray) -> None:
+        """Insert a result, evicting the least recently used past capacity."""
+        if self.capacity == 0:
+            return
+        ids = np.array(ids, copy=True)
+        dists = np.array(dists, copy=True)
+        ids.setflags(write=False)
+        dists.setflags(write=False)
+        with self._lock:
+            self._entries[key] = (ids, dists)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def invalidate(self) -> None:
+        """Drop every entry (required after ``insert()``/``delete()`` on
+        the underlying index — cached answers may no longer be current)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)

@@ -1,0 +1,394 @@
+"""Micro-batched concurrent query service over any :class:`KNNIndex`.
+
+The paper's scalability story (and the PR-1 ``query_batch`` engine path)
+amortises per-query fixed costs — the query-to-reference matmul, one
+Hilbert-encoding pass per tree, one descriptor fetch per *distinct*
+candidate — across a batch.  Live traffic, however, arrives one query at a
+time from many client threads.  :class:`QueryService` bridges the two: it
+coalesces single-query submissions in a queue, flushes on ``max_batch`` or
+``max_wait_ms`` (whichever comes first), answers through the index's
+vectorised ``query_batch``, and completes one future per caller.
+
+Because a single worker thread owns the index, the page stores and buffer
+pools (which are not thread-safe) are never touched concurrently; client
+threads only ever touch the queue and their own future.  Row results of
+``query_batch`` are independent of batch composition, so every answer is
+byte-identical to a sequential ``query`` call — batching changes the work
+layout, never the answers.
+
+Backpressure is a hard bound on queue depth: past ``max_pending`` waiting
+requests, ``submit`` blocks (optionally up to a timeout, then raises
+:class:`ServiceOverloaded`) instead of letting an unbounded queue hide an
+overloaded index.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+import time
+from collections import OrderedDict, deque
+from concurrent.futures import Future
+
+import numpy as np
+
+from repro.serve.cache import ResultCache, canonical_overrides, make_key
+
+
+class ServiceClosed(RuntimeError):
+    """Raised when submitting to (or draining) a stopped service."""
+
+
+class ServiceOverloaded(RuntimeError):
+    """Raised when the pending queue stays full past a submit timeout."""
+
+
+@dataclasses.dataclass
+class ServiceConfig:
+    """Tunables of the micro-batching loop.
+
+    Attributes
+    ----------
+    max_batch:
+        Flush as soon as this many requests are pending.  The marginal
+        gain of the batch path flattens past a few hundred (see
+        ``benchmarks/bench_batch_throughput.py``), so bigger mostly adds
+        latency.
+    max_wait_ms:
+        Flush an incomplete batch this long after its first request
+        arrived.  ``0`` flushes whatever has accumulated immediately —
+        lowest latency, smallest batches.
+    max_pending:
+        Backpressure bound: maximum requests waiting in the queue before
+        ``submit`` blocks.
+    cache_size:
+        LRU result-cache capacity in entries; ``0`` disables caching.
+    """
+
+    max_batch: int = 64
+    max_wait_ms: float = 2.0
+    max_pending: int = 1024
+    cache_size: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_ms < 0:
+            raise ValueError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}")
+        if self.max_pending < 1:
+            raise ValueError(
+                f"max_pending must be >= 1, got {self.max_pending}")
+        if self.cache_size < 0:
+            raise ValueError(
+                f"cache_size must be >= 0, got {self.cache_size}")
+
+
+@dataclasses.dataclass
+class ServiceStats:
+    """Cumulative counters since the service was created."""
+
+    queries: int = 0
+    batches: int = 0
+    max_batch_size: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    overloads: int = 0
+
+    def mean_batch_size(self) -> float:
+        dispatched = self.queries - self.cache_hits
+        return dispatched / self.batches if self.batches else 0.0
+
+    def as_dict(self) -> dict:
+        data = dataclasses.asdict(self)
+        data["mean_batch_size"] = self.mean_batch_size()
+        return data
+
+
+class _Request:
+    """One queued query: the decoupled point, its cache key, its future."""
+
+    __slots__ = ("point", "k", "overrides", "key", "future")
+
+    def __init__(self, point: np.ndarray, k: int, overrides: tuple,
+                 key) -> None:
+        self.point = point
+        self.k = k
+        self.overrides = overrides
+        self.key = key
+        self.future: Future = Future()
+
+
+class QueryService:
+    """Thread-safe micro-batching front end over one index.
+
+    Typical use::
+
+        with QueryService(index, max_batch=64, max_wait_ms=2.0) as service:
+            futures = [service.submit(q, k=10) for q in queries]
+            results = [f.result() for f in futures]
+
+    or, blocking per call from each client thread::
+
+        ids, dists = service.query(q, k=10)
+
+    The service owns all index access from :meth:`start` until
+    :meth:`stop`; do not call the index's query methods directly while it
+    is running.  After ``insert()``/``delete()`` on the underlying index,
+    call :meth:`invalidate_cache`.
+    """
+
+    def __init__(self, index, config: ServiceConfig | None = None,
+                 **overrides) -> None:
+        base = config if config is not None else ServiceConfig()
+        self.config = dataclasses.replace(base, **overrides)
+        self.index = index
+        self.cache = ResultCache(self.config.cache_size)
+        self._queue: deque[_Request] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+        self._worker: threading.Thread | None = None
+        self._stats = ServiceStats()
+        # True only for from_snapshot(): the service then owns the index
+        # and closes its page stores on stop().
+        self._owns_index = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "QueryService":
+        """Start the dispatcher thread (idempotent)."""
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("service has been stopped")
+            if self._worker is None:
+                self._worker = threading.Thread(
+                    target=self._run, name="repro-query-service", daemon=True)
+                self._worker.start()
+        return self
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the service (idempotent).
+
+        With ``drain=True`` (default) every queued request is answered
+        before the worker exits; with ``drain=False`` queued requests fail
+        with :class:`ServiceClosed`.
+        """
+        with self._lock:
+            self._closed = True
+            abandoned: list[_Request] = []
+            if not drain or self._worker is None:
+                abandoned = list(self._queue)
+                self._queue.clear()
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+            worker = self._worker
+        if worker is not None:
+            worker.join()
+        for request in abandoned:
+            if request.future.set_running_or_notify_cancel():
+                request.future.set_exception(
+                    ServiceClosed("service stopped before dispatch"))
+        if self._owns_index:
+            self.index.close()
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @classmethod
+    def from_snapshot(cls, directory, cache_pages: int | None = None,
+                      config: ServiceConfig | None = None,
+                      **overrides) -> "QueryService":
+        """Open a persisted index (any family member — plain, parallel or
+        sharded snapshot) and wrap it in a service: the "build offline,
+        serve online" split in one call.  The service owns the loaded
+        index and closes its page stores on :meth:`stop`.
+        """
+        from repro.core.persistence import load_index
+        service = cls(load_index(directory, cache_pages=cache_pages),
+                      config=config, **overrides)
+        service._owns_index = True
+        return service
+
+    # -- client API --------------------------------------------------------
+
+    def submit(self, point: np.ndarray, k: int = 10,
+               timeout: float | None = None, **overrides) -> Future:
+        """Enqueue one query; returns a future resolving to (ids, dists).
+
+        ``overrides`` are forwarded to the index's ``query_batch`` (the
+        HD-Index family accepts ``alpha``/``beta``/``gamma``/
+        ``use_ptolemaic``); requests sharing (k, overrides) are batched
+        together.  Blocks while the queue is at ``max_pending``; with a
+        ``timeout`` (seconds) it raises :class:`ServiceOverloaded` instead
+        of blocking forever.
+        """
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        # Private float64 copy: the caller may mutate or reuse its array
+        # long before the batch is dispatched.
+        point = np.array(point, dtype=np.float64, copy=True).ravel()
+        canonical = canonical_overrides(overrides)
+        key = make_key(point, k, canonical)
+        try:
+            hash(key)
+        except TypeError:
+            # Reject here, in the caller's thread: an unhashable override
+            # value reaching the dispatcher's group map would kill the
+            # worker and hang every other client.
+            raise TypeError(
+                f"override values must be hashable, got {overrides!r}"
+            ) from None
+        request = _Request(point, int(k), canonical, key)
+        cached = self.cache.get(key)
+        if cached is not None:
+            with self._lock:
+                self._check_open()
+                self._stats.queries += 1
+            request.future.set_result(cached)
+            return request.future
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._lock:
+            self._check_open()
+            while len(self._queue) >= self.config.max_pending:
+                remaining = None if deadline is None \
+                    else deadline - time.monotonic()
+                if remaining is not None and remaining <= 0:
+                    self._stats.overloads += 1
+                    raise ServiceOverloaded(
+                        f"queue held {len(self._queue)} requests for "
+                        f"{timeout}s (max_pending="
+                        f"{self.config.max_pending})")
+                self._not_full.wait(remaining)
+                self._check_open()
+            self._stats.queries += 1
+            self._queue.append(request)
+            self._not_empty.notify()
+        return request.future
+
+    def query(self, point: np.ndarray, k: int = 10,
+              timeout: float | None = None,
+              **overrides) -> tuple[np.ndarray, np.ndarray]:
+        """Blocking convenience wrapper: ``submit(...).result()``.
+
+        ``timeout`` bounds each phase (backpressure admission, then the
+        result wait), so an overloaded service cannot block the caller
+        forever.
+        """
+        return self.submit(point, k, timeout=timeout,
+                           **overrides).result(timeout)
+
+    def stats(self) -> ServiceStats:
+        """A point-in-time copy of the cumulative counters."""
+        with self._lock:
+            snapshot = dataclasses.replace(self._stats)
+        snapshot.cache_hits = self.cache.hits
+        snapshot.cache_misses = self.cache.misses
+        return snapshot
+
+    def pending(self) -> int:
+        """Requests currently waiting in the queue."""
+        with self._lock:
+            return len(self._queue)
+
+    def invalidate_cache(self) -> None:
+        """Drop cached results (call after index ``insert``/``delete``)."""
+        self.cache.invalidate()
+
+    # -- dispatcher --------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            batch = self._collect()
+            if batch is None:
+                return
+            try:
+                self._dispatch(batch)
+            except Exception as error:
+                # Last-resort guard: the dispatcher thread must survive
+                # anything, or every pending future hangs forever.  Fail
+                # the batch's callers instead.
+                for request in batch:
+                    future = request.future
+                    if future.done() or future.cancelled():
+                        continue
+                    try:
+                        future.set_exception(error)
+                    except Exception:
+                        pass
+
+    def _collect(self) -> list[_Request] | None:
+        """Block for the next micro-batch; ``None`` when stopped and
+        drained."""
+        config = self.config
+        with self._lock:
+            while not self._queue:
+                if self._closed:
+                    return None
+                self._not_empty.wait()
+            if config.max_wait_ms > 0:
+                deadline = time.monotonic() + config.max_wait_ms / 1000.0
+                while (len(self._queue) < config.max_batch
+                       and not self._closed):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    self._not_empty.wait(remaining)
+            batch = [self._queue.popleft()
+                     for _ in range(min(config.max_batch, len(self._queue)))]
+            self._not_full.notify_all()
+            self._stats.batches += 1
+            self._stats.max_batch_size = max(self._stats.max_batch_size,
+                                             len(batch))
+        return batch
+
+    def _dispatch(self, batch: list[_Request]) -> None:
+        """Answer one micro-batch, grouped by (k, overrides)."""
+        groups: OrderedDict[tuple, list[_Request]] = OrderedDict()
+        for request in batch:
+            groups.setdefault((request.k, request.overrides),
+                              []).append(request)
+        for (k, overrides), requests in groups.items():
+            live = [r for r in requests
+                    if r.future.set_running_or_notify_cancel()]
+            if not live:
+                continue
+            try:
+                points = np.stack([r.point for r in live])
+                ids, dists = self.index.query_batch(points, k,
+                                                    **dict(overrides))
+                for row, request in enumerate(live):
+                    self._complete(request, ids[row], dists[row])
+            except Exception:
+                # One malformed request (wrong dimensionality, bad
+                # override) must not fail its batch neighbours: isolate by
+                # retrying each request on its own.
+                self._dispatch_singly(live, k, dict(overrides))
+
+    def _dispatch_singly(self, requests: list[_Request], k: int,
+                         overrides: dict) -> None:
+        for request in requests:
+            try:
+                ids, dists = self.index.query_batch(
+                    request.point[None, :], k, **overrides)
+                self._complete(request, ids[0], dists[0])
+            except Exception as error:
+                request.future.set_exception(error)
+
+    def _complete(self, request: _Request, ids: np.ndarray,
+                  dists: np.ndarray) -> None:
+        # Private per-caller copies: rows of the batch output share one
+        # base array, which would otherwise be pinned (and mutable) across
+        # every client of the batch.
+        ids = ids.copy()
+        dists = dists.copy()
+        self.cache.put(request.key, ids, dists)
+        request.future.set_result((ids, dists))
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceClosed("service has been stopped")

@@ -80,6 +80,24 @@ class TestVAFile:
         true_ids, _ = exact_knn(data, far, k=3)
         assert set(ids.tolist()) == set(true_ids[0].tolist())
 
+    def test_edge_cell_upper_bounds_cover_data_extent(self):
+        """Regression (PR 2): the edge cells' upper bounds used the cell's
+        inner edge instead of the true data min/max, under-estimating the
+        phase-1 pruning threshold and dropping true neighbours at coarse
+        quantisation (hypothesis-found: seed 2475, bits=2)."""
+        rng = np.random.default_rng(2475)
+        centers = rng.uniform(0.0, 50.0, size=(4, 6))
+        assignment = rng.integers(0, 4, size=90)
+        data = np.clip(centers[assignment]
+                       + rng.normal(0.0, 1.5, size=(90, 6)), 0.0, 50.0)
+        query = np.random.default_rng(2475 + 3).uniform(0.0, 50.0, size=6)
+        for bits in (1, 2, 3):
+            index = VAFile(bits=bits, storage_dtype="float64")
+            index.build(data)
+            ids, _ = index.query(query, 7)
+            true_ids, _ = exact_knn(data, query, k=7)
+            assert set(ids.tolist()) == set(true_ids[0].tolist()), bits
+
     def test_invalid_bits(self):
         with pytest.raises(ValueError):
             VAFile(bits=0)

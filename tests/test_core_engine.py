@@ -325,3 +325,51 @@ class TestEngineComponents:
         index.delete(probe)
         ids, _ = index.query_batch(data[probe][None, :], 1)
         assert ids[0, 0] != probe
+
+
+class TestDeleteBatchParity:
+    """Regression (PR 2): the vectorised unique-candidate batch path must
+    exclude ``_deleted`` exactly as the single-query path does, for every
+    family member — a leak here would resurface deleted objects only under
+    batch serving load."""
+
+    @pytest.mark.parametrize("make_index", [
+        lambda: HDIndex(params()),
+        lambda: ParallelHDIndex(params(), num_workers=2),
+        lambda: ShardedHDIndex(params(), num_shards=3),
+    ], ids=["sequential", "parallel", "sharded"])
+    def test_batch_equals_loop_after_deletes(self, workload, make_index):
+        data, queries = workload
+        index = make_index()
+        index.build(data)
+        # Delete the current top answers of several queries, plus an
+        # inserted point, so the deleted set intersects the candidate
+        # pools of the whole batch.
+        inserted = index.insert(np.clip(queries[0] + 0.25, 0, 100))
+        deleted = {inserted}
+        for query in queries[:4]:
+            ids, _ = index.query(query, 3)
+            deleted.update(int(v) for v in ids)
+        for object_id in deleted:
+            index.delete(object_id)
+        batch_ids, batch_dists = index.query_batch(queries, 10)
+        assert not deleted & set(batch_ids.ravel().tolist())
+        for row, query in enumerate(queries):
+            ids, dists = index.query(query, 10)
+            np.testing.assert_array_equal(batch_ids[row][: len(ids)], ids)
+            np.testing.assert_array_equal(batch_dists[row][: len(dists)],
+                                          dists)
+        if hasattr(index, "close"):
+            index.close()
+
+    def test_all_candidates_deleted_pads_batch_row(self, workload):
+        """A query whose entire candidate pool is deleted must come back
+        fully padded (-1 / +inf) from the batch path, like the loop."""
+        data, _ = workload
+        index = HDIndex(params())
+        index.build(data)
+        for object_id in range(len(data)):
+            index.delete(object_id)
+        ids, dists = index.query_batch(data[:3], 5)
+        assert np.all(ids == -1)
+        assert np.all(np.isinf(dists))

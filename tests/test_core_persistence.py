@@ -1,4 +1,4 @@
-"""Tests for HD-Index save/load persistence."""
+"""Tests for HD-Index family save/load persistence."""
 
 import json
 
@@ -8,10 +8,14 @@ import pytest
 from repro.core import (
     HDIndex,
     HDIndexParams,
+    ParallelHDIndex,
     PersistenceError,
+    ShardedHDIndex,
     load_index,
     save_index,
 )
+from repro.core.persistence import _materialise_store
+from repro.storage.pages import InMemoryPageStore
 
 
 @pytest.fixture(scope="module")
@@ -126,3 +130,245 @@ class TestSaveLoad:
         cached.query(queries[0], 5)
         assert cached.io_snapshot()["cache_hits"] > 0
         cached.close()
+
+
+class TestFamilySaveLoad:
+    """Whole-family persistence: parallel and sharded snapshots reopen as
+    the class that was saved (PR-2 tentpole)."""
+
+    def test_parallel_round_trip_restores_class(self, workload, tmp_path):
+        data, queries = workload
+        original = ParallelHDIndex(params(), num_workers=3)
+        original.build(data)
+        save_index(original, tmp_path / "index")
+        reloaded = load_index(tmp_path / "index")
+        assert isinstance(reloaded, ParallelHDIndex)
+        assert reloaded.num_workers == 3
+        for query in queries:
+            ids_a, dists_a = original.query(query, 10)
+            ids_b, dists_b = reloaded.query(query, 10)
+            np.testing.assert_array_equal(ids_a, ids_b)
+            np.testing.assert_array_equal(dists_a, dists_b)
+        original.close()
+        reloaded.close()
+
+    def test_sharded_round_trip_matches_pre_save_exactly(self, workload,
+                                                         tmp_path):
+        data, queries = workload
+        original = ShardedHDIndex(params(), num_shards=3)
+        original.build(data)
+        save_index(original, tmp_path / "index")
+        reloaded = load_index(tmp_path / "index")
+        assert isinstance(reloaded, ShardedHDIndex)
+        assert reloaded.num_shards == 3
+        assert reloaded.count == original.count
+        np.testing.assert_array_equal(reloaded.offsets, original.offsets)
+        for query in queries:
+            ids_a, dists_a = original.query(query, 10)
+            ids_b, dists_b = reloaded.query(query, 10)
+            np.testing.assert_array_equal(ids_a, ids_b)
+            np.testing.assert_array_equal(dists_a, dists_b)
+        batch_a = original.query_batch(queries, 10)
+        batch_b = reloaded.query_batch(queries, 10)
+        np.testing.assert_array_equal(batch_a[0], batch_b[0])
+        np.testing.assert_array_equal(batch_a[1], batch_b[1])
+        original.close()
+        reloaded.close()
+
+    def test_sharded_snapshot_layout(self, workload, tmp_path):
+        data, _ = workload
+        index = ShardedHDIndex(params(), num_shards=2)
+        index.build(data)
+        save_index(index, tmp_path / "index")
+        manifest = json.loads(
+            (tmp_path / "index" / "manifest.json").read_text())
+        assert manifest["kind"] == "sharded"
+        assert manifest["num_shards"] == 2
+        assert manifest["count"] == len(data)
+        assert manifest["offsets"][0] == 0
+        assert manifest["offsets"][-1] == len(data)
+        for shard in range(2):
+            shard_dir = tmp_path / "index" / f"shard_{shard}"
+            assert (shard_dir / "meta.json").exists()
+            assert (shard_dir / "descriptors.pages").exists()
+
+    def test_sharded_inserts_and_deletes_survive(self, workload, tmp_path):
+        data, _ = workload
+        index = ShardedHDIndex(params(), num_shards=2)
+        index.build(data)
+        point = np.full(16, 55.0)
+        new_id = index.insert(point)
+        index.delete(3)
+        save_index(index, tmp_path / "index")
+        reloaded = load_index(tmp_path / "index")
+        assert reloaded.count == len(data) + 1
+        ids, _ = reloaded.query(point, 1)
+        assert ids[0] == new_id
+        ids, _ = reloaded.query(data[3], 1)
+        assert ids[0] != 3
+        # The reloaded index keeps handing out fresh, non-colliding ids.
+        another = reloaded.insert(np.full(16, 45.0))
+        assert another == len(data) + 1
+        reloaded.delete(new_id)
+        ids, _ = reloaded.query(point, 1)
+        assert ids[0] != new_id
+        index.close()
+        reloaded.close()
+
+    def test_sharded_cache_pages_plumbed_to_shards(self, workload, tmp_path):
+        data, queries = workload
+        index = ShardedHDIndex(params(), num_shards=2)
+        index.build(data)
+        save_index(index, tmp_path / "index")
+        reloaded = load_index(tmp_path / "index", cache_pages=128)
+        reloaded.query(queries[0], 5)
+        reloaded.query(queries[0], 5)
+        for shard in reloaded.shards:
+            assert shard.params.cache_pages == 128
+        assert any(shard.io_snapshot()["cache_hits"] > 0
+                   for shard in reloaded.shards)
+        index.close()
+        reloaded.close()
+
+    def test_save_unbuilt_sharded_rejected(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            save_index(ShardedHDIndex(params()), tmp_path / "index")
+
+    def test_save_foreign_index_rejected(self, tmp_path):
+        from repro.baselines import LinearScan
+        with pytest.raises(PersistenceError):
+            save_index(LinearScan(), tmp_path / "index")
+
+    def test_load_empty_directory_rejected(self, tmp_path):
+        (tmp_path / "index").mkdir()
+        with pytest.raises(PersistenceError):
+            load_index(tmp_path / "index")
+
+    def test_load_bad_manifest_kind_rejected(self, workload, tmp_path):
+        data, _ = workload
+        index = ShardedHDIndex(params(), num_shards=2)
+        index.build(data)
+        save_index(index, tmp_path / "index")
+        manifest_path = tmp_path / "index" / "manifest.json"
+        manifest = json.loads(manifest_path.read_text())
+        manifest["kind"] = "mystery"
+        manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(PersistenceError):
+            load_index(tmp_path / "index")
+        index.close()
+
+
+class TestMutateResaveRoundTrip:
+    """Regression (PR 2): save -> load -> insert()/delete() -> save on the
+    same directory must keep the snapshot consistent across cycles."""
+
+    def test_two_mutation_cycles_preserve_state(self, workload, tmp_path):
+        data, queries = workload
+        directory = tmp_path / "index"
+        index = HDIndex(params())
+        index.build(data)
+        save_index(index, directory)
+        inserted = []
+        rng = np.random.default_rng(5)
+        for cycle in range(2):
+            reloaded = load_index(directory)
+            # Enough inserts to allocate fresh heap pages and split leaves.
+            for _ in range(40):
+                inserted.append(reloaded.insert(
+                    rng.uniform(0.0, 100.0, size=16)))
+            reloaded.delete(cycle)
+            save_index(reloaded, directory)
+            ids_before, dists_before = reloaded.query(queries[0], 10)
+            reloaded.close()
+            final = load_index(directory)
+            assert final.count == len(data) + len(inserted)
+            assert len(final.heap) == len(data) + len(inserted)
+            assert final._deleted == set(range(cycle + 1))
+            for tree in final.trees:
+                assert len(tree) == len(data) + len(inserted)
+            ids_after, dists_after = final.query(queries[0], 10)
+            np.testing.assert_array_equal(ids_before, ids_after)
+            np.testing.assert_array_equal(dists_before, dists_after)
+            final.close()
+
+    def test_resave_original_after_mutation(self, workload, tmp_path):
+        """Saving the still-open memory-built index again (after updates)
+        refreshes the page files rather than leaving a stale copy."""
+        data, _ = workload
+        directory = tmp_path / "index"
+        index = HDIndex(params())
+        index.build(data)
+        save_index(index, directory)
+        point = np.full(16, 42.0)
+        new_id = index.insert(point)
+        index.delete(0)
+        save_index(index, directory)
+        reloaded = load_index(directory)
+        assert len(reloaded.heap) == len(data) + 1
+        assert reloaded._deleted == {0}
+        ids, _ = reloaded.query(point, 1)
+        assert ids[0] == new_id
+        reloaded.close()
+
+    def test_query_parity_after_mutated_reload(self, workload, tmp_path):
+        data, queries = workload
+        directory = tmp_path / "index"
+        index = HDIndex(params())
+        index.build(data)
+        save_index(index, directory)
+        mutated = load_index(directory)
+        for offset in range(8):
+            mutated.insert(np.clip(queries[0] + offset, 0, 100))
+        mutated.delete(11)
+        save_index(mutated, directory)
+        expected = [mutated.query(query, 10) for query in queries]
+        mutated.close()
+        reloaded = load_index(directory)
+        for query, (ids, dists) in zip(queries, expected):
+            got_ids, got_dists = reloaded.query(query, 10)
+            np.testing.assert_array_equal(got_ids, ids)
+            np.testing.assert_array_equal(got_dists, dists)
+        reloaded.close()
+
+
+class TestMaterialiseStore:
+    """Regression (PR 2): contiguity is enforced with a real exception, not
+    a bare ``assert`` that ``python -O`` strips to a no-op."""
+
+    class _GappyStore:
+        """A store whose page ids are not contiguous (simulated corruption)."""
+
+        page_size = 4096
+
+        def iter_page_ids(self):
+            return iter([0, 2])
+
+        def read(self, page_id):
+            return bytes(self.page_size)
+
+    def test_non_contiguous_store_raises(self, tmp_path):
+        with pytest.raises(PersistenceError, match="not contiguous"):
+            _materialise_store(self._GappyStore(), str(tmp_path),
+                               "descriptors", 4096)
+
+    def test_empty_store_materialises_empty_file(self, tmp_path):
+        store = InMemoryPageStore(page_size=4096)
+        _materialise_store(store, str(tmp_path), "descriptors", 4096)
+        assert (tmp_path / "descriptors.pages").stat().st_size == 0
+
+    def test_contiguous_store_copies_all_pages(self, tmp_path):
+        store = InMemoryPageStore(page_size=512)
+        for value in (b"a", b"b", b"c"):
+            page_id = store.allocate()
+            store.write(page_id, value * 512)
+        _materialise_store(store, str(tmp_path), "descriptors", 512)
+        raw = (tmp_path / "descriptors.pages").read_bytes()
+        assert raw == b"a" * 512 + b"b" * 512 + b"c" * 512
+
+    def test_file_backed_elsewhere_rejected(self, workload, tmp_path):
+        data, _ = workload
+        index = HDIndex(params(storage_dir=str(tmp_path / "origin")))
+        index.build(data)
+        with pytest.raises(PersistenceError, match="file-backed"):
+            save_index(index, tmp_path / "elsewhere")
+        index.close()

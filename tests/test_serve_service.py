@@ -1,0 +1,363 @@
+"""Tests for the micro-batched concurrent query service.
+
+The contract under test: batching and caching change the *work layout*,
+never the answers — N client threads through the service get byte-identical
+results to a sequential loop over ``query`` — plus the service mechanics
+(backpressure, draining, error isolation, statistics).
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    HDIndex,
+    HDIndexParams,
+    ParallelHDIndex,
+    ShardedHDIndex,
+    save_index,
+)
+from repro.serve import (
+    QueryService,
+    ResultCache,
+    ServiceClosed,
+    ServiceConfig,
+    ServiceOverloaded,
+    make_key,
+)
+
+K = 10
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(77)
+    centers = rng.uniform(0.0, 100.0, size=(6, 16))
+    data = np.vstack([
+        center + rng.normal(0.0, 3.0, size=(60, 16)) for center in centers])
+    queries = data[rng.choice(len(data), 24, replace=False)] \
+        + rng.normal(0.0, 0.5, size=(24, 16))
+    return np.clip(data, 0, 100), np.clip(queries, 0, 100)
+
+
+def params(**overrides):
+    defaults = dict(num_trees=4, num_references=5, alpha=96, gamma=32,
+                    domain=(0.0, 100.0), seed=0)
+    defaults.update(overrides)
+    return HDIndexParams(**defaults)
+
+
+@pytest.fixture(scope="module")
+def built_index(workload):
+    data, _ = workload
+    index = HDIndex(params())
+    index.build(data)
+    yield index
+    index.close()
+
+
+@pytest.fixture(scope="module")
+def expected(workload, built_index):
+    _, queries = workload
+    return [built_index.query(query, K) for query in queries]
+
+
+def run_clients(service, queries, num_threads, rounds=1, k=K):
+    """Drive the service from ``num_threads`` threads; returns results
+    indexed like ``queries`` (repeated ``rounds`` times)."""
+    total = len(queries) * rounds
+    results = [None] * total
+    failures = []
+
+    def client(thread_index):
+        try:
+            for i in range(thread_index, total, num_threads):
+                results[i] = service.query(queries[i % len(queries)], k)
+        except Exception as error:  # pragma: no cover - failure reporting
+            failures.append(error)
+
+    threads = [threading.Thread(target=client, args=(t,))
+               for t in range(num_threads)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not failures, failures
+    return results
+
+
+class TestConcurrentParity:
+    @pytest.mark.parametrize("num_threads", [1, 4, 8])
+    def test_threads_match_sequential_loop(self, workload, built_index,
+                                           expected, num_threads):
+        _, queries = workload
+        with QueryService(built_index, max_batch=8,
+                          max_wait_ms=2.0) as service:
+            results = run_clients(service, queries, num_threads)
+        for row, (ids, dists) in enumerate(expected):
+            np.testing.assert_array_equal(results[row][0], ids)
+            np.testing.assert_array_equal(results[row][1], dists)
+
+    def test_cold_and_warm_cache_both_match(self, workload, built_index,
+                                            expected):
+        _, queries = workload
+        with QueryService(built_index, max_batch=8, max_wait_ms=1.0,
+                          cache_size=256) as service:
+            cold = run_clients(service, queries, 4)
+            warm = run_clients(service, queries, 4)
+            stats = service.stats()
+        assert stats.cache_hits >= len(queries)
+        for row, (ids, dists) in enumerate(expected):
+            for results in (cold, warm):
+                np.testing.assert_array_equal(results[row][0], ids)
+                np.testing.assert_array_equal(results[row][1], dists)
+
+    @pytest.mark.parametrize("make_index", [
+        lambda p: ParallelHDIndex(p, num_workers=2),
+        lambda p: ShardedHDIndex(p, num_shards=2),
+    ], ids=["parallel", "sharded"])
+    def test_family_members_served_identically(self, workload, make_index):
+        data, queries = workload
+        index = make_index(params())
+        index.build(data)
+        expected = [index.query(query, K) for query in queries]
+        with QueryService(index, max_batch=8, max_wait_ms=2.0) as service:
+            results = run_clients(service, queries, 4)
+        for row, (ids, dists) in enumerate(expected):
+            np.testing.assert_array_equal(results[row][0], ids)
+            np.testing.assert_array_equal(results[row][1], dists)
+        index.close()
+
+    def test_mixed_k_and_overrides_batched_separately(self, workload,
+                                                      built_index):
+        _, queries = workload
+        combos = [dict(k=3), dict(k=7), dict(k=5, alpha=48, gamma=16)]
+        expected = []
+        for row, query in enumerate(queries):
+            combo = dict(combos[row % len(combos)])
+            k = combo.pop("k")
+            expected.append(built_index.query(query, k, **combo))
+        with QueryService(built_index, max_batch=16,
+                          max_wait_ms=2.0) as service:
+            futures = []
+            for row, query in enumerate(queries):
+                combo = dict(combos[row % len(combos)])
+                k = combo.pop("k")
+                futures.append(service.submit(query, k, **combo))
+            results = [future.result() for future in futures]
+        for (ids, dists), (got_ids, got_dists) in zip(expected, results):
+            np.testing.assert_array_equal(got_ids, ids)
+            np.testing.assert_array_equal(got_dists, dists)
+
+
+class TestServiceMechanics:
+    def test_micro_batches_actually_form(self, workload, built_index):
+        _, queries = workload
+        service = QueryService(built_index, max_batch=64, max_wait_ms=50.0)
+        futures = [service.submit(query, K) for query in queries]
+        service.start()
+        for future in futures:
+            future.result()
+        stats = service.stats()
+        service.stop()
+        assert stats.batches < len(queries)
+        assert stats.max_batch_size > 1
+        assert stats.queries == len(queries)
+
+    def test_backpressure_bounds_queue_depth(self, workload, built_index):
+        _, queries = workload
+        service = QueryService(built_index, max_pending=4)
+        for row in range(4):
+            service.submit(queries[row], K)
+        assert service.pending() == 4
+        with pytest.raises(ServiceOverloaded):
+            service.submit(queries[4], K, timeout=0.05)
+        assert service.stats().overloads == 1
+        # Once the worker drains the queue, submission unblocks.
+        service.start()
+        future = service.submit(queries[4], K, timeout=5.0)
+        ids, _ = future.result(timeout=5.0)
+        np.testing.assert_array_equal(
+            ids, built_index.query(queries[4], K)[0])
+        service.stop()
+
+    def test_stop_drains_pending_requests(self, workload, built_index):
+        _, queries = workload
+        service = QueryService(built_index, max_wait_ms=50.0)
+        futures = [service.submit(query, K) for query in queries[:6]]
+        service.start()
+        service.stop()  # drain=True: all queued work is answered
+        for future, query in zip(futures, queries):
+            ids, _ = future.result(timeout=0)
+            np.testing.assert_array_equal(
+                ids, built_index.query(query, K)[0])
+
+    def test_stop_without_drain_fails_queued_futures(self, workload,
+                                                     built_index):
+        _, queries = workload
+        service = QueryService(built_index)
+        futures = [service.submit(query, K) for query in queries[:3]]
+        service.stop(drain=False)
+        for future in futures:
+            with pytest.raises(ServiceClosed):
+                future.result(timeout=0)
+
+    def test_submit_after_stop_rejected(self, workload, built_index):
+        _, queries = workload
+        service = QueryService(built_index)
+        service.stop()
+        with pytest.raises(ServiceClosed):
+            service.submit(queries[0], K)
+        with pytest.raises(ServiceClosed):
+            service.start()
+
+    def test_stop_idempotent_and_context_manager(self, workload,
+                                                 built_index):
+        _, queries = workload
+        with QueryService(built_index) as service:
+            service.query(queries[0], K)
+        service.stop()
+        service.stop(drain=False)
+
+    def test_bad_query_does_not_poison_batch(self, workload, built_index):
+        _, queries = workload
+        service = QueryService(built_index, max_wait_ms=50.0)
+        good = [service.submit(query, K) for query in queries[:3]]
+        bad = service.submit(np.zeros(7), K)  # wrong dimensionality
+        more = [service.submit(query, K) for query in queries[3:6]]
+        service.start()
+        with pytest.raises(ValueError):
+            bad.result(timeout=5.0)
+        for future, query in zip(good + more,
+                                 list(queries[:3]) + list(queries[3:6])):
+            ids, _ = future.result(timeout=5.0)
+            np.testing.assert_array_equal(
+                ids, built_index.query(query, K)[0])
+        service.stop()
+
+    def test_unhashable_override_rejected_at_submit(self, workload,
+                                                    built_index):
+        """Regression: an unhashable override value must fail the caller,
+        not reach the dispatcher's group map and kill the worker (which
+        would hang every other client forever)."""
+        _, queries = workload
+        with QueryService(built_index, max_wait_ms=1.0) as service:
+            with pytest.raises(TypeError):
+                service.submit(queries[0], K, alpha=[32])
+            # The service is still alive and serving.
+            ids, _ = service.query(queries[1], K, timeout=5.0)
+            np.testing.assert_array_equal(
+                ids, built_index.query(queries[1], K)[0])
+
+    def test_query_timeout_covers_backpressure(self, workload, built_index):
+        """Regression: query()'s timeout must bound the admission wait
+        too, not only the result wait — a full queue used to block a
+        timeout-bearing caller forever."""
+        _, queries = workload
+        service = QueryService(built_index, max_pending=1)
+        service.submit(queries[0], K)  # fills the queue; worker not started
+        with pytest.raises(ServiceOverloaded):
+            service.query(queries[1], K, timeout=0.05)
+        service.stop(drain=False)
+
+    def test_invalid_arguments_rejected(self, workload, built_index):
+        _, queries = workload
+        service = QueryService(built_index)
+        with pytest.raises(ValueError):
+            service.submit(queries[0], 0)
+        with pytest.raises(ValueError):
+            ServiceConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(max_wait_ms=-1)
+        with pytest.raises(ValueError):
+            ServiceConfig(max_pending=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(cache_size=-1)
+        service.stop()
+
+    def test_caller_mutation_cannot_corrupt_queued_query(self, workload,
+                                                         built_index):
+        """submit() must snapshot the query vector: callers reuse buffers."""
+        _, queries = workload
+        buffer = np.array(queries[0])
+        service = QueryService(built_index, max_wait_ms=50.0)
+        future = service.submit(buffer, K)
+        buffer[:] = 0.0  # mutate after submit, before dispatch
+        service.start()
+        ids, _ = future.result(timeout=5.0)
+        np.testing.assert_array_equal(
+            ids, built_index.query(queries[0], K)[0])
+        service.stop()
+
+    def test_from_snapshot_serves_sharded_directory(self, workload,
+                                                    tmp_path):
+        data, queries = workload
+        index = ShardedHDIndex(params(), num_shards=2)
+        index.build(data)
+        expected = [index.query(query, K) for query in queries[:6]]
+        save_index(index, tmp_path / "snap")
+        index.close()
+        service = QueryService.from_snapshot(tmp_path / "snap",
+                                             max_batch=8, max_wait_ms=1.0)
+        assert isinstance(service.index, ShardedHDIndex)
+        with service:
+            results = run_clients(service, queries[:6], 3)
+        for (ids, dists), (got_ids, got_dists) in zip(expected, results):
+            np.testing.assert_array_equal(got_ids, ids)
+            np.testing.assert_array_equal(got_dists, dists)
+        # from_snapshot hands ownership to the service: stop() (via the
+        # context manager) must have closed the loaded page stores.
+        from repro.storage.pages import StorageError
+        with pytest.raises(StorageError):
+            service.index.query(queries[0], K)
+
+
+class TestResultCache:
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        keys = [make_key(np.full(4, float(v)), 5, {}) for v in range(3)]
+        for v, key in enumerate(keys):
+            cache.put(key, np.array([v]), np.array([float(v)]))
+        assert cache.get(keys[0]) is None  # evicted
+        assert cache.get(keys[2])[0][0] == 2
+        assert len(cache) == 2
+
+    def test_zero_capacity_disables(self):
+        cache = ResultCache(capacity=0)
+        key = make_key(np.zeros(4), 5, {})
+        cache.put(key, np.array([1]), np.array([1.0]))
+        assert cache.get(key) is None
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_entries_are_immutable(self):
+        cache = ResultCache(capacity=4)
+        key = make_key(np.zeros(4), 5, {})
+        cache.put(key, np.array([1, 2]), np.array([1.0, 2.0]))
+        ids, dists = cache.get(key)
+        with pytest.raises(ValueError):
+            ids[0] = 99
+        with pytest.raises(ValueError):
+            dists[0] = 99.0
+
+    def test_key_distinguishes_k_and_overrides(self):
+        point = np.zeros(4)
+        base = make_key(point, 5, {})
+        assert make_key(point, 10, {}) != base
+        assert make_key(point, 5, {"alpha": 32}) != base
+        # None-valued overrides mean "default" and share the base entry.
+        assert make_key(point, 5, {"alpha": None}) == base
+
+    def test_invalidate_after_index_update(self, workload):
+        data, queries = workload
+        index = HDIndex(params())
+        index.build(data)
+        with QueryService(index, cache_size=64,
+                          max_wait_ms=1.0) as service:
+            stale_ids, _ = service.query(queries[0], K)
+            victim = int(stale_ids[0])
+            index.delete(victim)
+            service.invalidate_cache()
+            fresh_ids, _ = service.query(queries[0], K)
+            assert victim not in fresh_ids
+        index.close()
