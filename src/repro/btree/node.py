@@ -138,7 +138,11 @@ def _parse_leaf(raw: bytes, count: int, key_width: int,
     keys: list[bytes] = []
     values: list[bytes] = []
     for _ in range(count):
-        keys.append(raw[offset:offset + key_width])
+        # Keys must be real bytes: the tree orders them with <, which a
+        # memoryview (zero-copy mmap page) does not support.  Values stay
+        # whatever slice of ``raw`` is — views over an mmap page are
+        # passed through copy-free to the candidate decode.
+        keys.append(bytes(raw[offset:offset + key_width]))
         offset += key_width
         values.append(raw[offset:offset + value_width])
         offset += value_width
@@ -156,6 +160,6 @@ def _parse_internal(raw: bytes, count: int, key_width: int) -> InternalNode:
         offset += _CHILD.size
     keys: list[bytes] = []
     for _ in range(count):
-        keys.append(raw[offset:offset + key_width])
+        keys.append(bytes(raw[offset:offset + key_width]))
         offset += key_width
     return InternalNode(keys=keys, children=children)

@@ -248,7 +248,11 @@ class BPlusTree:
             self._write_leaf(page_id, node)
             return None
         middle = len(node) // 2
-        right = LeafNode(keys=node.keys[middle:], values=node.values[middle:],
+        # Materialise the right half's values: over an mmap store they are
+        # zero-copy views into page ``page_id``, whose bytes are rewritten
+        # (left half) below, before ``right`` is serialized.
+        right = LeafNode(keys=node.keys[middle:],
+                         values=[bytes(v) for v in node.values[middle:]],
                          left=page_id, right=node.right)
         right_page = self.pool.allocate()
         node.keys = node.keys[:middle]

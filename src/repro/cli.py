@@ -67,6 +67,10 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--workers", type=_positive_int, default=None,
                        help="build a thread-parallel index with this "
                             "many per-tree scan workers")
+    build.add_argument("--backend", choices=("memory", "file", "mmap"),
+                       default=None,
+                       help="page-store backend; file/mmap write the page "
+                            "files straight into --out (no copy at save)")
 
     query = commands.add_parser("query", help="query a persisted index")
     query.add_argument("--index", required=True,
@@ -76,6 +80,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--batch-size", type=_positive_int, default=None,
                        help="answer queries through the vectorized "
                             "query_batch path in chunks of this size")
+    query.add_argument("--backend", choices=("memory", "file", "mmap"),
+                       default=None,
+                       help="how to reopen the snapshot (default: as saved; "
+                            "mmap = zero-copy larger-than-RAM mode)")
 
     serve = commands.add_parser(
         "serve", help="serve a persisted index to concurrent clients")
@@ -99,6 +107,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="LRU result-cache capacity (0 disables)")
     serve.add_argument("--cache-pages", type=int, default=None,
                        help="buffer-pool pages per store when loading")
+    serve.add_argument("--backend", choices=("memory", "file", "mmap"),
+                       default=None,
+                       help="how to reopen the snapshot (default: as saved; "
+                            "mmap = zero-copy larger-than-RAM mode)")
 
     compare = commands.add_parser(
         "compare", help="compare methods on one dataset")
@@ -196,6 +208,14 @@ def cmd_build(args, out=sys.stdout) -> int:
         return 2
     data, _, spec = _load_workload(args)
     params = _params_from_args(args, data, spec)
+    if args.backend is not None:
+        import dataclasses
+        updates = {"backend": args.backend}
+        if args.backend in ("file", "mmap"):
+            # Write the page files straight into the snapshot directory so
+            # save_index only has to write metadata.
+            updates["storage_dir"] = args.out
+        params = dataclasses.replace(params, **updates)
     if args.shards is not None:
         index = ShardedHDIndex(params, num_shards=args.shards)
     elif args.workers is not None:
@@ -221,7 +241,7 @@ def cmd_build(args, out=sys.stdout) -> int:
 
 
 def cmd_query(args, out=sys.stdout) -> int:
-    index = load_index(args.index)
+    index = load_index(args.index, backend=args.backend)
     data, queries, _ = _load_workload(args)
     if data.shape[1] != index.dim:
         print(f"error: index expects ν={index.dim}, dataset has "
@@ -243,7 +263,8 @@ def cmd_serve(args, out=sys.stdout) -> int:
 
     from repro.serve import QueryService, ServiceConfig
 
-    index = load_index(args.index, cache_pages=args.cache_pages)
+    index = load_index(args.index, cache_pages=args.cache_pages,
+                       backend=args.backend)
     data, queries, _ = _load_workload(args)
     if data.shape[1] != index.dim:
         print(f"error: index expects ν={index.dim}, dataset has "

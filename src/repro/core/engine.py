@@ -166,12 +166,19 @@ class QueryEngine:
     def rerank(self, point: np.ndarray, merged: np.ndarray, k: int
                ) -> tuple[np.ndarray, np.ndarray]:
         """Fetch the κ merged survivors' descriptors and rank exactly
-        (Algo. 2 lines 12-14)."""
+        (Algo. 2 lines 12-14).
+
+        The fetch is the heap file's vectorised multi-row :meth:`gather`
+        — over an mmap backend, one fancy-index into the zero-copy page
+        matrix instead of κ per-record page reads, which is where the
+        refinement stage's I/O cost (the binding constraint at scale)
+        actually goes.
+        """
         kappa = merged.shape[0]
         if not kappa:
             return (np.empty(0, dtype=np.int64),
                     np.empty(0, dtype=np.float64))
-        descriptors = self.index.heap.fetch_many(merged)
+        descriptors = self.index.heap.gather(merged)
         exact = euclidean_to_many(point, descriptors,
                                   self.index._distance_counter)
         best = top_k_smallest(exact, min(k, kappa))
@@ -302,13 +309,14 @@ class QueryEngine:
             for row in range(batch)]
 
         # Stage (iii), amortised: fetch each distinct candidate once for
-        # the whole batch, then rank per query against the shared block.
+        # the whole batch — one vectorised gather over the heap file —
+        # then rank per query against the shared block.
         ids_out = np.full((batch, k), -1, dtype=np.int64)
         dists_out = np.full((batch, k), np.inf, dtype=np.float64)
         total_kappa = sum(m.shape[0] for m in merged_per_row)
         if total_kappa:
             unique_ids = np.unique(np.concatenate(merged_per_row))
-            descriptors = index.heap.fetch_many(unique_ids)
+            descriptors = index.heap.gather(unique_ids)
             for row in range(batch):
                 merged = merged_per_row[row]
                 if not merged.shape[0]:

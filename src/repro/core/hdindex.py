@@ -29,12 +29,23 @@ from repro.storage.vectors import VectorHeapFile, heap_file_from_array
 class HDIndex(KNNIndex):
     """The paper's primary contribution.
 
-    Typical use::
+    Construction (Algo. 1) builds τ RDB-trees over Hilbert-ordered
+    dimension partitions plus a descriptor heap file; querying (Algo. 2)
+    runs the shared three-stage :class:`~repro.core.engine.QueryEngine`.
+    Where the page data lives is a parameter, not a subclass:
+    ``HDIndexParams(storage_dir=..., backend="memory"|"file"|"mmap")``
+    selects in-memory pages, seek/read files, or zero-copy memory
+    mapping (the larger-than-RAM serving mode).
 
-        params = HDIndexParams(num_trees=8, hilbert_order=8, alpha=512)
-        index = HDIndex(params)
-        index.build(data)                  # (n, ν) array
-        ids, dists = index.query(q, k=10)
+    >>> import numpy as np
+    >>> from repro import HDIndex, HDIndexParams
+    >>> data = np.repeat(np.arange(32.0)[:, None], 4, axis=1)  # (n=32, ν=4)
+    >>> index = HDIndex(HDIndexParams(num_trees=2, hilbert_order=4,
+    ...                               num_references=4, alpha=8, seed=0))
+    >>> index.build(data)
+    >>> ids, dists = index.query(data[5], k=3)
+    >>> int(ids[0]), float(dists[0])
+    (5, 0.0)
     """
 
     name = "HD-Index"
@@ -57,7 +68,16 @@ class HDIndex(KNNIndex):
     # -- construction (Algo. 1) -------------------------------------------
 
     def build(self, data: np.ndarray) -> None:
-        """Construct the τ RDB-trees and the descriptor heap file."""
+        """Construct the τ RDB-trees and the descriptor heap file.
+
+        Args:
+            data: ``(n, ν)`` dataset; stored in the heap file as
+                ``params.storage_dtype`` and indexed per Algo. 1.
+
+        Raises:
+            ValueError: If ``data`` is not 2-D, is empty, or has fewer
+                dimensions than ``params.num_trees``.
+        """
         started = time.perf_counter()
         data = np.asarray(data, dtype=np.float64)
         if data.ndim != 2:
@@ -177,7 +197,19 @@ class HDIndex(KNNIndex):
     # -- updates (Sec. 3.6) ----------------------------------------------
 
     def insert(self, vector: np.ndarray) -> int:
-        """Insert a new object; the reference set is kept as-is (Sec. 3.6)."""
+        """Insert a new object; the reference set is kept as-is (Sec. 3.6).
+
+        Args:
+            vector: ``(ν,)`` descriptor to add.
+
+        Returns:
+            The new object's id (appended to the heap file, so ids stay
+            dense and persist across save/load).
+
+        Raises:
+            ValueError: If the vector's dimensionality does not match.
+            RuntimeError: If called before :meth:`build`.
+        """
         self._require_built()
         vector = np.asarray(vector, dtype=np.float64).ravel()
         if vector.shape[0] != self.dim:
@@ -193,7 +225,16 @@ class HDIndex(KNNIndex):
         return object_id
 
     def delete(self, object_id: int) -> None:
-        """Mark an object deleted; it is never returned again (Sec. 3.6)."""
+        """Mark an object deleted; it is never returned again (Sec. 3.6).
+
+        Args:
+            object_id: Id previously returned by :meth:`build` ordering
+                or :meth:`insert`.
+
+        Raises:
+            ValueError: If the id was never allocated.
+            RuntimeError: If called before :meth:`build`.
+        """
         self._require_built()
         if not 0 <= object_id < len(self.heap):
             raise ValueError(f"unknown object id {object_id}")
@@ -274,15 +315,20 @@ class HDIndex(KNNIndex):
         return random_reads, sequential
 
     def _make_store(self, stem: str):
-        """A file-backed page store when ``storage_dir`` is set, else None
-        (the callee creates a private in-memory store)."""
-        if self.params.storage_dir is None:
+        """Page store for one component, per ``params.resolved_backend``:
+        ``None`` for "memory" (the callee creates a private in-memory
+        store), a seek/read :class:`FilePageStore` for "file", a zero-copy
+        :class:`MmapPageStore` for "mmap"."""
+        backend = self.params.resolved_backend
+        if backend == "memory":
             return None
         import os
 
-        from repro.storage.pages import FilePageStore
+        from repro.storage.pages import FilePageStore, MmapPageStore
         os.makedirs(self.params.storage_dir, exist_ok=True)
         path = os.path.join(self.params.storage_dir, f"{stem}.pages")
+        if backend == "mmap":
+            return MmapPageStore(path, page_size=self.params.page_size)
         return FilePageStore(path, page_size=self.params.page_size)
 
     def close(self) -> None:

@@ -52,36 +52,105 @@ class KNNIndex:
     """Protocol for every kANN method in this reproduction.
 
     Subclasses implement :meth:`build` and :meth:`query`; the base class
-    provides batching and default accounting.
+    provides batching and default accounting.  The examples below use
+    :class:`~repro.core.hdindex.HDIndex`, the primary implementation; a
+    tiny deterministic diagonal dataset keeps them fast and stable:
+
+    >>> import numpy as np
+    >>> from repro import HDIndex, HDIndexParams
+    >>> data = np.repeat(np.arange(32.0)[:, None], 4, axis=1)  # (32, 4)
+    >>> index = HDIndex(HDIndexParams(num_trees=2, hilbert_order=4,
+    ...                               num_references=4, alpha=8, seed=0))
+    >>> index.build(data)
+    >>> ids, dists = index.query(data[5], k=3)
+    >>> int(ids[0]), float(dists[0])
+    (5, 0.0)
     """
 
     #: Human-readable method name used in experiment tables.
     name: str = "abstract"
 
     def build(self, data: np.ndarray) -> None:
-        """Construct the index over an (n, ν) dataset."""
+        """Construct the index over a dataset.
+
+        Args:
+            data: ``(n, ν)`` array of vectors; coerced to float64.
+
+        Raises:
+            ValueError: If ``data`` is not 2-D, is empty, or violates a
+                structural parameter (e.g. ``num_trees`` exceeding ν for
+                the HD-Index family).
+        """
         raise NotImplementedError
 
     def query(self, point: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
-        """Return (ids, distances) of k approximate nearest neighbours,
-        ordered by increasing reported distance."""
+        """Approximate k nearest neighbours of one point.
+
+        Args:
+            point: ``(ν,)`` query vector.
+            k: Number of neighbours requested (``>= 1``).
+
+        Returns:
+            ``(ids, distances)`` arrays of length ``<= k``, ordered by
+            increasing reported distance.
+
+        Raises:
+            ValueError: If ``k < 1`` or the point's dimensionality does
+                not match the index.
+            RuntimeError: If called before :meth:`build`.
+
+        >>> import numpy as np
+        >>> from repro import HDIndex, HDIndexParams
+        >>> data = np.repeat(np.arange(32.0)[:, None], 4, axis=1)
+        >>> index = HDIndex(HDIndexParams(num_trees=2, hilbert_order=4,
+        ...                               num_references=4, alpha=8, seed=0))
+        >>> index.build(data)
+        >>> ids, dists = index.query(data[7], k=2)
+        >>> int(ids[0]), float(dists[0])
+        (7, 0.0)
+        >>> index.query(data[0], k=0)
+        Traceback (most recent call last):
+            ...
+        ValueError: k must be >= 1, got 0
+        """
         raise NotImplementedError
 
     def query_batch(self, points: np.ndarray, k: int,
                     **overrides) -> tuple[np.ndarray, np.ndarray]:
-        """Query each row of ``points``; returns (Q, k) ids and distances.
+        """Query each row of ``points`` in one call.
 
-        Rows with fewer than k answers are padded with id -1 and distance
-        +inf.  ``overrides`` are forwarded to :meth:`query` (the HD-Index
-        family accepts per-call ``alpha``/``beta``/``gamma``/
-        ``use_ptolemaic``).  This default runs a plain loop; indexes that
-        can amortise work across the batch override it with a vectorised
-        implementation returning identical results.
+        Args:
+            points: ``(Q, ν)`` array of query vectors (a single ``(ν,)``
+                vector is promoted to a one-row batch).
+            k: Neighbours per query (``>= 1``).
+            **overrides: Forwarded to :meth:`query` (the HD-Index family
+                accepts per-call ``alpha``/``beta``/``gamma``/
+                ``use_ptolemaic``).
 
+        Returns:
+            ``(ids, distances)`` arrays of shape ``(Q, k)``; rows with
+            fewer than k answers are padded with id ``-1`` and distance
+            ``+inf``.  Row ``r`` is identical to ``query(points[r], k)``.
+
+        This default runs a plain loop; indexes that can amortise work
+        across the batch (the whole HD-Index family) override it with a
+        vectorised implementation returning identical results.
         Afterwards :meth:`last_query_stats` reports totals over the whole
         batch with ``extra["batch_size"]`` — matching the vectorised
         overrides — provided the subclass stores its stats in the
         conventional ``_query_stats`` attribute (all in-repo methods do).
+
+        >>> import numpy as np
+        >>> from repro import HDIndex, HDIndexParams
+        >>> data = np.repeat(np.arange(32.0)[:, None], 4, axis=1)
+        >>> index = HDIndex(HDIndexParams(num_trees=2, hilbert_order=4,
+        ...                               num_references=4, alpha=8, seed=0))
+        >>> index.build(data)
+        >>> ids, dists = index.query_batch(data[:4], k=2)
+        >>> ids.shape, [int(i) for i in ids[:, 0]]
+        ((4, 2), [0, 1, 2, 3])
+        >>> index.last_query_stats().extra["batch_size"]
+        4
         """
         points = np.asarray(points)
         if points.ndim == 1:
@@ -113,25 +182,52 @@ class KNNIndex:
     # -- accounting -------------------------------------------------------
 
     def index_size_bytes(self) -> int:
-        """On-disk footprint of the index structure (excludes the shared
-        descriptor file unless the method embeds descriptors, as
-        Multicurves does)."""
+        """On-disk footprint of the index structure, in bytes.
+
+        Returns:
+            Bytes of the index pages only — the shared descriptor file is
+            excluded unless the method embeds descriptors (as Multicurves
+            does), so methods are compared on the structure they add.
+        """
         raise NotImplementedError
 
     def memory_bytes(self) -> int:
-        """RAM the method must keep resident while answering queries."""
+        """RAM the method must keep resident while answering queries.
+
+        Returns:
+            Bytes of query-time state (reference sets, buffer pools,
+            candidate workspaces) — the "querying RAM" column of the
+            paper's Table 5.
+        """
         raise NotImplementedError
 
     def build_memory_bytes(self) -> int:
-        """Peak RAM during index construction (structural accounting)."""
+        """Peak RAM during index construction (structural accounting).
+
+        Returns:
+            Bytes at the construction peak; defaults to
+            :meth:`memory_bytes` for methods whose build holds no more
+            than their query state.
+        """
         return self.memory_bytes()
 
     def last_query_stats(self) -> QueryStats:
-        """Statistics of the most recent :meth:`query` call."""
+        """Statistics of the most recent :meth:`query` /
+        :meth:`query_batch` call.
+
+        Returns:
+            A :class:`QueryStats` (zeroed default if nothing ran yet):
+            wall-clock, page reads with the random/sequential split,
+            candidate count and distance computations.
+        """
         return QueryStats()
 
     def build_stats(self) -> BuildStats:
-        """Statistics of the :meth:`build` call."""
+        """Statistics of the :meth:`build` call.
+
+        Returns:
+            A :class:`BuildStats` (zeroed default before any build).
+        """
         return BuildStats()
 
     # -- lifecycle ---------------------------------------------------------

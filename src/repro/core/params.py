@@ -80,6 +80,23 @@ class HDIndexParams:
         When set, the descriptor heap and every RDB-tree are backed by real
         files in this directory (``descriptors.pages``, ``tree_<i>.pages``)
         instead of in-memory page stores — the fully disk-resident mode.
+    backend:
+        Storage backend for the page stores: ``"memory"``
+        (:class:`~repro.storage.pages.InMemoryPageStore`), ``"file"``
+        (:class:`~repro.storage.pages.FilePageStore`, seek/read copies) or
+        ``"mmap"`` (:class:`~repro.storage.pages.MmapPageStore`, zero-copy
+        views for larger-than-RAM serving).  ``None`` (default) keeps the
+        historical auto rule: ``"memory"`` when ``storage_dir`` is unset,
+        ``"file"`` otherwise.  ``"file"``/``"mmap"`` require a
+        ``storage_dir``.
+
+        >>> HDIndexParams(backend="mmap", storage_dir="/tmp/i").resolved_backend
+        'mmap'
+        >>> HDIndexParams().resolved_backend
+        'memory'
+        >>> HDIndexParams(storage_dir="/tmp/i").resolved_backend
+        'file'
+
     seed:
         Seed for reference selection and random partitioning.
     """
@@ -99,6 +116,7 @@ class HDIndexParams:
     cache_pages: int = 0
     storage_dtype: str = "float32"
     storage_dir: str | None = None
+    backend: str | None = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -118,6 +136,24 @@ class HDIndexParams:
         if not 0.0 < self.sss_fraction < 1.0:
             raise ValueError(
                 f"sss_fraction must be in (0, 1), got {self.sss_fraction}")
+        if self.backend not in (None, "memory", "file", "mmap"):
+            raise ValueError(
+                f"unknown storage backend {self.backend!r}; choose from "
+                f"'memory', 'file', 'mmap'")
+        if self.backend in ("file", "mmap") and self.storage_dir is None:
+            raise ValueError(
+                f"backend={self.backend!r} requires storage_dir")
+
+    @property
+    def resolved_backend(self) -> str:
+        """Effective storage backend (``"memory"``/``"file"``/``"mmap"``).
+
+        Resolves the ``None`` default: disk-resident (``"file"``) when
+        ``storage_dir`` is set, in-memory otherwise.
+        """
+        if self.backend is not None:
+            return self.backend
+        return "memory" if self.storage_dir is None else "file"
 
     def resolve_filter_sizes(self, k: int) -> tuple[int, int, int]:
         """Effective (α, β, γ) for a query returning k results.

@@ -35,7 +35,7 @@ from repro.core.hdindex import HDIndex
 from repro.core.params import HDIndexParams
 from repro.core.reference import ReferenceSet
 from repro.hilbert.quantize import GridQuantizer
-from repro.storage.pages import FilePageStore
+from repro.storage.pages import FilePageStore, InMemoryPageStore, MmapPageStore
 from repro.storage.vectors import VectorHeapFile
 
 META_FILE = "meta.json"
@@ -56,10 +56,33 @@ def save_index(index, directory: str | os.PathLike[str]) -> None:
     which class was saved so :func:`load_index` reconstructs the same kind.
 
     If the index was built with ``storage_dir`` pointing at ``directory``,
-    the page files are already in place and only metadata is written;
+    the page files are already in place and only metadata is written
+    (file and mmap backends alike — mmap stores are flushed and trimmed);
     otherwise every page store is copied out to files.  Saving is
     idempotent over the same directory: save -> load -> ``insert()`` /
     ``delete()`` -> save again keeps the snapshot consistent.
+
+    Args:
+        index: A **built** member of the HD-Index family.
+        directory: Destination directory (created if missing).
+
+    Raises:
+        PersistenceError: If ``index`` is not a family member, or it is
+            file-backed somewhere other than ``directory``.
+        RuntimeError: If the index has not been built.
+
+    >>> import numpy as np, tempfile
+    >>> from repro.core import (HDIndex, HDIndexParams, load_index,
+    ...                         save_index)
+    >>> data = np.repeat(np.arange(32.0)[:, None], 4, axis=1)
+    >>> index = HDIndex(HDIndexParams(num_trees=2, hilbert_order=4,
+    ...                               num_references=4, alpha=8, seed=0))
+    >>> index.build(data)
+    >>> with tempfile.TemporaryDirectory() as tmp:
+    ...     save_index(index, tmp)
+    ...     with load_index(tmp, backend="mmap") as reopened:
+    ...         int(reopened.query(data[5], k=1)[0][0])
+    5
     """
     from repro.core.sharded import ShardedHDIndex
     if isinstance(index, ShardedHDIndex):
@@ -73,19 +96,47 @@ def save_index(index, directory: str | os.PathLike[str]) -> None:
 
 
 def load_index(directory: str | os.PathLike[str],
-               cache_pages: int | None = None):
+               cache_pages: int | None = None,
+               backend: str | None = None):
     """Re-open a persisted index for querying (and further updates).
 
     The directory is inspected for a ``manifest.json`` (sharded snapshot)
     or a ``meta.json`` (plain / parallel snapshot) and an instance of the
-    saved class is returned.  ``cache_pages`` overrides the buffer-pool
-    capacity recorded at save time (plumbed through to every shard).
+    saved class is returned.
+
+    Args:
+        directory: A directory written by :func:`save_index`.
+        cache_pages: Overrides the buffer-pool capacity recorded at save
+            time (plumbed through to every shard); ``None`` keeps the
+            saved value.
+        backend: How the page files are opened — ``"file"`` (seek/read
+            handles, the default), ``"mmap"`` (zero-copy memory mapping:
+            the reopen is O(metadata) and the OS page cache serves reads,
+            so snapshots larger than RAM start in milliseconds) or
+            ``"memory"`` (every page is materialised into RAM up front:
+            O(index size) reopen, fastest steady-state for small
+            indexes).  ``None`` honours the backend the snapshot was
+            built with when that was ``"file"``/``"mmap"``, else
+            ``"file"``.  Results are byte-identical across backends.
+
+    Returns:
+        An instance of the class that was saved (:class:`HDIndex`,
+        :class:`~repro.core.parallel.ParallelHDIndex` or
+        :class:`~repro.core.sharded.ShardedHDIndex`), ready to query.
+
+    Raises:
+        PersistenceError: If the directory is not a valid snapshot, the
+            format version is unsupported, or ``backend`` is unknown.
     """
     directory = os.fspath(directory)
+    if backend not in (None, "memory", "file", "mmap"):
+        raise PersistenceError(
+            f"unknown storage backend {backend!r}; choose from "
+            f"'memory', 'file', 'mmap'")
     if os.path.exists(os.path.join(directory, MANIFEST_FILE)):
-        return _load_sharded(directory, cache_pages)
+        return _load_sharded(directory, cache_pages, backend)
     if os.path.exists(os.path.join(directory, META_FILE)):
-        return _load_hdindex(directory, cache_pages)
+        return _load_hdindex(directory, cache_pages, backend)
     raise PersistenceError(
         f"{directory} has neither {META_FILE} nor {MANIFEST_FILE}")
 
@@ -133,7 +184,8 @@ def _save_hdindex(index: HDIndex, directory: str) -> None:
         json.dump(meta, handle, indent=2)
 
 
-def _load_hdindex(directory: str, cache_pages: int | None) -> HDIndex:
+def _load_hdindex(directory: str, cache_pages: int | None,
+                  backend: str | None = None) -> HDIndex:
     meta_path = os.path.join(directory, META_FILE)
     if not os.path.exists(meta_path):
         raise PersistenceError(f"{directory} has no {META_FILE}")
@@ -143,7 +195,8 @@ def _load_hdindex(directory: str, cache_pages: int | None) -> HDIndex:
         raise PersistenceError(
             f"unsupported index format {meta.get('format_version')!r}")
 
-    params = _restore_params(meta["params"], directory, cache_pages)
+    backend = _resolve_backend(backend, meta["params"])
+    params = _restore_params(meta["params"], directory, cache_pages, backend)
     kind = meta.get("kind", "hdindex")
     if kind == "parallel":
         from repro.core.parallel import ParallelHDIndex
@@ -167,9 +220,9 @@ def _load_hdindex(directory: str, cache_pages: int | None) -> HDIndex:
     index.references = ReferenceSet(
         archive["vectors"], indices if indices.size else None)
 
-    heap_store = FilePageStore(
+    heap_store = _open_store(
         os.path.join(directory, "descriptors.pages"),
-        page_size=params.page_size)
+        params.page_size, backend)
     index.heap = VectorHeapFile(
         dim=index.dim, dtype=meta["heap"]["dtype"], store=heap_store,
         cache_pages=params.cache_pages)
@@ -178,21 +231,48 @@ def _load_hdindex(directory: str, cache_pages: int | None) -> HDIndex:
     from repro.core.rdbtree import RDBTree
     index.trees = []
     for tree_index, tree_state in enumerate(meta["trees"]):
-        store = FilePageStore(
+        store = _open_store(
             os.path.join(directory, f"tree_{tree_index}.pages"),
-            page_size=params.page_size)
+            params.page_size, backend)
         index.trees.append(RDBTree.from_state(
             store, tree_state, cache_pages=params.cache_pages,
             page_size=params.page_size))
     return index
 
 
+def _resolve_backend(backend: str | None, params_dict: dict) -> str:
+    """Pick the effective load backend: the caller's explicit choice, the
+    snapshot's own disk backend, or ``"file"``."""
+    if backend is not None:
+        return backend
+    saved = params_dict.get("backend")
+    return saved if saved in ("file", "mmap") else "file"
+
+
+def _open_store(path: str, page_size: int, backend: str):
+    """Open one persisted ``.pages`` file under the chosen backend.
+
+    ``"memory"`` materialises every page into an
+    :class:`InMemoryPageStore` (the O(index size) cold start the mmap
+    backend exists to avoid); ``"file"``/``"mmap"`` reopen lazily.
+    """
+    if backend == "mmap":
+        return MmapPageStore(path, page_size=page_size)
+    if backend == "memory":
+        with open(path, "rb") as handle:  # one bulk read, then slice
+            return InMemoryPageStore.from_bytes(handle.read(),
+                                                page_size=page_size)
+    return FilePageStore(path, page_size=page_size)
+
+
 def _restore_params(params_dict: dict, directory: str,
-                    cache_pages: int | None) -> HDIndexParams:
+                    cache_pages: int | None,
+                    backend: str) -> HDIndexParams:
     params_dict = dict(params_dict)
     if params_dict.get("domain") is not None:
         params_dict["domain"] = tuple(params_dict["domain"])
     params_dict["storage_dir"] = directory
+    params_dict["backend"] = backend
     if cache_pages is not None:
         params_dict["cache_pages"] = cache_pages
     return HDIndexParams(**params_dict)
@@ -232,7 +312,8 @@ def _save_sharded(index, directory: str) -> None:
         json.dump(manifest, handle, indent=2)
 
 
-def _load_sharded(directory: str, cache_pages: int | None):
+def _load_sharded(directory: str, cache_pages: int | None,
+                  backend: str | None = None):
     from repro.core.sharded import ShardedHDIndex
     with open(os.path.join(directory, MANIFEST_FILE)) as handle:
         manifest = json.load(handle)
@@ -243,7 +324,9 @@ def _load_sharded(directory: str, cache_pages: int | None):
         raise PersistenceError(
             f"manifest kind {manifest.get('kind')!r} is not 'sharded'")
 
-    params = _restore_params(manifest["params"], directory, cache_pages)
+    backend = _resolve_backend(backend, manifest["params"])
+    params = _restore_params(manifest["params"], directory, cache_pages,
+                             backend)
     num_shards = int(manifest["num_shards"])
     index = ShardedHDIndex(params, num_shards=num_shards)
     index.count = int(manifest["count"])
@@ -253,7 +336,8 @@ def _load_sharded(directory: str, cache_pages: int | None):
     index._id_arrays = [None] * num_shards
     for shard_index in range(num_shards):
         shard_directory = _shard_dir(directory, shard_index)
-        index.shards.append(_load_hdindex(shard_directory, cache_pages))
+        index.shards.append(
+            _load_hdindex(shard_directory, cache_pages, backend))
         built = list(range(int(index.offsets[shard_index]),
                            int(index.offsets[shard_index + 1])))
         tail = [int(v) for v in manifest["insert_tails"][shard_index]]
@@ -268,12 +352,12 @@ def _materialise_store(store, directory: str, stem: str,
                        page_size: int) -> None:
     """Ensure a page store's contents exist as ``<stem>.pages`` on disk."""
     path = os.path.join(directory, f"{stem}.pages")
-    if isinstance(store, FilePageStore):
+    if isinstance(store, (FilePageStore, MmapPageStore)):
         if os.path.abspath(store.path) != os.path.abspath(path):
             raise PersistenceError(
                 f"index already file-backed at {store.path}; save to its "
                 f"own directory or rebuild with storage_dir={directory!r}")
-        store._file.flush()
+        store.flush()
         return
     if os.path.exists(path):
         os.remove(path)

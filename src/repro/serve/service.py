@@ -136,6 +136,17 @@ class QueryService:
     :meth:`stop`; do not call the index's query methods directly while it
     is running.  After ``insert()``/``delete()`` on the underlying index,
     call :meth:`invalidate_cache`.
+
+    >>> import numpy as np
+    >>> from repro import HDIndex, HDIndexParams, QueryService
+    >>> data = np.repeat(np.arange(32.0)[:, None], 4, axis=1)
+    >>> index = HDIndex(HDIndexParams(num_trees=2, hilbert_order=4,
+    ...                               num_references=4, alpha=8, seed=0))
+    >>> index.build(data)
+    >>> with QueryService(index, max_batch=8, max_wait_ms=0.0) as service:
+    ...     ids, dists = service.query(data[3], k=2)
+    >>> int(ids[0]), float(dists[0])
+    (3, 0.0)
     """
 
     def __init__(self, index, config: ServiceConfig | None = None,
@@ -202,14 +213,35 @@ class QueryService:
     @classmethod
     def from_snapshot(cls, directory, cache_pages: int | None = None,
                       config: ServiceConfig | None = None,
+                      backend: str | None = None,
                       **overrides) -> "QueryService":
-        """Open a persisted index (any family member — plain, parallel or
-        sharded snapshot) and wrap it in a service: the "build offline,
-        serve online" split in one call.  The service owns the loaded
+        """Open a persisted index and wrap it in a service.
+
+        The "build offline, serve online" split in one call: any family
+        member's snapshot (plain, parallel or sharded) is reopened and
+        fronted by a micro-batching service.  The service owns the loaded
         index and closes its page stores on :meth:`stop`.
+
+        Args:
+            directory: Snapshot directory written by
+                :func:`repro.core.save_index`.
+            cache_pages: Buffer-pool override forwarded to
+                :func:`repro.core.load_index`.
+            config: Full :class:`ServiceConfig`; mutually composable with
+                keyword ``overrides`` (``max_batch=...`` etc.).
+            backend: Storage backend for the reopen — ``"file"``,
+                ``"mmap"`` (zero-copy, O(metadata) cold start: the
+                larger-than-RAM serving mode) or ``"memory"``; ``None``
+                keeps the snapshot's own backend.
+            **overrides: Individual :class:`ServiceConfig` fields.
+
+        Returns:
+            An unstarted :class:`QueryService`; enter it (``with``) or
+            call :meth:`start`.
         """
         from repro.core.persistence import load_index
-        service = cls(load_index(directory, cache_pages=cache_pages),
+        service = cls(load_index(directory, cache_pages=cache_pages,
+                                 backend=backend),
                       config=config, **overrides)
         service._owns_index = True
         return service
@@ -218,14 +250,29 @@ class QueryService:
 
     def submit(self, point: np.ndarray, k: int = 10,
                timeout: float | None = None, **overrides) -> Future:
-        """Enqueue one query; returns a future resolving to (ids, dists).
+        """Enqueue one query without blocking on its answer.
 
-        ``overrides`` are forwarded to the index's ``query_batch`` (the
-        HD-Index family accepts ``alpha``/``beta``/``gamma``/
-        ``use_ptolemaic``); requests sharing (k, overrides) are batched
-        together.  Blocks while the queue is at ``max_pending``; with a
-        ``timeout`` (seconds) it raises :class:`ServiceOverloaded` instead
-        of blocking forever.
+        Args:
+            point: ``(ν,)`` query vector (copied; the caller may reuse
+                its array immediately).
+            k: Neighbours requested (``>= 1``).
+            timeout: Seconds to wait for queue admission while the queue
+                sits at ``max_pending``; ``None`` blocks indefinitely.
+            **overrides: Forwarded to the index's ``query_batch`` (the
+                HD-Index family accepts ``alpha``/``beta``/``gamma``/
+                ``use_ptolemaic``); requests sharing ``(k, overrides)``
+                are batched together.
+
+        Returns:
+            A :class:`~concurrent.futures.Future` resolving to
+            ``(ids, dists)``.
+
+        Raises:
+            ValueError: If ``k < 1``.
+            TypeError: If an override value is unhashable.
+            ServiceClosed: If the service has been stopped.
+            ServiceOverloaded: If admission stayed blocked past
+                ``timeout``.
         """
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -275,9 +322,22 @@ class QueryService:
               **overrides) -> tuple[np.ndarray, np.ndarray]:
         """Blocking convenience wrapper: ``submit(...).result()``.
 
-        ``timeout`` bounds each phase (backpressure admission, then the
-        result wait), so an overloaded service cannot block the caller
-        forever.
+        Args:
+            point: ``(ν,)`` query vector.
+            k: Neighbours requested (``>= 1``).
+            timeout: Bounds each phase separately (backpressure
+                admission, then the result wait), so an overloaded
+                service cannot block the caller forever.
+            **overrides: As for :meth:`submit`.
+
+        Returns:
+            ``(ids, dists)`` arrays, identical to a direct sequential
+            ``index.query`` call.
+
+        Raises:
+            Same as :meth:`submit`, plus
+            :class:`concurrent.futures.TimeoutError` if the result is
+            not ready within ``timeout``.
         """
         return self.submit(point, k, timeout=timeout,
                            **overrides).result(timeout)

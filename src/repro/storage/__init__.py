@@ -19,6 +19,7 @@ from repro.storage.pages import (
     DEFAULT_PAGE_SIZE,
     FilePageStore,
     InMemoryPageStore,
+    MmapPageStore,
     PageStore,
     StorageError,
 )
@@ -34,6 +35,7 @@ __all__ = [
     "Float64Codec",
     "IOStats",
     "InMemoryPageStore",
+    "MmapPageStore",
     "PageStore",
     "StorageError",
     "StructCodec",

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 
 @dataclass
 class IOStats:
@@ -59,6 +61,27 @@ class IOStats:
         else:
             self.random_writes += 1
         self._last_write_page = page_id
+
+    def record_read_many(self, page_ids) -> None:
+        """Vectorised :meth:`record_read` over a batch of page reads.
+
+        Used by the zero-copy gather path of
+        :meth:`repro.storage.vectors.VectorHeapFile.gather`: the counters
+        (totals and the random/sequential split) end up exactly as if
+        :meth:`record_read` had been called once per page id, in order,
+        without a Python-level loop.
+        """
+        page_ids = np.asarray(page_ids, dtype=np.int64).ravel()
+        if page_ids.size == 0:
+            return
+        previous = np.empty_like(page_ids)
+        previous[0] = self._last_read_page
+        previous[1:] = page_ids[:-1]
+        sequential = int(np.count_nonzero(page_ids == previous + 1))
+        self.page_reads += int(page_ids.size)
+        self.sequential_reads += sequential
+        self.random_reads += int(page_ids.size) - sequential
+        self._last_read_page = int(page_ids[-1])
 
     def record_cache_hit(self) -> None:
         """Record a read absorbed by the buffer pool."""

@@ -1,0 +1,76 @@
+"""Documentation guards: doctest the public API, keep the docs present.
+
+The runnable examples embedded in the public-API docstrings are executed
+here (and again by the CI ``--doctest-modules`` step), so they cannot rot;
+the architecture document and the README's backend matrix are asserted to
+exist and to keep naming the things the code ships.
+"""
+
+import doctest
+import importlib
+import pathlib
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Public-API modules whose docstring examples must stay runnable.
+DOCTEST_MODULES = (
+    "repro.core.interface",
+    "repro.core.params",
+    "repro.core.persistence",
+    "repro.core.hdindex",
+    "repro.serve.service",
+)
+
+
+@pytest.mark.parametrize("module_name", DOCTEST_MODULES)
+def test_public_api_doctests(module_name):
+    module = importlib.import_module(module_name)
+    result = doctest.testmod(module, verbose=False)
+    assert result.attempted > 0, f"{module_name} lost its doctest examples"
+    assert result.failed == 0, f"{module_name} doctests failed"
+
+
+class TestArchitectureDoc:
+    @pytest.fixture(scope="class")
+    def text(self):
+        path = REPO_ROOT / "docs" / "ARCHITECTURE.md"
+        assert path.exists(), "docs/ARCHITECTURE.md is missing"
+        return path.read_text()
+
+    def test_covers_the_three_query_stages(self, text):
+        for phrase in ("Hilbert", "triangular", "Ptolemaic", "refinement"):
+            assert phrase.lower() in text.lower(), f"missing {phrase!r}"
+
+    def test_covers_the_index_family(self, text):
+        for name in ("HDIndex", "ParallelHDIndex", "ShardedHDIndex",
+                     "QueryService"):
+            assert name in text, f"missing {name!r}"
+
+    def test_covers_the_storage_backend_matrix(self, text):
+        for name in ("memory", "file", "mmap", "MmapPageStore",
+                     "BufferPool"):
+            assert name in text, f"missing {name!r}"
+
+    def test_points_into_the_source_tree(self, text):
+        for path in ("src/repro/core/engine.py", "src/repro/storage",
+                     "src/repro/serve"):
+            assert path in text, f"missing pointer to {path}"
+
+
+class TestReadme:
+    @pytest.fixture(scope="class")
+    def text(self):
+        return (REPO_ROOT / "README.md").read_text()
+
+    def test_backend_section_present(self, text):
+        assert "Choosing a storage backend" in text
+        for token in ('backend="mmap"', "larger-than-ram"):
+            assert token in text or token in text.lower(), \
+                f"missing {token!r}"
+
+    def test_family_persistence_description_is_current(self, text):
+        # PR 2 extended persistence to the whole family; the README must
+        # not regress to the old HDIndex-only story.
+        assert "load_index" in text and "manifest.json" in text

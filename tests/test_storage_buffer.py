@@ -96,3 +96,51 @@ class TestLRU:
         store = InMemoryPageStore(page_size=128)
         pool = BufferPool(store)
         assert pool.page_size == 128
+
+
+class TestHitRateAccounting:
+    """The cache_hits / page_reads split the serving benchmarks lean on."""
+
+    def test_hits_and_misses_sum_to_logical_reads(self):
+        store, pool = make_pool(capacity=3, pages=6)
+        pool.clear()
+        store.stats.reset()
+        pattern = [0, 1, 2, 0, 1, 2, 3, 3, 0, 5]
+        for page_id in pattern:
+            pool.read(page_id)
+        stats = store.stats
+        assert stats.page_reads + stats.cache_hits == len(pattern)
+        # 0,1,2 miss; 0,1,2 hit; 3 misses; 3 hits; 0 was evicted by 3 so
+        # misses; 5 misses.
+        assert stats.cache_hits == 4
+        assert stats.page_reads == 6
+
+    def test_eviction_is_visible_in_hit_rate(self):
+        store, pool = make_pool(capacity=2, pages=4)
+        pool.clear()
+        store.stats.reset()
+        for _ in range(3):
+            for page_id in range(4):  # working set (4) > capacity (2)
+                pool.read(page_id)
+        assert store.stats.cache_hits == 0  # LRU thrashes: no reuse wins
+        assert store.stats.page_reads == 12
+        assert pool.cached_pages() == 2
+
+    def test_write_through_refresh_counts_no_read(self):
+        store, pool = make_pool(capacity=2)
+        pool.clear()
+        store.stats.reset()
+        pool.write(0, b"fresh")
+        pool.read(0)
+        assert store.stats.cache_hits == 1
+        assert store.stats.page_reads == 0
+
+    def test_snapshot_reports_hits(self):
+        store, pool = make_pool(capacity=2)
+        pool.clear()
+        store.stats.reset()
+        pool.read(0)
+        pool.read(0)
+        snap = store.stats.snapshot()
+        assert snap["cache_hits"] == 1
+        assert snap["page_reads"] == 1

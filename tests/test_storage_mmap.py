@@ -1,0 +1,246 @@
+"""Unit tests for the zero-copy mmap page store and the heap-file gather."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.storage import (
+    FilePageStore,
+    InMemoryPageStore,
+    MmapPageStore,
+    StorageError,
+    VectorHeapFile,
+    heap_file_from_array,
+)
+
+
+class TestMmapPageStore:
+    def test_round_trip(self, tmp_path):
+        store = MmapPageStore(tmp_path / "pages.bin", page_size=64)
+        page_id = store.allocate()
+        store.write(page_id, b"mapped")
+        assert bytes(store.read(page_id)) == b"mapped" + bytes(58)
+        store.close()
+
+    def test_read_is_zero_copy_view(self, tmp_path):
+        store = MmapPageStore(tmp_path / "pages.bin", page_size=64)
+        page_id = store.allocate()
+        store.write(page_id, b"before")
+        view = store.read(page_id)
+        assert isinstance(view, memoryview)
+        # The view is live over the mapping: a later write shows through.
+        store.write(page_id, b"after!")
+        assert bytes(view[:6]) == b"after!"
+        store.close()
+
+    def test_file_format_matches_file_store(self, tmp_path):
+        """mmap and file backends are interchangeable over one file."""
+        path = tmp_path / "pages.bin"
+        store = MmapPageStore(path, page_size=64)
+        for index in range(5):
+            page_id = store.allocate()
+            store.write(page_id, bytes([index]) * 64)
+        store.close()
+        assert os.path.getsize(path) == 5 * 64  # trimmed to whole pages
+        reopened = FilePageStore(path, page_size=64)
+        assert reopened.num_pages == 5
+        assert reopened.read(3) == bytes([3]) * 64
+        reopened.close()
+
+    def test_reopen_existing_file(self, tmp_path):
+        path = tmp_path / "pages.bin"
+        first = FilePageStore(path, page_size=64)
+        page_id = first.allocate()
+        first.write(page_id, b"from file store")
+        first.close()
+        store = MmapPageStore(path, page_size=64)
+        assert store.num_pages == 1
+        assert bytes(store.read(0)).startswith(b"from file store")
+        store.close()
+
+    def test_reopen_with_wrong_page_size_rejected(self, tmp_path):
+        path = tmp_path / "pages.bin"
+        store = MmapPageStore(path, page_size=64)
+        store.allocate()
+        store.close()
+        with pytest.raises(StorageError):
+            MmapPageStore(path, page_size=48)
+
+    def test_growth_keeps_old_views_alive(self, tmp_path):
+        store = MmapPageStore(tmp_path / "pages.bin", page_size=32)
+        first = store.allocate()
+        store.write(first, b"persistent")
+        view = store.read(first)
+        # Grow far past the initial capacity, forcing several remaps.
+        for index in range(4 * MmapPageStore.MIN_CAPACITY_PAGES):
+            store.write(store.allocate(), bytes([index % 251]) * 32)
+        assert bytes(view[:10]) == b"persistent"
+        assert bytes(store.read(first))[:10] == b"persistent"
+        store.close()
+
+    def test_flush_trims_overallocation(self, tmp_path):
+        path = tmp_path / "pages.bin"
+        store = MmapPageStore(path, page_size=32)
+        for _ in range(3):
+            store.allocate()
+        assert os.path.getsize(path) >= MmapPageStore.MIN_CAPACITY_PAGES * 32
+        store.flush()
+        assert os.path.getsize(path) == 3 * 32
+        # Growth after a flush keeps working.
+        store.write(store.allocate(), b"post-flush")
+        store.flush()
+        assert os.path.getsize(path) == 4 * 32
+        store.close()
+
+    def test_close_trims_even_with_live_numpy_views(self, tmp_path):
+        path = tmp_path / "pages.bin"
+        store = MmapPageStore(path, page_size=32)
+        store.write(store.allocate(), b"pinned")
+        matrix = store.page_matrix()
+        store.close()
+        assert os.path.getsize(path) == 32
+        # The exported view still reads the mapped data after close.
+        assert bytes(matrix[0, :6].tobytes()) == b"pinned"
+        with pytest.raises(StorageError):
+            store.read(0)
+
+    def test_page_matrix_tracks_allocation(self, tmp_path):
+        store = MmapPageStore(tmp_path / "pages.bin", page_size=32)
+        assert store.page_matrix().shape == (0, 32)
+        store.write(store.allocate(), b"a")
+        assert store.page_matrix().shape == (1, 32)
+        store.write(store.allocate(), b"b")
+        matrix = store.page_matrix()
+        assert matrix.shape == (2, 32)
+        assert bytes(matrix[1, :1].tobytes()) == b"b"
+        store.close()
+
+    def test_io_accounting_matches_file_store(self, tmp_path):
+        mapped = MmapPageStore(tmp_path / "m.bin", page_size=32)
+        plain = FilePageStore(tmp_path / "f.bin", page_size=32)
+        for store in (mapped, plain):
+            for _ in range(4):
+                store.allocate()
+            store.stats.reset()
+            for page_id in (0, 1, 2, 0, 3):
+                store.read(page_id)
+        assert mapped.stats.snapshot() == plain.stats.snapshot()
+        mapped.close()
+        plain.close()
+
+
+class TestRecordReadMany:
+    def test_matches_sequential_record_read(self):
+        loop = InMemoryPageStore(page_size=32)
+        bulk = InMemoryPageStore(page_size=32)
+        pattern = [0, 1, 2, 5, 6, 3, 4, 5, 6, 7, 0]
+        for page_id in pattern:
+            loop.stats.record_read(page_id)
+        bulk.stats.record_read_many(np.asarray(pattern))
+        assert loop.stats.snapshot() == bulk.stats.snapshot()
+        # A follow-up single read continues the same run.
+        loop.stats.record_read(1)
+        bulk.stats.record_read(1)
+        assert loop.stats.snapshot() == bulk.stats.snapshot()
+
+    def test_empty_batch_is_a_no_op(self):
+        store = InMemoryPageStore(page_size=32)
+        store.stats.record_read_many(np.empty(0, dtype=np.int64))
+        assert store.stats.page_reads == 0
+
+
+class TestHeapGather:
+    def _heaps(self, tmp_path, data, dtype="float32", page_size=256):
+        mapped = heap_file_from_array(
+            data, dtype=dtype,
+            store=MmapPageStore(tmp_path / "m.pages", page_size=page_size))
+        memory = heap_file_from_array(
+            data, dtype=dtype,
+            store=InMemoryPageStore(page_size=page_size))
+        return mapped, memory
+
+    def test_gather_matches_loop_fetch(self, tmp_path):
+        rng = np.random.default_rng(0)
+        data = rng.normal(size=(40, 12))
+        mapped, memory = self._heaps(tmp_path, data)
+        ids = np.array([7, 0, 39, 7, 12])
+        np.testing.assert_array_equal(mapped.gather(ids), memory.gather(ids))
+        np.testing.assert_array_equal(
+            mapped.gather(ids), np.stack([mapped.fetch(i) for i in ids]))
+        mapped.close()
+        memory.close()
+
+    def test_gather_accounting_matches_loop(self, tmp_path):
+        rng = np.random.default_rng(1)
+        data = rng.normal(size=(40, 12))
+        mapped, memory = self._heaps(tmp_path, data)
+        ids = np.array([3, 4, 5, 30, 0, 1])
+        mapped.stats.reset()
+        memory.stats.reset()
+        mapped.gather(ids)
+        memory.gather(ids)
+        assert mapped.stats.snapshot() == memory.stats.snapshot()
+        mapped.close()
+        memory.close()
+
+    def test_gather_multi_page_records(self, tmp_path):
+        rng = np.random.default_rng(2)
+        data = rng.normal(size=(10, 100))  # 800 B float64 > 256 B pages
+        mapped, memory = self._heaps(tmp_path, data, dtype="float64")
+        assert mapped._pages_per_record > 1
+        ids = np.array([9, 0, 4, 4])
+        np.testing.assert_array_equal(mapped.gather(ids), memory.gather(ids))
+        mapped.stats.reset()
+        memory.stats.reset()
+        mapped.gather(ids)
+        memory.gather(ids)
+        assert mapped.stats.snapshot() == memory.stats.snapshot()
+        mapped.close()
+        memory.close()
+
+    def test_gather_after_insert(self, tmp_path):
+        data = np.arange(24, dtype=np.float64).reshape(6, 4)
+        heap = heap_file_from_array(
+            data, store=MmapPageStore(tmp_path / "m.pages", page_size=64))
+        new_id = heap.append(np.full(4, 9.5))
+        got = heap.gather([new_id, 0])
+        np.testing.assert_array_equal(got[0], np.full(4, 9.5, np.float32))
+        np.testing.assert_array_equal(got[1], data[0].astype(np.float32))
+        heap.close()
+
+    def test_gather_rejects_bad_ids(self, tmp_path):
+        data = np.zeros((4, 3))
+        heap = heap_file_from_array(
+            data, store=MmapPageStore(tmp_path / "m.pages", page_size=64))
+        with pytest.raises(StorageError):
+            heap.gather([0, 4])
+        with pytest.raises(StorageError):
+            heap.gather([-1])
+        assert heap.gather([]).shape == (0, 3)
+        heap.close()
+
+    def test_fetch_many_delegates_to_gather(self, tmp_path):
+        data = np.arange(12, dtype=np.float64).reshape(3, 4)
+        heap = heap_file_from_array(
+            data, store=MmapPageStore(tmp_path / "m.pages", page_size=64))
+        np.testing.assert_array_equal(
+            heap.fetch_many([2, 1]), data[[2, 1]].astype(np.float32))
+        heap.close()
+
+
+class TestVectorHeapOnMmap:
+    def test_append_persists_across_backends(self, tmp_path):
+        path = tmp_path / "heap.pages"
+        data = np.arange(20, dtype=np.float64).reshape(5, 4)
+        heap = heap_file_from_array(
+            data, store=MmapPageStore(path, page_size=64))
+        heap.append(np.full(4, 7.0))
+        count = len(heap)
+        heap.close()
+        reopened = VectorHeapFile(
+            dim=4, dtype=np.float32, store=FilePageStore(path, page_size=64))
+        reopened.restore_count(count)
+        np.testing.assert_array_equal(
+            reopened.fetch(count - 1), np.full(4, 7.0, np.float32))
+        reopened.close()

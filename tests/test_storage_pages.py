@@ -164,5 +164,45 @@ class TestFilePageStore:
         with pytest.raises(StorageError):
             FilePageStore(path, page_size=48)
 
+    def test_reopen_after_close_continues_allocation(self, tmp_path):
+        """Close -> reopen -> keep appending: the insert-on-loaded-snapshot
+        path the persistence layer depends on."""
+        path = tmp_path / "pages.bin"
+        store = FilePageStore(path, page_size=64)
+        for index in range(3):
+            page_id = store.allocate()
+            store.write(page_id, bytes([index + 1]) * 8)
+        store.close()
+        with pytest.raises(StorageError):
+            store.read(0)  # closed store stays closed
+        reopened = FilePageStore(path, page_size=64)
+        assert reopened.num_pages == 3
+        assert list(reopened.iter_page_ids()) == [0, 1, 2]
+        for index in range(3):
+            assert reopened.read(index).startswith(bytes([index + 1]) * 8)
+        assert reopened.allocate() == 3  # ids continue past the reopen
+        reopened.write(3, b"appended")
+        reopened.close()
+        final = FilePageStore(path, page_size=64)
+        assert final.num_pages == 4
+        assert final.read(3).startswith(b"appended")
+        final.close()
+
+    def test_flush_then_reopen_sees_writes(self, tmp_path):
+        path = tmp_path / "pages.bin"
+        store = FilePageStore(path, page_size=64)
+        store.write(store.allocate(), b"durable")
+        store.flush()
+        parallel_view = FilePageStore(path, page_size=64)
+        assert parallel_view.read(0).startswith(b"durable")
+        parallel_view.close()
+        store.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        store = FilePageStore(tmp_path / "pages.bin", page_size=64)
+        store.allocate()
+        store.close()
+        store.close()  # second close must not raise
+
     def test_default_page_size_is_paper_value(self):
         assert DEFAULT_PAGE_SIZE == 4096
