@@ -37,8 +37,11 @@ from repro.core import (
     HDIndexParams,
     KNNIndex,
     ParallelHDIndex,
+    ProcessPoolHDIndex,
     QueryStats,
     ShardedHDIndex,
+    WorkerCrashed,
+    WorkerTimeout,
     load_index,
     rdb_leaf_order,
     recommended_params,
@@ -77,6 +80,7 @@ __all__ = [
     "OPQIndex",
     "PQIndex",
     "ParallelHDIndex",
+    "ProcessPoolHDIndex",
     "QALSH",
     "QueryService",
     "QueryStats",
@@ -85,6 +89,8 @@ __all__ = [
     "ServiceStats",
     "ShardedHDIndex",
     "VAFile",
+    "WorkerCrashed",
+    "WorkerTimeout",
     "approximation_ratio",
     "average_precision",
     "evaluate_index",

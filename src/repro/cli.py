@@ -84,6 +84,11 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="how to reopen the snapshot (default: as saved; "
                             "mmap = zero-copy larger-than-RAM mode)")
+    query.add_argument("--mode", choices=("thread", "process"), default=None,
+                       help="process = fan per-tree scans over worker "
+                            "processes sharing the snapshot via mmap")
+    query.add_argument("--workers", type=_positive_int, default=None,
+                       help="worker count for --mode process")
 
     serve = commands.add_parser(
         "serve", help="serve a persisted index to concurrent clients")
@@ -111,6 +116,14 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="how to reopen the snapshot (default: as saved; "
                             "mmap = zero-copy larger-than-RAM mode)")
+    serve.add_argument("--mode", choices=("thread", "process"),
+                       default="thread",
+                       help="process = shard each micro-batch's rows over "
+                            "worker processes that reopen the snapshot "
+                            "via mmap (multi-core serving)")
+    serve.add_argument("--workers", type=_positive_int, default=None,
+                       help="worker-process count for --mode process "
+                            "(default: CPU count)")
 
     compare = commands.add_parser(
         "compare", help="compare methods on one dataset")
@@ -241,7 +254,12 @@ def cmd_build(args, out=sys.stdout) -> int:
 
 
 def cmd_query(args, out=sys.stdout) -> int:
-    index = load_index(args.index, backend=args.backend)
+    if args.mode == "process":
+        from repro.core import ProcessPoolHDIndex
+        index = ProcessPoolHDIndex.from_snapshot(
+            args.index, num_workers=args.workers, backend=args.backend)
+    else:
+        index = load_index(args.index, backend=args.backend)
     data, queries, _ = _load_workload(args)
     if data.shape[1] != index.dim:
         print(f"error: index expects ν={index.dim}, dataset has "
@@ -276,6 +294,10 @@ def cmd_serve(args, out=sys.stdout) -> int:
                            max_wait_ms=args.max_wait_ms,
                            max_pending=args.max_pending,
                            cache_size=max(0, args.cache))
+    service_kwargs = {}
+    if args.mode == "process":
+        service_kwargs = dict(mode="process", workers=args.workers,
+                              snapshot_dir=args.index)
     errors: list[Exception] = []
 
     def client(service, client_index):
@@ -287,7 +309,7 @@ def cmd_serve(args, out=sys.stdout) -> int:
             except Exception as error:  # surfaced after the run
                 errors.append(error)
 
-    with QueryService(index, config) as service:
+    with QueryService(index, config, **service_kwargs) as service:
         started = time.perf_counter()
         threads = [threading.Thread(target=client, args=(service, c))
                    for c in range(args.clients)]
@@ -302,8 +324,9 @@ def cmd_serve(args, out=sys.stdout) -> int:
         print(f"error: {len(errors)} queries failed "
               f"({errors[0]!r})", file=sys.stderr)
         return 1
-    print(f"served {stats.queries} queries from {args.clients} clients in "
-          f"{elapsed:.2f}s -> {stats.queries / elapsed:.1f} q/s", file=out)
+    print(f"served {stats.queries} queries from {args.clients} clients "
+          f"(mode={args.mode}) in {elapsed:.2f}s -> "
+          f"{stats.queries / elapsed:.1f} q/s", file=out)
     print(f"{stats.batches} micro-batches, mean size "
           f"{stats.mean_batch_size():.1f}, max {stats.max_batch_size} "
           f"(max_batch={args.max_batch}, "

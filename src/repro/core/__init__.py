@@ -6,6 +6,7 @@ from repro.core.filters import (
     triangular_lower_bounds,
 )
 from repro.core.engine import (
+    ProcessExecutor,
     QueryEngine,
     SequentialExecutor,
     ThreadedExecutor,
@@ -14,6 +15,13 @@ from repro.core.hdindex import HDIndex
 from repro.core.interface import BuildStats, KNNIndex, QueryStats
 from repro.core.parallel import ParallelHDIndex
 from repro.core.persistence import PersistenceError, load_index, save_index
+from repro.core.process import ProcessPoolHDIndex
+from repro.core.procpool import (
+    ProcessPoolError,
+    SnapshotWorkerPool,
+    WorkerCrashed,
+    WorkerTimeout,
+)
 from repro.core.sharded import ShardedHDIndex
 from repro.core.params import (
     HDIndexParams,
@@ -45,8 +53,14 @@ __all__ = [
     "KNNIndex",
     "ParallelHDIndex",
     "PersistenceError",
+    "ProcessExecutor",
+    "ProcessPoolError",
+    "ProcessPoolHDIndex",
     "QueryEngine",
     "QueryStats",
+    "SnapshotWorkerPool",
+    "WorkerCrashed",
+    "WorkerTimeout",
     "RDBTree",
     "SequentialExecutor",
     "ReferenceSet",

@@ -66,6 +66,63 @@ class SequentialExecutor(Executor):
         return [fn(item) for item in items]
 
 
+class ProcessExecutor(Executor):
+    """Fan tree scans over worker *processes* sharing one mmap snapshot.
+
+    The GIL bounds :class:`ThreadedExecutor` wherever the per-tree work is
+    Python-heavy (B+-tree descent, key decode); this executor escapes it.
+    Workers never receive pickled index state: each one lazily reopens the
+    bound snapshot directory (``backend="mmap"`` by default, so the OS
+    shares the physical pages pool-wide) and runs stages (i)+(ii) of
+    Algo. 2 for its assigned trees, returning survivor ids plus its I/O
+    deltas.  Stage (iii) — the merge and exact re-rank — stays in the
+    parent.  Results are byte-identical to sequential execution; a worker
+    crash or a task past ``timeout`` raises a typed
+    :class:`~repro.core.procpool.ProcessPoolError` instead of hanging.
+    """
+
+    #: Engine capability flag: scans run in another process, so the engine
+    #: routes through :meth:`scan_trees` rather than closure-based map().
+    remote = True
+
+    def __init__(self, snapshot_dir=None, num_workers: int | None = None,
+                 backend: str = "mmap", cache_pages: int | None = None,
+                 timeout: float | None = None) -> None:
+        from repro.core.procpool import SnapshotWorkerPool
+        self.pool = SnapshotWorkerPool(
+            snapshot_dir, num_workers=num_workers, backend=backend,
+            cache_pages=cache_pages, timeout=timeout)
+
+    @property
+    def snapshot_dir(self):
+        return self.pool.directory
+
+    @snapshot_dir.setter
+    def snapshot_dir(self, directory) -> None:
+        import os
+        self.pool.directory = (None if directory is None
+                               else os.fspath(directory))
+
+    @property
+    def workers(self) -> int | None:  # type: ignore[override]
+        return self.pool.num_workers
+
+    def map(self, fn: Callable, items: Iterable) -> list:
+        # Closures cannot cross the process boundary; anything not routed
+        # through scan_trees() degrades to inline execution.
+        return [fn(item) for item in items]
+
+    def scan_trees(self, num_trees: int, points, alpha: int, beta: int,
+                   gamma: int, ptolemaic: bool):
+        """Stages (i)+(ii) for all trees in the worker pool; returns
+        (per-tree-per-row survivors, summed worker stats deltas)."""
+        return self.pool.scan_trees(num_trees, points, alpha, beta, gamma,
+                                    ptolemaic)
+
+    def close(self) -> None:
+        self.pool.close()
+
+
 class ThreadedExecutor(Executor):
     """Fan tree scans over a lazily created, reusable thread pool.
 
@@ -173,6 +230,10 @@ class QueryEngine:
         matrix instead of κ per-record page reads, which is where the
         refinement stage's I/O cost (the binding constraint at scale)
         actually goes.
+
+        An empty surviving-candidate set (κ = 0 — every candidate
+        filtered or deleted) short-circuits to empty id/distance arrays
+        without touching the heap store: zero page reads recorded.
         """
         kappa = merged.shape[0]
         if not kappa:
@@ -208,18 +269,33 @@ class QueryEngine:
                 f"query has dimension {point.shape[0]}, "
                 f"index expects {index.dim}")
 
-        # Distances from q to all m references (computed once per query).
-        query_ref = index.references.distances_from(point)[0]
-        index._distance_counter.add(index.references.size)
+        if getattr(self.executor, "remote", False):
+            # Stages (i)+(ii) ran in worker processes over their own view
+            # of the snapshot; their page reads and distance computations
+            # arrive as a delta alongside the survivors.  The reference
+            # matmul is charged here, once — as the sequential path would
+            # — not per worker group.
+            index._distance_counter.add(index.references.size)
+            per_tree, remote_delta = self.executor.scan_trees(
+                len(index.trees), point[None, :], eff_alpha, eff_beta,
+                eff_gamma, ptolemaic)
+            survivor_ids = [rows[0] for rows in per_tree]
+        else:
+            remote_delta = None
+            # Distances from q to all m references (computed once per
+            # query).
+            query_ref = index.references.distances_from(point)[0]
+            index._distance_counter.add(index.references.size)
 
-        def scan(tree_and_part):
-            tree, part = tree_and_part
-            cand_ids, cand_ref = self.scan_tree(tree, part, point, eff_alpha)
-            return self.filter_survivors(query_ref, cand_ids, cand_ref,
-                                         eff_beta, eff_gamma, ptolemaic)
+            def scan(tree_and_part):
+                tree, part = tree_and_part
+                cand_ids, cand_ref = self.scan_tree(tree, part, point,
+                                                    eff_alpha)
+                return self.filter_survivors(query_ref, cand_ids, cand_ref,
+                                             eff_beta, eff_gamma, ptolemaic)
 
-        survivor_ids = self.executor.map(
-            scan, list(zip(index.trees, index.partitions)))
+            survivor_ids = self.executor.map(
+                scan, list(zip(index.trees, index.partitions)))
         merged = self._merge_survivors(survivor_ids)
         ids, dists = self.rerank(point, merged, k)
 
@@ -234,6 +310,8 @@ class QueryEngine:
             extra=self._stats_extra(eff_alpha, eff_beta, eff_gamma,
                                     ptolemaic),
         )
+        if remote_delta is not None:
+            self._add_remote_delta(stats, remote_delta)
         return ids, dists, stats
 
     # -- full Algo. 2, vectorised over a batch ----------------------------
@@ -271,39 +349,53 @@ class QueryEngine:
                 f"(Q, {index.dim})")
         batch = points.shape[0]
 
-        # One (Q, m) reference-distance matmul for the whole batch.
-        query_ref = index.references.distances_from(points)
-        index._distance_counter.add(batch * index.references.size)
+        if getattr(self.executor, "remote", False):
+            # Worker processes run stages (i)+(ii) for their assigned
+            # trees over all Q rows against their own snapshot view; the
+            # reference matmul and Hilbert encoding happen worker-side.
+            # The matmul is charged here, once — sequential-equivalent
+            # accounting — not per worker group.
+            index._distance_counter.add(batch * index.references.size)
+            per_tree, remote_delta = self.executor.scan_trees(
+                len(index.trees), points, eff_alpha, eff_beta, eff_gamma,
+                ptolemaic)
+        else:
+            remote_delta = None
+            # One (Q, m) reference-distance matmul for the whole batch.
+            query_ref = index.references.distances_from(points)
+            index._distance_counter.add(batch * index.references.size)
 
-        # One Hilbert-encoding pass per tree covering all Q queries.
-        tree_keys: list[np.ndarray] = []
-        for tree, part in zip(index.trees, index.partitions):
-            coords = index.quantizer.quantize(points[:, part])
-            tree_keys.append(tree.curve.encode_batch(coords))
+            # One Hilbert-encoding pass per tree covering all Q queries.
+            tree_keys: list[np.ndarray] = []
+            for tree, part in zip(index.trees, index.partitions):
+                coords = index.quantizer.quantize(points[:, part])
+                tree_keys.append(tree.curve.encode_batch(coords))
 
-        trees = index.trees
-        partitions = index.partitions
+            trees = index.trees
+            partitions = index.partitions
 
-        # One task per tree, scanning all Q queries against it.  Keeping a
-        # tree's page store on a single thread preserves the one-thread-
-        # per-tree invariant of the parallel single-query path — the
-        # stores (shared file handles, buffer pools, I/O counters) are not
-        # thread-safe, and the trees are the independent units the paper's
-        # "little synchronization" argument rests on.
-        def scan_tree_rows(tree_index):
-            tree = trees[tree_index]
-            part = partitions[tree_index]
-            keys = tree_keys[tree_index]
-            out = []
-            for row in range(batch):
-                cand_ids, cand_ref = self.scan_tree(
-                    tree, part, points[row], eff_alpha, key=int(keys[row]))
-                out.append(self.filter_survivors(
-                    query_ref[row], cand_ids, cand_ref, eff_beta,
-                    eff_gamma, ptolemaic))
-            return out
+            # One task per tree, scanning all Q queries against it.
+            # Keeping a tree's page store on a single thread preserves the
+            # one-thread-per-tree invariant of the parallel single-query
+            # path — the stores (shared file handles, buffer pools, I/O
+            # counters) are not thread-safe, and the trees are the
+            # independent units the paper's "little synchronization"
+            # argument rests on.
+            def scan_tree_rows(tree_index):
+                tree = trees[tree_index]
+                part = partitions[tree_index]
+                keys = tree_keys[tree_index]
+                out = []
+                for row in range(batch):
+                    cand_ids, cand_ref = self.scan_tree(
+                        tree, part, points[row], eff_alpha,
+                        key=int(keys[row]))
+                    out.append(self.filter_survivors(
+                        query_ref[row], cand_ids, cand_ref, eff_beta,
+                        eff_gamma, ptolemaic))
+                return out
 
-        per_tree = self.executor.map(scan_tree_rows, range(len(trees)))
+            per_tree = self.executor.map(scan_tree_rows, range(len(trees)))
         merged_per_row = [
             self._merge_survivors([tree_rows[row] for tree_rows in per_tree])
             for row in range(batch)]
@@ -340,6 +432,8 @@ class QueryEngine:
             distance_computations=index._distance_counter.count,
             extra=extra,
         )
+        if remote_delta is not None:
+            self._add_remote_delta(stats, remote_delta)
         return ids_out, dists_out, stats
 
     # -- internals --------------------------------------------------------
@@ -357,6 +451,16 @@ class QueryEngine:
         if deleted:
             merged = merged[~np.isin(merged, list(deleted))]
         return merged
+
+    @staticmethod
+    def _add_remote_delta(stats: QueryStats, delta: dict) -> None:
+        """Fold worker-process counters into the caller-visible stats, so
+        process-mode accounting matches what the sequential path would
+        have charged for the same scans."""
+        stats.page_reads += delta["page_reads"]
+        stats.random_reads += delta["random_reads"]
+        stats.sequential_reads += delta["sequential_reads"]
+        stats.distance_computations += delta["distance_computations"]
 
     def _stats_extra(self, alpha: int, beta: int, gamma: int,
                      ptolemaic: bool) -> dict:

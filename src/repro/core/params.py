@@ -80,6 +80,12 @@ class HDIndexParams:
         When set, the descriptor heap and every RDB-tree are backed by real
         files in this directory (``descriptors.pages``, ``tree_<i>.pages``)
         instead of in-memory page stores — the fully disk-resident mode.
+        The process-parallel tier
+        (:class:`~repro.core.process.ProcessPoolHDIndex`,
+        ``QueryService(mode="process")``) requires it: worker processes
+        bootstrap from the snapshot persisted here (reopened via ``mmap``
+        so the OS shares the physical pages pool-wide), never from
+        pickled live state.
     backend:
         Storage backend for the page stores: ``"memory"``
         (:class:`~repro.storage.pages.InMemoryPageStore`), ``"file"``

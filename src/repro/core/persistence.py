@@ -4,7 +4,10 @@ A persisted plain (or parallel) index is a directory containing:
 
 * ``meta.json`` — parameters, partitions, quantiser domain, per-tree
   structural state (root page / height / count), heap record count, the
-  deleted-id set, and the index *kind* (``hdindex`` or ``parallel``);
+  deleted-id set, and the index *kind* (``hdindex``, ``parallel`` or
+  ``process`` — the latter reopens as a
+  :class:`~repro.core.process.ProcessPoolHDIndex` whose worker processes
+  bootstrap from this same directory);
 * ``references.npz`` — the reference vectors, their pairwise distances and
   original indices (the only part of the index that is memory-resident at
   query time, Sec. 4.4.1);
@@ -146,6 +149,7 @@ def load_index(directory: str | os.PathLike[str],
 
 def _save_hdindex(index: HDIndex, directory: str) -> None:
     from repro.core.parallel import ParallelHDIndex
+    from repro.core.process import ProcessPoolHDIndex
     index._require_built()
     os.makedirs(directory, exist_ok=True)
 
@@ -162,10 +166,15 @@ def _save_hdindex(index: HDIndex, directory: str) -> None:
              indices=(references.indices if references.indices is not None
                       else np.empty(0, dtype=np.int64)))
 
+    if isinstance(index, ProcessPoolHDIndex):
+        kind = "process"
+    elif isinstance(index, ParallelHDIndex):
+        kind = "parallel"
+    else:
+        kind = "hdindex"
     meta = {
         "format_version": FORMAT_VERSION,
-        "kind": ("parallel" if isinstance(index, ParallelHDIndex)
-                 else "hdindex"),
+        "kind": kind,
         "params": dataclasses.asdict(index.params),
         "dim": index.dim,
         "count": index.count,
@@ -178,7 +187,7 @@ def _save_hdindex(index: HDIndex, directory: str) -> None:
                  "dtype": str(np.dtype(index.params.storage_dtype))},
         "trees": [tree.state() for tree in index.trees],
     }
-    if isinstance(index, ParallelHDIndex):
+    if isinstance(index, (ParallelHDIndex, ProcessPoolHDIndex)):
         meta["num_workers"] = index.num_workers
     with open(os.path.join(directory, META_FILE), "w") as handle:
         json.dump(meta, handle, indent=2)
@@ -201,6 +210,10 @@ def _load_hdindex(directory: str, cache_pages: int | None,
     if kind == "parallel":
         from repro.core.parallel import ParallelHDIndex
         index = ParallelHDIndex(params, num_workers=meta.get("num_workers"))
+    elif kind == "process":
+        from repro.core.process import ProcessPoolHDIndex
+        index = ProcessPoolHDIndex(params,
+                                   num_workers=meta.get("num_workers"))
     elif kind == "hdindex":
         index = HDIndex(params)
     else:
@@ -237,6 +250,10 @@ def _load_hdindex(directory: str, cache_pages: int | None,
         index.trees.append(RDBTree.from_state(
             store, tree_state, cache_pages=params.cache_pages,
             page_size=params.page_size))
+    if kind == "process":
+        # Worker processes bootstrap from this very directory (never from
+        # the live index state restored above).
+        index.attach_snapshot(directory)
     return index
 
 

@@ -9,6 +9,11 @@ backpressure bound on queue depth.  Combined with whole-family
 build offline, snapshot, then serve online without rebuilding.
 """
 
+from repro.core.procpool import (
+    ProcessPoolError,
+    WorkerCrashed,
+    WorkerTimeout,
+)
 from repro.serve.cache import ResultCache, canonical_overrides, make_key
 from repro.serve.service import (
     QueryService,
@@ -19,12 +24,15 @@ from repro.serve.service import (
 )
 
 __all__ = [
+    "ProcessPoolError",
     "QueryService",
     "ResultCache",
     "ServiceClosed",
     "ServiceConfig",
     "ServiceOverloaded",
     "ServiceStats",
+    "WorkerCrashed",
+    "WorkerTimeout",
     "canonical_overrides",
     "make_key",
 ]

@@ -20,11 +20,25 @@ Backpressure is a hard bound on queue depth: past ``max_pending`` waiting
 requests, ``submit`` blocks (optionally up to a timeout, then raises
 :class:`ServiceOverloaded`) instead of letting an unbounded queue hide an
 overloaded index.
+
+Two execution modes decide *where* a flushed micro-batch runs:
+
+* ``mode="thread"`` (default) — the dispatcher thread answers through the
+  index's ``query_batch`` in-process, as before;
+* ``mode="process"`` — the dispatcher shards the batch's rows across a
+  :class:`~repro.core.procpool.SnapshotWorkerPool` of worker processes,
+  each holding a lazily reopened ``backend="mmap"`` view of the same
+  snapshot directory, and re-concatenates the slices.  Rows are
+  independent, so answers stay byte-identical; a worker crash or timeout
+  fails the affected callers fast with a typed
+  :class:`~repro.core.procpool.ProcessPoolError` and the pool is rebuilt
+  for the next batch.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
 import threading
 import time
 from collections import OrderedDict, deque
@@ -32,6 +46,7 @@ from concurrent.futures import Future
 
 import numpy as np
 
+from repro.core.procpool import ProcessPoolError, SnapshotWorkerPool
 from repro.serve.cache import ResultCache, canonical_overrides, make_key
 
 
@@ -137,6 +152,12 @@ class QueryService:
     is running.  After ``insert()``/``delete()`` on the underlying index,
     call :meth:`invalidate_cache`.
 
+    With ``mode="process"`` (see :meth:`from_snapshot`) each flushed
+    micro-batch is row-sharded across ``workers`` worker processes that
+    each hold a lazily reopened ``mmap`` view of the same snapshot — the
+    multi-core serving tier.  Process mode serves an *immutable* snapshot:
+    mutate the underlying index offline and re-snapshot instead.
+
     >>> import numpy as np
     >>> from repro import HDIndex, HDIndexParams, QueryService
     >>> data = np.repeat(np.arange(32.0)[:, None], 4, axis=1)
@@ -150,10 +171,24 @@ class QueryService:
     """
 
     def __init__(self, index, config: ServiceConfig | None = None,
+                 mode: str = "thread", workers: int | None = None,
+                 snapshot_dir: str | os.PathLike[str] | None = None,
+                 worker_backend: str = "mmap",
+                 worker_timeout: float | None = None,
                  **overrides) -> None:
         base = config if config is not None else ServiceConfig()
         self.config = dataclasses.replace(base, **overrides)
+        if mode not in ("thread", "process"):
+            raise ValueError(
+                f"unknown mode {mode!r}; choose 'thread' or 'process'")
         self.index = index
+        self.mode = mode
+        self._pool: SnapshotWorkerPool | None = None
+        if mode == "process":
+            directory = self._resolve_snapshot_dir(index, snapshot_dir)
+            self._pool = SnapshotWorkerPool(
+                directory, num_workers=workers, backend=worker_backend,
+                timeout=worker_timeout)
         self.cache = ResultCache(self.config.cache_size)
         self._queue: deque[_Request] = deque()
         self._lock = threading.Lock()
@@ -166,17 +201,73 @@ class QueryService:
         # and closes its page stores on stop().
         self._owns_index = False
 
+    @staticmethod
+    def _resolve_snapshot_dir(index, snapshot_dir):
+        """Process mode needs a snapshot the workers can bootstrap from:
+        the explicit argument, or the index's own storage directory when a
+        snapshot manifest already lives there.  Either way the snapshot's
+        recorded point count must match the live index — a stale snapshot
+        (index mutated after the last ``save_index``) would make workers
+        silently answer from old data, so it is an error, not a fallback.
+        """
+        if snapshot_dir is not None:
+            directory = os.fspath(snapshot_dir)
+        else:
+            directory = getattr(getattr(index, "params", None),
+                                "storage_dir", None)
+            if directory is None or not (
+                    os.path.exists(os.path.join(directory, "meta.json"))
+                    or os.path.exists(
+                        os.path.join(directory, "manifest.json"))):
+                raise ValueError(
+                    "mode='process' needs a persisted snapshot: pass "
+                    "snapshot_dir=... (or use QueryService.from_snapshot); "
+                    "worker processes bootstrap from the snapshot "
+                    "manifest, never from the live index")
+        live_count = getattr(index, "count", None)
+        snapshot_count = QueryService._snapshot_count(directory)
+        if (live_count is not None and snapshot_count is not None
+                and snapshot_count != live_count):
+            raise ValueError(
+                f"snapshot at {directory} holds {snapshot_count} points "
+                f"but the live index holds {live_count}; re-run "
+                f"save_index() so worker processes serve current data")
+        return directory
+
+    @staticmethod
+    def _snapshot_count(directory):
+        import json
+        for name in ("meta.json", "manifest.json"):
+            path = os.path.join(directory, name)
+            if os.path.exists(path):
+                try:
+                    with open(path) as handle:
+                        return int(json.load(handle).get("count"))
+                except (OSError, TypeError, ValueError):
+                    return None
+        return None
+
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> "QueryService":
-        """Start the dispatcher thread (idempotent)."""
+        """Start the dispatcher thread (idempotent).
+
+        In process mode the worker pool is forked here too — from the
+        caller's thread, before any client traffic exists, rather than
+        lazily from the dispatcher mid-batch (forking a heavily threaded
+        process risks inheriting a lock held by another thread).
+        """
+        prestart = False
         with self._lock:
             if self._closed:
                 raise ServiceClosed("service has been stopped")
             if self._worker is None:
+                prestart = self._pool is not None
                 self._worker = threading.Thread(
                     target=self._run, name="repro-query-service", daemon=True)
                 self._worker.start()
+        if prestart:
+            self._pool.prestart()
         return self
 
     def stop(self, drain: bool = True) -> None:
@@ -201,8 +292,15 @@ class QueryService:
             if request.future.set_running_or_notify_cancel():
                 request.future.set_exception(
                     ServiceClosed("service stopped before dispatch"))
+        if self._pool is not None:
+            self._pool.close()
         if self._owns_index:
             self.index.close()
+
+    def close(self, drain: bool = True) -> None:
+        """Alias of :meth:`stop` — idempotent and safe to race against
+        concurrent submitters (they observe :class:`ServiceClosed`)."""
+        self.stop(drain=drain)
 
     def __enter__(self) -> "QueryService":
         return self.start()
@@ -214,6 +312,9 @@ class QueryService:
     def from_snapshot(cls, directory, cache_pages: int | None = None,
                       config: ServiceConfig | None = None,
                       backend: str | None = None,
+                      mode: str = "thread", workers: int | None = None,
+                      worker_backend: str = "mmap",
+                      worker_timeout: float | None = None,
                       **overrides) -> "QueryService":
         """Open a persisted index and wrap it in a service.
 
@@ -233,6 +334,18 @@ class QueryService:
                 ``"mmap"`` (zero-copy, O(metadata) cold start: the
                 larger-than-RAM serving mode) or ``"memory"``; ``None``
                 keeps the snapshot's own backend.
+            mode: ``"thread"`` answers batches in-process (default);
+                ``"process"`` shards each micro-batch's rows across
+                ``workers`` worker processes that bootstrap from this same
+                snapshot directory.
+            workers: Worker-process count for ``mode="process"``
+                (default: CPU count).
+            worker_backend: Backend each worker reopens the snapshot with
+                (default ``"mmap"`` — the OS shares the physical pages
+                across the pool).
+            worker_timeout: Seconds a dispatched slice may take before
+                its callers fail with
+                :class:`~repro.core.procpool.WorkerTimeout`.
             **overrides: Individual :class:`ServiceConfig` fields.
 
         Returns:
@@ -242,7 +355,9 @@ class QueryService:
         from repro.core.persistence import load_index
         service = cls(load_index(directory, cache_pages=cache_pages,
                                  backend=backend),
-                      config=config, **overrides)
+                      config=config, mode=mode, workers=workers,
+                      snapshot_dir=directory, worker_backend=worker_backend,
+                      worker_timeout=worker_timeout, **overrides)
         service._owns_index = True
         return service
 
@@ -419,22 +534,38 @@ class QueryService:
                 continue
             try:
                 points = np.stack([r.point for r in live])
-                ids, dists = self.index.query_batch(points, k,
-                                                    **dict(overrides))
+                ids, dists = self._answer_rows(points, k, dict(overrides))
                 for row, request in enumerate(live):
                     self._complete(request, ids[row], dists[row])
+            except ProcessPoolError as error:
+                # A worker died or wedged mid-batch.  The pool has already
+                # been discarded (the next batch gets a fresh one); fail
+                # this batch's callers fast with the typed error instead
+                # of retrying into a pool that just lost state.
+                for request in live:
+                    if not request.future.done():
+                        request.future.set_exception(error)
             except Exception:
                 # One malformed request (wrong dimensionality, bad
                 # override) must not fail its batch neighbours: isolate by
                 # retrying each request on its own.
                 self._dispatch_singly(live, k, dict(overrides))
 
+    def _answer_rows(self, points: np.ndarray, k: int, overrides: dict
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """One flushed group: in-process ``query_batch``, or row-sharded
+        across the worker pool in process mode (byte-identical either
+        way — rows are independent)."""
+        if self._pool is not None:
+            return self._pool.run_query_batch(points, k, overrides)
+        return self.index.query_batch(points, k, **overrides)
+
     def _dispatch_singly(self, requests: list[_Request], k: int,
                          overrides: dict) -> None:
         for request in requests:
             try:
-                ids, dists = self.index.query_batch(
-                    request.point[None, :], k, **overrides)
+                ids, dists = self._answer_rows(
+                    request.point[None, :], k, overrides)
                 self._complete(request, ids[0], dists[0])
             except Exception as error:
                 request.future.set_exception(error)

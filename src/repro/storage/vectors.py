@@ -141,9 +141,17 @@ class VectorHeapFile:
         must not bypass — fall back to per-record fetches through the
         pool.  Either way a fresh ``(n, dim)`` array of the storage dtype
         is returned, byte-identical across backends.
+
+        An **empty** id set — the Algo.-2 refinement stage when every
+        candidate was filtered or deleted — returns an empty ``(0, dim)``
+        array immediately: the store, the buffer pool and the
+        :class:`~repro.storage.stats.IOStats` accountant are not touched,
+        so a zero-survivor query records zero heap reads on every backend.
         """
         object_ids = np.asarray(object_ids, dtype=np.int64).ravel()
         if object_ids.size == 0:
+            # Before any store/pool access: no reads happen and none are
+            # recorded (the sequential-pattern state is preserved too).
             return np.empty((0, self.dim), dtype=self.dtype)
         page_matrix = getattr(self._store, "page_matrix", None)
         if page_matrix is None or self.pool.capacity > 0:

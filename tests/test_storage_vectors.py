@@ -110,3 +110,76 @@ class TestVectorHeapFile:
         cached.fetch(1)   # same page
         assert cached.stats.page_reads == 0
         assert cached.stats.cache_hits == 2
+
+
+class TestEmptyGather:
+    """Regression: an empty id set (the Algo.-2 refinement stage when no
+    candidate survives) must return an empty result WITHOUT touching the
+    store, the buffer pool, or the IOStats accountant."""
+
+    def _poison(self, heap):
+        """Make any store access blow up so the contract is structural,
+        not just observed-by-counter."""
+        def boom(*_args, **_kwargs):
+            raise AssertionError("store touched for an empty gather")
+        heap._store.read = boom
+        heap.pool.read = boom
+        if hasattr(heap._store, "page_matrix"):
+            heap._store.page_matrix = boom
+
+    @pytest.mark.parametrize("cache_pages", [0, 4])
+    def test_memory_store_untouched(self, cache_pages):
+        heap = VectorHeapFile(dim=6, dtype=np.float32,
+                              cache_pages=cache_pages)
+        heap.append_batch(np.zeros((9, 6), dtype=np.float32))
+        snapshot = heap.stats.snapshot()
+        self._poison(heap)
+        for empty in ([], np.empty(0, dtype=np.int64),
+                      np.empty((0,), dtype=np.float64)):
+            out = heap.gather(empty)
+            assert out.shape == (0, 6) and out.dtype == np.float32
+        assert heap.fetch_many([]).shape == (0, 6)
+        assert heap.stats.snapshot() == snapshot
+
+    @pytest.mark.parametrize("cache_pages", [0, 4])
+    def test_mmap_store_untouched(self, tmp_path, cache_pages):
+        from repro.storage import MmapPageStore
+        store = MmapPageStore(str(tmp_path / "d.pages"))
+        heap = VectorHeapFile(dim=6, dtype=np.float32, store=store,
+                              cache_pages=cache_pages)
+        heap.append_batch(np.ones((9, 6), dtype=np.float32))
+        snapshot = heap.stats.snapshot()
+        self._poison(heap)
+        out = heap.gather(np.empty(0, dtype=np.int64))
+        assert out.shape == (0, 6)
+        assert heap.stats.snapshot() == snapshot
+        heap._store.close()
+
+    def test_sequential_classification_unperturbed(self):
+        """An interleaved empty gather must not disturb the random/
+        sequential read classification of its neighbours."""
+        data = np.zeros((64, 32), dtype=np.float32)
+        plain = heap_file_from_array(data, page_size=256)
+        probe = heap_file_from_array(data, page_size=256)
+        per_page = plain.records_per_page
+        plain.gather([0, per_page, 2 * per_page])
+        probe.gather([0, per_page])
+        probe.gather([])
+        probe.gather([2 * per_page])
+        assert probe.stats.snapshot() == plain.stats.snapshot()
+
+    def test_engine_rerank_skips_heap_on_empty_survivors(self):
+        """Engine-level: once every point is deleted, query and
+        query_batch must answer without a single heap read."""
+        from repro.core import HDIndex, HDIndexParams
+        data = np.random.default_rng(3).normal(size=(20, 8))
+        index = HDIndex(HDIndexParams(num_trees=2, hilbert_order=5,
+                                      num_references=3, alpha=8, seed=0))
+        index.build(data)
+        for object_id in range(20):
+            index.delete(object_id)
+        self._poison(index.heap)
+        ids, dists = index.query(np.zeros(8), k=4)
+        assert ids.shape == (0,) and dists.shape == (0,)
+        batch_ids, _ = index.query_batch(np.zeros((2, 8)), k=4)
+        assert np.all(batch_ids == -1)
