@@ -24,7 +24,7 @@ import numpy as np
 import pytest
 
 from benchmarks.common import Workload, emit, hd_params, start_report
-from repro.core import HDIndex, ParallelHDIndex
+from repro.core import HDIndex, ThreadedExecutor
 
 BENCH = "batch_throughput"
 BATCH_SIZES = (1, 16, 256)
@@ -42,7 +42,8 @@ def indexes(workload):
     spec, n = workload.spec, len(workload.data)
     built = {
         "HD-Index": HDIndex(hd_params(spec, n)),
-        "HD-Index(parallel)": ParallelHDIndex(hd_params(spec, n)),
+        "HD-Index(parallel)": HDIndex(hd_params(spec, n),
+                              executor=ThreadedExecutor(None)),
     }
     for index in built.values():
         index.build(workload.data)

@@ -1,0 +1,158 @@
+"""IndexSpec combination grid — topology x execution x backend.
+
+The spec redesign collapsed the class-per-combination matrix into one
+declarative :class:`repro.IndexSpec`; this bench sweeps the grid the old
+API could not express and measures batch-query throughput for every
+point, with byte-identical parity against the sequential-sharded oracle
+verified in-run.
+
+Grid (all built over the same data and seeds, so answers must agree):
+
+* topology: plain, 2 shards
+* execution: sequential, thread (2 workers), process (2 workers)
+* backend: memory, mmap (disk-resident snapshot)
+
+Headline comparison (acceptance): the previously-impossible
+**sharded x process** combo must beat the **sharded sequential**
+one-at-a-time loop by ``TARGET_SPEEDUP``x on batch throughput (the same
+methodology as ``bench_process_scaling``: the win comes from worker-side
+vectorised batching, plus GIL escape on multi-core hardware).  On a
+multi-core runner it must additionally beat sharded-sequential *batch*
+throughput.
+
+Run with::
+
+    PYTHONPATH=src:. python -m pytest benchmarks/bench_spec_combos.py \
+        --benchmark-only -q
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.common import Workload, emit, hd_params, start_report
+from repro import Execution, IndexSpec, Topology
+from repro.core import build as build_index
+from repro.core import open_index
+
+BENCH = "spec_combos"
+N = 4000
+NUM_QUERIES = 256
+K = 10
+WORKERS = 2
+TARGET_SPEEDUP = 2.0
+
+EXECUTIONS = {
+    "sequential": Execution(),
+    "thread": Execution(kind="thread", workers=WORKERS),
+    "process": Execution(kind="process", workers=WORKERS),
+}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Workload("sift10k", n=N, num_queries=NUM_QUERIES, max_k=K)
+
+
+def _spec(workload, shards, execution, backend):
+    params = hd_params(workload.spec, N)
+    return IndexSpec(params=params, topology=Topology(shards=shards),
+                     execution=EXECUTIONS[execution], backend=backend)
+
+
+def _measure_batch(index, queries):
+    index.query_batch(queries[:8], K)  # warm pools / page caches
+    started = time.perf_counter()
+    ids, dists = index.query_batch(queries, K)
+    return NUM_QUERIES / (time.perf_counter() - started), (ids, dists)
+
+
+def _assert_parity(got, oracle, label):
+    np.testing.assert_array_equal(
+        got[0], oracle[0], err_msg=f"{label}: ids diverge from oracle")
+    np.testing.assert_array_equal(
+        got[1], oracle[1], err_msg=f"{label}: distances diverge")
+
+
+def test_spec_combo_grid(workload, benchmark, tmp_path_factory):
+    table = benchmark.pedantic(
+        lambda: _run_grid(workload, tmp_path_factory), rounds=1,
+        iterations=1)
+    seq_loop = table[("sharded", "sequential", "mmap", "loop")]
+    proc_batch = table[("sharded", "process", "mmap", "batch")]
+    speedup = proc_batch / seq_loop
+    assert speedup >= TARGET_SPEEDUP, (
+        f"sharded x process batch only {speedup:.2f}x the sharded "
+        f"sequential loop")
+    if (os.cpu_count() or 1) > 1:
+        assert proc_batch > table[("sharded", "sequential", "mmap",
+                                   "batch")], \
+            "multi-core runner: sharded x process must beat sharded " \
+            "sequential batch throughput"
+
+
+def _run_grid(workload, tmp_path_factory):
+    queries = workload.queries
+    start_report(BENCH, f"IndexSpec combination grid (n={N}, "
+                        f"Q={NUM_QUERIES}, k={K}, workers={WORKERS}, "
+                        f"cores={os.cpu_count()})")
+
+    # Oracles: one per topology, sequential/memory (results across the
+    # whole grid must be byte-identical to these).
+    oracles = {}
+    loop_qps = {}
+    for shards in (1, 2):
+        topo = "plain" if shards == 1 else "sharded"
+        index = build_index(_spec(workload, shards, "sequential", None),
+                            workload.data)
+        oracles[topo] = index.query_batch(queries, K)
+        started = time.perf_counter()
+        for query in queries:
+            index.query(query, K)
+        loop_qps[topo] = NUM_QUERIES / (time.perf_counter() - started)
+        index.close()
+
+    emit(BENCH, f"\n{'topology':<9} {'execution':<11} {'backend':<8} "
+                f"{'mode':<6} {'q/s':>8}  parity")
+    table = {}
+    for shards in (1, 2):
+        topo = "plain" if shards == 1 else "sharded"
+        for execution in ("sequential", "thread", "process"):
+            for backend in ("memory", "mmap"):
+                if execution == "process" and backend == "memory":
+                    continue  # process workers bootstrap from a snapshot
+                directory = tmp_path_factory.mktemp(
+                    f"combo-{topo}-{execution}-{backend}")
+                if backend == "memory":
+                    index = build_index(
+                        _spec(workload, shards, execution, "memory"),
+                        workload.data)
+                else:
+                    build_index(_spec(workload, shards, execution, "mmap"),
+                                workload.data,
+                                storage_dir=directory).close()
+                    index = open_index(directory)
+                try:
+                    qps, got = _measure_batch(index, queries)
+                    _assert_parity(got, oracles[topo],
+                                   f"{topo}/{execution}/{backend}")
+                finally:
+                    index.close()
+                table[(topo, execution, backend, "batch")] = qps
+                emit(BENCH, f"{topo:<9} {execution:<11} {backend:<8} "
+                            f"{'batch':<6} {qps:>8.1f}  ok")
+        table[(topo, "sequential", "mmap", "loop")] = loop_qps[topo]
+        emit(BENCH, f"{topo:<9} {'sequential':<11} {'-':<8} {'loop':<6} "
+                    f"{loop_qps[topo]:>8.1f}  (oracle)")
+
+    headline = (table[("sharded", "process", "mmap", "batch")]
+                / table[("sharded", "sequential", "mmap", "loop")])
+    emit(BENCH, f"\nsharded x process batch vs sharded sequential loop: "
+                f"{headline:.2f}x (target >= {TARGET_SPEEDUP:.1f}x)")
+    emit(BENCH, "parity: byte-identical answers verified in-run for every "
+                "grid point against the sequential oracle")
+    return table

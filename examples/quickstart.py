@@ -15,9 +15,10 @@ import time
 
 import numpy as np
 
+import repro
 from repro import (
-    HDIndex,
     HDIndexParams,
+    IndexSpec,
     exact_knn,
     make_dataset,
     mean_average_precision,
@@ -39,10 +40,12 @@ def main() -> None:
         gamma=128,
         domain=dataset.spec.domain,
     )
-    index = HDIndex(params)
 
+    #    repro.build consumes a declarative IndexSpec; topology, execution
+    #    and storage backend are further (orthogonal) axes of it — see
+    #    examples/scale_out.py and docs/MIGRATION.md.
     started = time.perf_counter()
-    index.build(dataset.data)
+    index = repro.build(IndexSpec(params=params), dataset.data)
     print(f"built τ={params.num_trees} RDB-trees in "
           f"{time.perf_counter() - started:.2f}s "
           f"(leaf order Ω={index.trees[0].leaf_order}, "

@@ -6,14 +6,17 @@ Run with::
 
 Demonstrates the three deployment extensions the paper sketches in
 Sec. 5.2.8 and Sec. 6 ("our method can be easily parallelized and/or
-distributed with little synchronization"):
+distributed with little synchronization"), each declared as one
+:class:`repro.IndexSpec` instead of a dedicated class:
 
-1. **Persistence** — build once, save, reopen elsewhere and query without
-   ever holding the dataset in RAM;
-2. **Parallel querying** — per-tree scans fanned over a thread pool,
-   bit-identical results;
-3. **Sharding** — horizontal partitions behind independent HD-Index
-   instances, merged by exact distance (the only synchronisation point).
+1. **Persistence** — ``repro.build(spec, data, storage_dir=...)`` once,
+   then ``repro.open`` elsewhere and query without ever holding the
+   dataset in RAM;
+2. **Parallel querying** — ``Execution(kind="thread")`` fans the per-tree
+   scans over a thread pool, bit-identical results;
+3. **Sharding** — ``Topology(shards=4)`` puts horizontal partitions
+   behind independent HD-Index instances, merged by exact distance (the
+   only synchronisation point).
 """
 
 from __future__ import annotations
@@ -24,8 +27,15 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import HDIndex, HDIndexParams, ParallelHDIndex, make_dataset
-from repro.core import ShardedHDIndex, load_index, save_index
+import repro
+import repro.core
+from repro import (
+    Execution,
+    HDIndexParams,
+    IndexSpec,
+    Topology,
+    make_dataset,
+)
 
 
 def main() -> None:
@@ -34,14 +44,13 @@ def main() -> None:
                            domain=dataset.spec.domain)
 
     # --- 1. persistence -------------------------------------------------
-    index = HDIndex(params)
-    index.build(dataset.data)
+    index = repro.build(IndexSpec(params=params), dataset.data)
     with tempfile.TemporaryDirectory() as tmp:
         target = Path(tmp) / "hd-index"
-        save_index(index, target)
+        repro.core.save_index(index, target)
         files = sorted(p.name for p in target.iterdir())
         print(f"persisted index: {files}")
-        reopened = load_index(target)
+        reopened = repro.open(target)
         ids_a, _ = index.query(dataset.queries[0], 10)
         ids_b, _ = reopened.query(dataset.queries[0], 10)
         print(f"reopened index answers identically: "
@@ -49,8 +58,10 @@ def main() -> None:
         reopened.close()
 
     # --- 2. parallel queries --------------------------------------------
-    with ParallelHDIndex(params, num_workers=4) as parallel:
-        parallel.build(dataset.data)
+    with repro.build(IndexSpec(params=params,
+                               execution=Execution(kind="thread",
+                                                   workers=4)),
+                     dataset.data) as parallel:
         agree = all(
             np.array_equal(index.query(q, 10)[0], parallel.query(q, 10)[0])
             for q in dataset.queries)
@@ -58,9 +69,10 @@ def main() -> None:
               f"{len(dataset.queries)} queries: {agree}")
 
     # --- 3. sharding ------------------------------------------------------
-    sharded = ShardedHDIndex(params, num_shards=4)
     started = time.perf_counter()
-    sharded.build(dataset.data)
+    sharded = repro.build(IndexSpec(params=params,
+                                    topology=Topology(shards=4)),
+                          dataset.data)
     print(f"\nsharded build (4 shards): {time.perf_counter() - started:.2f}s,"
           f" per-machine build RAM "
           f"{sharded.build_memory_bytes() / 1024:.0f} KB")

@@ -6,10 +6,10 @@ Run with::
 
 The ROADMAP's deployment story in three steps:
 
-1. **Build offline** — construct a :class:`ShardedHDIndex` and persist the
-   whole family snapshot (``manifest.json`` + one ``shard_<s>/`` directory
-   per shard);
-2. **Reopen online** — ``load_index(..., backend="mmap")`` maps the page
+1. **Build offline** — ``repro.build`` an
+   ``IndexSpec(topology=Topology(shards=2))`` and persist the whole
+   snapshot (``manifest.json`` + one ``shard_<s>/`` directory per shard);
+2. **Reopen online** — ``repro.open(..., backend="mmap")`` maps the page
    files zero-copy: the reopen is O(metadata) and the OS page cache keeps
    only the hot fraction resident, so the snapshot may exceed RAM;
 3. **Serve** — a :class:`QueryService` coalesces single-query submissions
@@ -26,8 +26,14 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import QueryService, make_dataset
-from repro.core import HDIndexParams, ShardedHDIndex, load_index, save_index
+import repro
+from repro import (
+    HDIndexParams,
+    IndexSpec,
+    QueryService,
+    Topology,
+    make_dataset,
+)
 
 NUM_CLIENTS = 4
 K = 10
@@ -42,9 +48,9 @@ def main() -> None:
         snapshot = Path(tmp) / "snapshot"
 
         # --- 1. build offline, snapshot ---------------------------------
-        index = ShardedHDIndex(params, num_shards=2)
-        index.build(dataset.data)
-        save_index(index, snapshot)
+        index = repro.build(IndexSpec(params=params,
+                                      topology=Topology(shards=2)),
+                            dataset.data, storage_dir=snapshot)
         expected = [index.query(q, K)[0] for q in dataset.queries]
         index.close()
         layout = sorted(p.name for p in snapshot.iterdir())
@@ -52,7 +58,7 @@ def main() -> None:
 
         # --- 2. reopen online (zero-copy mmap backend) -------------------
         started = time.perf_counter()
-        reopened = load_index(snapshot, backend="mmap")
+        reopened = repro.open(snapshot, backend="mmap")
         reopen_ms = (time.perf_counter() - started) * 1e3
         print(f"reopened a {type(reopened).__name__} with "
               f"{reopened.num_shards} shards, {reopened.count} objects "

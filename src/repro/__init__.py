@@ -10,13 +10,20 @@ of the paper's evaluation.
 Quickstart::
 
     import numpy as np
-    from repro import HDIndex, HDIndexParams, make_dataset, exact_knn
+    import repro
+    from repro import HDIndexParams, IndexSpec, make_dataset
 
     ds = make_dataset("sift10k", n=5000, num_queries=20)
-    index = HDIndex(HDIndexParams(num_trees=8, alpha=512, gamma=128,
-                                  domain=ds.spec.domain))
-    index.build(ds.data)
+    index = repro.build(
+        IndexSpec(params=HDIndexParams(num_trees=8, alpha=512, gamma=128,
+                                       domain=ds.spec.domain)),
+        ds.data)
     ids, dists = index.query(ds.queries[0], k=10)
+
+Every deployment shape — plain or sharded topology, sequential / thread /
+process execution, memory / file / mmap storage — is one declarative
+:class:`IndexSpec` handed to :func:`repro.build`, and :func:`repro.open`
+reconstructs it from a persisted snapshot.
 """
 
 from repro.baselines import (
@@ -33,20 +40,28 @@ from repro.baselines import (
     VAFile,
 )
 from repro.core import (
+    Execution,
     HDIndex,
     HDIndexParams,
+    IndexSpec,
     KNNIndex,
     ParallelHDIndex,
     ProcessPoolHDIndex,
     QueryStats,
+    ShardRouter,
     ShardedHDIndex,
+    Topology,
     WorkerCrashed,
     WorkerTimeout,
+    build,
+    create_index,
     load_index,
     rdb_leaf_order,
     recommended_params,
     save_index,
 )
+from repro.core import open_index
+from repro.core import open_index as open  # noqa: A001 - repro.open API
 from repro.datasets import DATASET_CATALOG, Dataset, DatasetSpec, make_dataset
 from repro.serve import QueryService, ServiceConfig, ServiceStats
 from repro.eval import (
@@ -54,6 +69,7 @@ from repro.eval import (
     approximation_ratio,
     average_precision,
     evaluate_index,
+    evaluate_spec,
     exact_knn,
     format_table,
     mean_average_precision,
@@ -69,11 +85,13 @@ __all__ = [
     "Dataset",
     "DatasetSpec",
     "E2LSH",
+    "Execution",
     "GroundTruth",
     "HDIndex",
     "HDIndexParams",
     "HNSW",
     "IDistance",
+    "IndexSpec",
     "KNNIndex",
     "LinearScan",
     "Multicurves",
@@ -87,18 +105,25 @@ __all__ = [
     "SRS",
     "ServiceConfig",
     "ServiceStats",
+    "ShardRouter",
     "ShardedHDIndex",
+    "Topology",
     "VAFile",
     "WorkerCrashed",
     "WorkerTimeout",
     "approximation_ratio",
     "average_precision",
+    "build",
+    "create_index",
     "evaluate_index",
+    "evaluate_spec",
     "exact_knn",
     "format_table",
     "load_index",
     "make_dataset",
     "mean_average_precision",
+    "open",
+    "open_index",
     "rdb_leaf_order",
     "recall_at_k",
     "recommended_params",

@@ -3,33 +3,39 @@
 Five commands cover the library's main workflows without writing code:
 
 * ``info``      — list dataset configurations and paper-recommended params;
-* ``build``     — build an index (plain, ``--workers`` parallel or
-  ``--shards`` sharded) over a dataset (synthetic or .fvecs) and persist
-  it to a directory;
-* ``query``     — load a persisted index and run a query workload against
-  it, reporting MAP/ratio/time/I/O;
+* ``build``     — build the index an :class:`~repro.core.IndexSpec`
+  describes (``--spec spec.json``, or synthesised from ``--shards`` /
+  ``--execution`` / ``--workers`` / ``--backend`` flags) over a dataset
+  (synthetic or .fvecs) and persist it to a directory;
+* ``query``     — reopen a persisted index via :func:`repro.open` and run
+  a query workload against it, reporting MAP/ratio/time/I/O;
 * ``serve``     — load a persisted index into a micro-batching
   :class:`~repro.serve.QueryService` and drive it with concurrent client
   threads, reporting throughput and batching statistics;
 * ``compare``   — run several methods on one dataset and print the
   comparison table (a Fig. 8 row group on demand).
+
+Every flag combination is one declarative spec under the hood — the CLI
+never touches the deprecated per-combination classes.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 import numpy as np
 
 from repro.core import (
+    Execution,
     HDIndex,
     HDIndexParams,
-    ParallelHDIndex,
-    ShardedHDIndex,
-    load_index,
+    IndexSpec,
+    Topology,
+    build as build_index,
+    open_index,
     recommended_params,
-    save_index,
 )
 from repro.datasets import DATASET_CATALOG, make_dataset, read_vecs
 from repro.eval import (
@@ -61,12 +67,21 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--out", required=True,
                        help="directory to persist the index into")
     _add_param_arguments(build)
+    build.add_argument("--spec", default=None,
+                       help="JSON file holding a full IndexSpec (params + "
+                            "topology + execution + backend); other flags "
+                            "override its fields")
     build.add_argument("--shards", type=_positive_int, default=None,
-                       help="build a sharded index over this many "
-                            "horizontal shards")
+                       help="shard the index over this many horizontal "
+                            "partitions (IndexSpec topology)")
+    build.add_argument("--execution",
+                       choices=("sequential", "thread", "process"),
+                       default=None,
+                       help="per-tree scan execution strategy (IndexSpec "
+                            "execution; default: thread when --workers is "
+                            "given, else sequential)")
     build.add_argument("--workers", type=_positive_int, default=None,
-                       help="build a thread-parallel index with this "
-                            "many per-tree scan workers")
+                       help="pool width for --execution thread/process")
     build.add_argument("--backend", choices=("memory", "file", "mmap"),
                        default=None,
                        help="page-store backend; file/mmap write the page "
@@ -84,11 +99,16 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="how to reopen the snapshot (default: as saved; "
                             "mmap = zero-copy larger-than-RAM mode)")
+    query.add_argument("--execution",
+                       choices=("sequential", "thread", "process"),
+                       default=None,
+                       help="override the snapshot's execution strategy "
+                            "(process = fan per-tree scans over worker "
+                            "processes sharing the snapshot via mmap)")
     query.add_argument("--mode", choices=("thread", "process"), default=None,
-                       help="process = fan per-tree scans over worker "
-                            "processes sharing the snapshot via mmap")
+                       help="legacy alias of --execution")
     query.add_argument("--workers", type=_positive_int, default=None,
-                       help="worker count for --mode process")
+                       help="worker count for --execution process")
 
     serve = commands.add_parser(
         "serve", help="serve a persisted index to concurrent clients")
@@ -116,13 +136,16 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="how to reopen the snapshot (default: as saved; "
                             "mmap = zero-copy larger-than-RAM mode)")
-    serve.add_argument("--mode", choices=("thread", "process"),
-                       default="thread",
+    serve.add_argument("--execution", choices=("thread", "process"),
+                       default=None,
                        help="process = shard each micro-batch's rows over "
                             "worker processes that reopen the snapshot "
                             "via mmap (multi-core serving)")
+    serve.add_argument("--mode", choices=("thread", "process"),
+                       default=None,
+                       help="legacy alias of --execution")
     serve.add_argument("--workers", type=_positive_int, default=None,
-                       help="worker-process count for --mode process "
+                       help="worker-process count for --execution process "
                             "(default: CPU count)")
 
     compare = commands.add_parser(
@@ -179,12 +202,11 @@ def _load_workload(args) -> tuple[np.ndarray, np.ndarray, object]:
     return dataset.data, dataset.queries, dataset.spec
 
 
-def _params_from_args(args, data, spec) -> HDIndexParams:
-    params = recommended_params(dim=data.shape[1], n=len(data),
-                                seed=args.seed)
+def _param_flag_updates(args) -> dict:
+    """The HDIndexParams fields explicitly set by command-line flags —
+    the single mapping shared by the recommended-params and --spec-file
+    paths, so a new flag cannot apply in one and not the other."""
     updates = {}
-    if spec is not None:
-        updates["domain"] = spec.domain
     if getattr(args, "trees", None) is not None:
         updates["num_trees"] = args.trees
     if getattr(args, "references", None) is not None:
@@ -197,6 +219,16 @@ def _params_from_args(args, data, spec) -> HDIndexParams:
         updates["gamma"] = args.gamma
     if getattr(args, "ptolemaic", False):
         updates["use_ptolemaic"] = True
+    return updates
+
+
+def _params_from_args(args, data, spec) -> HDIndexParams:
+    params = recommended_params(dim=data.shape[1], n=len(data),
+                                seed=args.seed)
+    updates = {}
+    if spec is not None:
+        updates["domain"] = spec.domain
+    updates.update(_param_flag_updates(args))
     import dataclasses
     return dataclasses.replace(params, **updates)
 
@@ -214,52 +246,81 @@ def cmd_info(_args, out=sys.stdout) -> int:
     return 0
 
 
-def cmd_build(args, out=sys.stdout) -> int:
-    if args.shards is not None and args.workers is not None:
-        print("error: --shards and --workers are mutually exclusive",
-              file=sys.stderr)
-        return 2
-    data, _, spec = _load_workload(args)
-    params = _params_from_args(args, data, spec)
-    if args.backend is not None:
-        import dataclasses
-        updates = {"backend": args.backend}
-        if args.backend in ("file", "mmap"):
-            # Write the page files straight into the snapshot directory so
-            # save_index only has to write metadata.
-            updates["storage_dir"] = args.out
-        params = dataclasses.replace(params, **updates)
-    if args.shards is not None:
-        index = ShardedHDIndex(params, num_shards=args.shards)
-    elif args.workers is not None:
-        index = ParallelHDIndex(params, num_workers=args.workers)
+def _spec_from_args(args, data, dataset_spec) -> IndexSpec:
+    """Synthesise the declarative :class:`IndexSpec` a ``build``
+    invocation describes: the ``--spec`` file (when given) as the base,
+    individual flags overriding its fields."""
+    import dataclasses as _dc
+    if args.spec is not None:
+        with open(args.spec) as handle:
+            base = IndexSpec.from_dict(json.load(handle))
+        # Explicit parameter flags still win over the spec file.
+        updates = _param_flag_updates(args)
+        params = (_dc.replace(base.params, **updates) if updates
+                  else base.params)
     else:
-        index = HDIndex(params)
-    index.build(data)
-    save_index(index, args.out)
+        base = IndexSpec()
+        params = _params_from_args(args, data, dataset_spec)
+    topology = base.topology
+    if args.shards is not None:
+        # replace(), not a fresh Topology: a spec file's shard_backends
+        # (and future fields) survive a flag override.
+        topology = _dc.replace(topology, shards=args.shards)
+    execution = base.execution
+    kind = args.execution
+    if kind is None and args.workers is not None \
+            and execution.kind == "sequential":
+        kind = "thread"
+    updates = {}
+    if kind is not None:
+        updates["kind"] = kind
+    if args.workers is not None:
+        updates["workers"] = args.workers
+    if updates:
+        # replace() keeps the spec file's worker_backend/worker_timeout.
+        execution = _dc.replace(execution, **updates)
+    backend = args.backend if args.backend is not None else base.backend
+    return IndexSpec(params=params, topology=topology,
+                     execution=execution, backend=backend)
+
+
+def cmd_build(args, out=sys.stdout) -> int:
+    data, _, dataset_spec = _load_workload(args)
+    spec = _spec_from_args(args, data, dataset_spec)
+    index = build_index(spec, data, storage_dir=args.out)
+    params = index.params
     stats = index.build_stats()
     print(f"built {index.name} over n={len(data)}, ν={data.shape[1]} in "
           f"{stats.time_sec:.2f}s", file=out)
-    if args.shards is not None:
+    # Branch on what the factory actually built: shard_backends forces a
+    # router even at shards=1, and only routers have num_shards (the
+    # plain branch reads per-tree leaf orders a router does not report).
+    from repro.core import ShardRouter
+    if isinstance(index, ShardRouter):
         print(f"{index.num_shards} shards x τ={params.num_trees} trees, "
-              f"m={params.num_references} references", file=out)
+              f"m={params.num_references} references "
+              f"(execution={spec.execution.kind})", file=out)
     else:
         print(f"τ={params.num_trees} trees, m={params.num_references} "
-              f"references, leaf orders {stats.extra['leaf_orders']}",
-              file=out)
+              f"references, leaf orders {stats.extra['leaf_orders']} "
+              f"(execution={spec.execution.kind})", file=out)
     descriptors = index.total_size_bytes() - index.index_size_bytes()
     print(f"index {index.index_size_bytes():,} B + descriptors "
           f"{descriptors:,} B -> {args.out}", file=out)
+    index.close()
     return 0
 
 
 def cmd_query(args, out=sys.stdout) -> int:
-    if args.mode == "process":
-        from repro.core import ProcessPoolHDIndex
-        index = ProcessPoolHDIndex.from_snapshot(
-            args.index, num_workers=args.workers, backend=args.backend)
-    else:
-        index = load_index(args.index, backend=args.backend)
+    execution = None
+    if args.execution is not None:
+        execution = Execution(kind=args.execution, workers=args.workers)
+    elif args.mode == "process":
+        # Legacy flag: --mode thread meant "as saved", only process
+        # changed anything.
+        execution = Execution(kind="process", workers=args.workers)
+    index = open_index(args.index, backend=args.backend,
+                       execution=execution)
     data, queries, _ = _load_workload(args)
     if data.shape[1] != index.dim:
         print(f"error: index expects ν={index.dim}, dataset has "
@@ -281,7 +342,7 @@ def cmd_serve(args, out=sys.stdout) -> int:
 
     from repro.serve import QueryService, ServiceConfig
 
-    index = load_index(args.index, cache_pages=args.cache_pages,
+    index = open_index(args.index, cache_pages=args.cache_pages,
                        backend=args.backend)
     data, queries, _ = _load_workload(args)
     if data.shape[1] != index.dim:
@@ -294,10 +355,12 @@ def cmd_serve(args, out=sys.stdout) -> int:
                            max_wait_ms=args.max_wait_ms,
                            max_pending=args.max_pending,
                            cache_size=max(0, args.cache))
+    dispatch = args.execution if args.execution is not None else args.mode
     service_kwargs = {}
-    if args.mode == "process":
-        service_kwargs = dict(mode="process", workers=args.workers,
-                              snapshot_dir=args.index)
+    if dispatch == "process":
+        service_kwargs = dict(
+            execution=Execution(kind="process", workers=args.workers),
+            snapshot_dir=args.index)
     errors: list[Exception] = []
 
     def client(service, client_index):
@@ -325,7 +388,7 @@ def cmd_serve(args, out=sys.stdout) -> int:
               f"({errors[0]!r})", file=sys.stderr)
         return 1
     print(f"served {stats.queries} queries from {args.clients} clients "
-          f"(mode={args.mode}) in {elapsed:.2f}s -> "
+          f"(execution={dispatch or 'thread'}) in {elapsed:.2f}s -> "
           f"{stats.queries / elapsed:.1f} q/s", file=out)
     print(f"{stats.batches} micro-batches, mean size "
           f"{stats.mean_batch_size():.1f}, max {stats.max_batch_size} "

@@ -11,6 +11,7 @@ from repro.core.engine import (
     SequentialExecutor,
     ThreadedExecutor,
 )
+from repro.core.factory import build, create_index, open_index, set_execution
 from repro.core.hdindex import HDIndex
 from repro.core.interface import BuildStats, KNNIndex, QueryStats
 from repro.core.parallel import ParallelHDIndex
@@ -22,7 +23,15 @@ from repro.core.procpool import (
     WorkerCrashed,
     WorkerTimeout,
 )
+from repro.core.router import ShardRouter
 from repro.core.sharded import ShardedHDIndex
+from repro.core.spec import (
+    Execution,
+    IndexSpec,
+    Topology,
+    coerce_spec,
+    make_executor,
+)
 from repro.core.params import (
     HDIndexParams,
     TABLE3_CONFIGS,
@@ -48,8 +57,10 @@ from repro.core.reference import (
 
 __all__ = [
     "BuildStats",
+    "Execution",
     "HDIndex",
     "HDIndexParams",
+    "IndexSpec",
     "KNNIndex",
     "ParallelHDIndex",
     "PersistenceError",
@@ -59,21 +70,28 @@ __all__ = [
     "QueryEngine",
     "QueryStats",
     "SnapshotWorkerPool",
+    "Topology",
     "WorkerCrashed",
     "WorkerTimeout",
     "RDBTree",
     "SequentialExecutor",
     "ReferenceSet",
+    "ShardRouter",
     "ShardedHDIndex",
     "TABLE3_CONFIGS",
     "TABLE3_CONSISTENT",
     "TABLE3_LEAF_ORDERS",
     "ThreadedExecutor",
+    "build",
+    "coerce_spec",
     "contiguous_partition",
+    "create_index",
     "estimate_dmax",
     "filter_candidates",
     "load_index",
+    "make_executor",
     "make_partition",
+    "open_index",
     "ptolemaic_lower_bounds",
     "random_partition",
     "rdb_leaf_order",
@@ -83,5 +101,6 @@ __all__ = [
     "select_references",
     "select_sss",
     "select_sss_dyn",
+    "set_execution",
     "triangular_lower_bounds",
 ]

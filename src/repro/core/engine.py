@@ -5,12 +5,13 @@ with little synchronization" because the three stages of Algo. 2 —
 (i) α nearest-by-Hilbert-key candidates per RDB-tree, (ii) triangular /
 Ptolemaic filter refinement, (iii) exact re-ranking of the κ survivors —
 touch independent trees until the final merge.  This module is the single
-implementation of those stages.  :class:`repro.core.hdindex.HDIndex`,
-:class:`repro.core.parallel.ParallelHDIndex` and (per shard)
-:class:`repro.core.sharded.ShardedHDIndex` are configurations of this one
-code path: the only degree of freedom is the :class:`Executor` that maps
-the per-tree stage-(i)/(ii) work, so the variants cannot drift apart in
-semantics or in the :class:`~repro.core.interface.QueryStats` they report.
+implementation of those stages.  Every deployment shape an
+:class:`~repro.core.spec.IndexSpec` can declare — plain or sharded
+topology, sequential / threaded / process execution — is a configuration
+of this one code path: the only degree of freedom is the
+:class:`Executor` that maps the per-tree stage-(i)/(ii) work, so the
+variants cannot drift apart in semantics or in the
+:class:`~repro.core.interface.QueryStats` they report.
 
 Besides the one-point path (:meth:`QueryEngine.run`), the engine provides a
 vectorised batch path (:meth:`QueryEngine.run_batch`) that amortises the
@@ -89,6 +90,10 @@ class ProcessExecutor(Executor):
                  backend: str = "mmap", cache_pages: int | None = None,
                  timeout: float | None = None) -> None:
         from repro.core.procpool import SnapshotWorkerPool
+        # The *requested* width, None preserved: a spec persisted from
+        # this executor must record "size to the serving machine", not
+        # the build machine's resolved CPU count.
+        self.requested_workers = num_workers
         self.pool = SnapshotWorkerPool(
             snapshot_dir, num_workers=num_workers, backend=backend,
             cache_pages=cache_pages, timeout=timeout)

@@ -10,16 +10,18 @@ distance ranking.
 
 from __future__ import annotations
 
+import os
 import time
 
 import numpy as np
 
-from repro.core.engine import QueryEngine
+from repro.core.engine import Executor, QueryEngine, ThreadedExecutor
 from repro.core.interface import BuildStats, KNNIndex, QueryStats
 from repro.core.params import HDIndexParams
 from repro.core.partition import make_partition
 from repro.core.rdbtree import RDBTree
 from repro.core.reference import ReferenceSet
+from repro.core.spec import IndexSpec, Topology, executor_to_execution
 from repro.distance.metrics import DistanceCounter
 from repro.hilbert.butz import HilbertCurve
 from repro.hilbert.quantize import GridQuantizer
@@ -32,10 +34,23 @@ class HDIndex(KNNIndex):
     Construction (Algo. 1) builds τ RDB-trees over Hilbert-ordered
     dimension partitions plus a descriptor heap file; querying (Algo. 2)
     runs the shared three-stage :class:`~repro.core.engine.QueryEngine`.
-    Where the page data lives is a parameter, not a subclass:
-    ``HDIndexParams(storage_dir=..., backend="memory"|"file"|"mmap")``
-    selects in-memory pages, seek/read files, or zero-copy memory
-    mapping (the larger-than-RAM serving mode).
+    Both of the deployment degrees of freedom are parameters, not
+    subclasses: ``HDIndexParams(storage_dir=..., backend=...)`` picks
+    where the pages live (in-memory, seek/read files, or zero-copy mmap
+    for larger-than-RAM serving), and ``executor`` picks how the
+    independent per-tree scans run
+    (:class:`~repro.core.engine.SequentialExecutor` inline,
+    :class:`~repro.core.engine.ThreadedExecutor` on a thread pool,
+    :class:`~repro.core.engine.ProcessExecutor` across worker processes
+    sharing the persisted snapshot).  Prefer declaring the combination
+    with :class:`~repro.core.spec.IndexSpec` and building through
+    :func:`repro.build`.
+
+    With a *remote* (process) executor the index must live on disk
+    (``params.storage_dir``): :meth:`build` persists the snapshot the
+    worker processes bootstrap from, :meth:`insert` marks it stale, and
+    the next query re-persists and restarts the pool — so a burst of
+    inserts pays one resync.
 
     >>> import numpy as np
     >>> from repro import HDIndex, HDIndexParams
@@ -48,9 +63,8 @@ class HDIndex(KNNIndex):
     (5, 0.0)
     """
 
-    name = "HD-Index"
-
-    def __init__(self, params: HDIndexParams | None = None) -> None:
+    def __init__(self, params: HDIndexParams | None = None,
+                 executor: Executor | None = None) -> None:
         self.params = params if params is not None else HDIndexParams()
         self.trees: list[RDBTree] = []
         self.partitions: list[np.ndarray] = []
@@ -63,7 +77,90 @@ class HDIndex(KNNIndex):
         self._build_stats = BuildStats()
         self._query_stats = QueryStats()
         self._distance_counter = DistanceCounter()
+        self._snapshot_dirty = False
         self._engine = QueryEngine(self)
+        if executor is not None:
+            self.set_executor(executor)
+
+    # -- execution strategy ------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        """Method name for experiment tables, derived from the execution
+        strategy (so the historical per-class names survive the merge of
+        the class matrix)."""
+        executor = self._engine.executor
+        if getattr(executor, "remote", False):
+            return "HD-Index(process)"
+        if isinstance(executor, ThreadedExecutor):
+            return "HD-Index(parallel)"
+        return "HD-Index"
+
+    @property
+    def executor(self) -> Executor:
+        """The live scan-execution strategy (read-only; swap it with
+        :meth:`set_executor`)."""
+        return self._engine.executor
+
+    @property
+    def spec(self) -> IndexSpec:
+        """The declarative :class:`~repro.core.spec.IndexSpec` describing
+        this index's current configuration (persisted into snapshots)."""
+        return IndexSpec(params=self.params, topology=Topology(),
+                         execution=executor_to_execution(
+                             self._engine.executor))
+
+    def set_executor(self, executor: Executor) -> None:
+        """Swap the scan-execution strategy (closing the previous one).
+
+        A *remote* executor (process pool) requires
+        ``params.storage_dir`` — its workers bootstrap from the persisted
+        snapshot, never from live state.  If the index is already built
+        and a snapshot exists there, the pool binds to it immediately.
+        """
+        if getattr(executor, "remote", False):
+            if self.params.storage_dir is None:
+                raise ValueError(
+                    "process execution requires "
+                    "HDIndexParams(storage_dir=...): worker processes "
+                    "bootstrap from the on-disk snapshot")
+            if executor.snapshot_dir is None:
+                directory = self.params.storage_dir
+                if os.path.exists(os.path.join(directory, "meta.json")):
+                    executor.snapshot_dir = directory
+        self._engine.executor.close()
+        self._engine.executor = executor
+
+    @property
+    def _remote(self) -> bool:
+        return bool(getattr(self._engine.executor, "remote", False))
+
+    # -- snapshot lifecycle (remote executors) ----------------------------
+
+    def attach_snapshot(self, directory: str | os.PathLike[str]) -> None:
+        """Bind a remote executor's worker pool to a snapshot directory."""
+        if not self._remote:
+            raise RuntimeError(
+                "attach_snapshot is only meaningful with a process "
+                "executor; this index runs scans in-process")
+        self._engine.executor.snapshot_dir = os.fspath(directory)
+        self._snapshot_dirty = False
+
+    @property
+    def snapshot_dir(self) -> str | None:
+        """Snapshot directory a remote executor's workers bootstrap from
+        (``None`` for in-process executors)."""
+        if not self._remote:
+            return None
+        return self._engine.executor.snapshot_dir
+
+    def _sync_snapshot(self) -> None:
+        if not self._remote or not self._snapshot_dirty:
+            return
+        from repro.core.persistence import save_index
+        save_index(self, self.snapshot_dir or self.params.storage_dir)
+        self._engine.executor.pool.reset()
+        self._snapshot_dirty = False
 
     # -- construction (Algo. 1) -------------------------------------------
 
@@ -147,6 +244,12 @@ class HDIndex(KNNIndex):
                 "tree_heights": [t.height for t in self.trees],
             },
         )
+        if self._remote:
+            # Persist immediately: this snapshot is what the worker
+            # processes bootstrap from.
+            from repro.core.persistence import save_index
+            save_index(self, self.params.storage_dir)
+            self.attach_snapshot(self.params.storage_dir)
 
     # -- querying (Algo. 2) --------------------------------------------------
 
@@ -167,6 +270,7 @@ class HDIndex(KNNIndex):
         self._require_built()
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
+        self._sync_snapshot()
         ids, dists, self._query_stats = self._engine.run(
             point, k, alpha=alpha, beta=beta, gamma=gamma,
             use_ptolemaic=use_ptolemaic)
@@ -189,6 +293,7 @@ class HDIndex(KNNIndex):
         self._require_built()
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
+        self._sync_snapshot()
         ids, dists, self._query_stats = self._engine.run_batch(
             points, k, alpha=alpha, beta=beta, gamma=gamma,
             use_ptolemaic=use_ptolemaic)
@@ -222,6 +327,12 @@ class HDIndex(KNNIndex):
             key = int(tree.curve.encode_batch(coords)[0])
             tree.insert(key, object_id, reference_distances)
         self.count += 1
+        # With a remote executor the parent's trees gained the entry
+        # immediately, but the workers' snapshot is now stale; the next
+        # query re-persists and restarts the pool.  delete() needs no
+        # resync: the deleted-id filter runs parent-side in the engine's
+        # survivor merge.
+        self._snapshot_dirty = True
         return object_id
 
     def delete(self, object_id: int) -> None:

@@ -1,25 +1,23 @@
-"""Parallel HD-Index querying (the paper's Sec. 5.2.8 / Sec. 6 extension).
+"""Deprecated shim: ``ParallelHDIndex`` is now a spec combination.
 
-The paper notes that HD-Index "can be easily parallelized and/or
-distributed with little synchronization ... due to its nature of building
-and querying using multiple independent RDB-trees".  This class realises
-that extension as a *configuration* of the shared
-:class:`~repro.core.engine.QueryEngine`: the per-tree candidate retrieval +
-filtering stages of Algo. 2 are fanned out over a reusable thread pool (the
-numpy filter kernels release the GIL), and only the final κ-candidate merge
-is synchronised — exactly the "little synchronization" the paper predicts.
-Because the stage logic itself lives in the engine, results and
-:class:`~repro.core.interface.QueryStats` (including the random/sequential
-read breakdown) are identical to the sequential index by construction.
+The thread-parallel index was folded into the composition-based API of
+:mod:`repro.core.spec` — thread execution is a property of the spec, not
+a class::
 
-The batch path (:meth:`~repro.core.hdindex.HDIndex.query_batch`) reuses the
-same pool across all Q × τ tree scans of a batch instead of paying the
-fan-out synchronisation once per query.
+    repro.build(IndexSpec(params=params,
+                          execution=Execution(kind="thread", workers=4)),
+                data)
+
+or, imperatively, ``HDIndex(params, executor=ThreadedExecutor(4))``.
+This module keeps the old class importable (and old snapshots loadable)
+while emitting :class:`DeprecationWarning`; see ``docs/MIGRATION.md``.
 """
 
 from __future__ import annotations
 
-from repro.core.engine import QueryEngine, ThreadedExecutor
+import warnings
+
+from repro.core.engine import ThreadedExecutor
 from repro.core.hdindex import HDIndex
 
 #: Default pool width cap when ``num_workers`` is not given.
@@ -27,22 +25,23 @@ MAX_DEFAULT_WORKERS = 8
 
 
 class ParallelHDIndex(HDIndex):
-    """HD-Index with thread-parallel per-tree scans.
-
-    Results are bit-identical to the sequential :class:`HDIndex` (the union
-    of per-tree survivor sets does not depend on scan order); only the
-    wall-clock changes.  Use ``num_workers`` to bound the pool; by default
-    it is sized to ``min(8, τ)`` once the index is built.
+    """Deprecated alias for ``HDIndex`` with a
+    :class:`~repro.core.engine.ThreadedExecutor` — use
+    ``IndexSpec(execution=Execution(kind="thread", workers=...))`` with
+    :func:`repro.build` instead.  Results are bit-identical either way.
     """
 
-    name = "HD-Index(parallel)"
-
     def __init__(self, params=None, num_workers: int | None = None) -> None:
-        super().__init__(params)
+        warnings.warn(
+            "ParallelHDIndex is deprecated; use repro.build(IndexSpec("
+            "execution=Execution(kind='thread', workers=...)), data) or "
+            "HDIndex(params, executor=ThreadedExecutor(...)) instead",
+            DeprecationWarning, stacklevel=2)
         if num_workers is not None and num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        super().__init__(params)
         self.num_workers = num_workers
-        self._engine = QueryEngine(self, ThreadedExecutor(
+        self.set_executor(ThreadedExecutor(
             num_workers,
             default_workers=lambda: min(MAX_DEFAULT_WORKERS,
                                         max(1, len(self.trees)))))

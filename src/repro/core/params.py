@@ -80,9 +80,9 @@ class HDIndexParams:
         When set, the descriptor heap and every RDB-tree are backed by real
         files in this directory (``descriptors.pages``, ``tree_<i>.pages``)
         instead of in-memory page stores — the fully disk-resident mode.
-        The process-parallel tier
-        (:class:`~repro.core.process.ProcessPoolHDIndex`,
-        ``QueryService(mode="process")``) requires it: worker processes
+        The process-parallel tier (``Execution(kind="process")`` in an
+        :class:`~repro.core.spec.IndexSpec`, or
+        ``QueryService(execution=...)``) requires it: worker processes
         bootstrap from the snapshot persisted here (reopened via ``mmap``
         so the OS shares the physical pages pool-wide), never from
         pickled live state.

@@ -1,29 +1,32 @@
 """Save/load a built index of the HD-Index family to/from a directory.
 
-A persisted plain (or parallel) index is a directory containing:
+A persisted plain index is a directory containing:
 
 * ``meta.json`` — parameters, partitions, quantiser domain, per-tree
   structural state (root page / height / count), heap record count, the
-  deleted-id set, and the index *kind* (``hdindex``, ``parallel`` or
-  ``process`` — the latter reopens as a
-  :class:`~repro.core.process.ProcessPoolHDIndex` whose worker processes
-  bootstrap from this same directory);
+  deleted-id set, plus the index's full declarative ``spec`` (topology +
+  execution, :mod:`repro.core.spec`) and a legacy ``kind`` tag
+  (``hdindex``/``parallel``/``process``) so snapshots stay readable both
+  ways across the spec redesign;
 * ``references.npz`` — the reference vectors, their pairwise distances and
   original indices (the only part of the index that is memory-resident at
   query time, Sec. 4.4.1);
 * ``descriptors.pages`` and ``tree_<i>.pages`` — the page files.
 
-A persisted :class:`~repro.core.sharded.ShardedHDIndex` is a directory
+A persisted :class:`~repro.core.router.ShardRouter` is a directory
 containing a ``manifest.json`` (shard count, global-id layout, base
-parameters) plus one ``shard_<s>/`` subdirectory per shard, each of which
-is a plain persisted index as above — the "build offline, serve online"
-split, with every shard deployable to its own machine.
+parameters, spec) plus one ``shard_<s>/`` subdirectory per shard, each of
+which is a plain persisted index as above — the "build offline, serve
+online" split, with every shard deployable to its own machine.
 
 Loading re-opens the page files and reconstructs the exact tree structure
 without touching the data — the disk-resident story end to end: build once,
 reopen and query on a machine that never holds the dataset in RAM.
-:func:`load_index` returns an instance of the class that was saved, so a
-service can start from any family member's snapshot without rebuilding.
+:func:`load_index` reconstructs the *spec* the snapshot records (mapping
+pre-spec snapshots' ``kind`` tags onto the equivalent spec), so every
+deployment shape flows through one construction path; there are no
+kind-dispatch special cases.  :func:`repro.open` adds per-call execution
+and backend overrides on top.
 """
 
 from __future__ import annotations
@@ -37,6 +40,14 @@ import numpy as np
 from repro.core.hdindex import HDIndex
 from repro.core.params import HDIndexParams
 from repro.core.reference import ReferenceSet
+from repro.core.spec import (
+    EXECUTION_TO_KIND,
+    KIND_TO_EXECUTION,
+    Execution,
+    Topology,
+    make_executor,
+    params_from_dict,
+)
 from repro.hilbert.quantize import GridQuantizer
 from repro.storage.pages import FilePageStore, InMemoryPageStore, MmapPageStore
 from repro.storage.vectors import VectorHeapFile
@@ -54,9 +65,11 @@ class PersistenceError(RuntimeError):
 def save_index(index, directory: str | os.PathLike[str]) -> None:
     """Persist a built index of the HD-Index family.
 
-    Accepts :class:`HDIndex`, :class:`~repro.core.parallel.ParallelHDIndex`
-    and :class:`~repro.core.sharded.ShardedHDIndex`; the snapshot records
-    which class was saved so :func:`load_index` reconstructs the same kind.
+    Accepts :class:`HDIndex` (any executor) and
+    :class:`~repro.core.router.ShardRouter` — plus the deprecated class
+    shims, which are just configurations of those two.  The snapshot
+    records the index's full :class:`~repro.core.spec.IndexSpec` so
+    :func:`load_index` reconstructs the same deployment.
 
     If the index was built with ``storage_dir`` pointing at ``directory``,
     the page files are already in place and only metadata is written
@@ -87,8 +100,8 @@ def save_index(index, directory: str | os.PathLike[str]) -> None:
     ...         int(reopened.query(data[5], k=1)[0][0])
     5
     """
-    from repro.core.sharded import ShardedHDIndex
-    if isinstance(index, ShardedHDIndex):
+    from repro.core.router import ShardRouter
+    if isinstance(index, ShardRouter):
         _save_sharded(index, os.fspath(directory))
     elif isinstance(index, HDIndex):
         _save_hdindex(index, os.fspath(directory))
@@ -123,9 +136,10 @@ def load_index(directory: str | os.PathLike[str],
             ``"file"``.  Results are byte-identical across backends.
 
     Returns:
-        An instance of the class that was saved (:class:`HDIndex`,
-        :class:`~repro.core.parallel.ParallelHDIndex` or
-        :class:`~repro.core.sharded.ShardedHDIndex`), ready to query.
+        A ready-to-query :class:`HDIndex` (executor reconstructed from
+        the snapshot's spec — sequential, threaded, or a process pool
+        re-bound to this very directory) or
+        :class:`~repro.core.router.ShardRouter`.
 
     Raises:
         PersistenceError: If the directory is not a valid snapshot, the
@@ -148,8 +162,6 @@ def load_index(directory: str | os.PathLike[str],
 
 
 def _save_hdindex(index: HDIndex, directory: str) -> None:
-    from repro.core.parallel import ParallelHDIndex
-    from repro.core.process import ProcessPoolHDIndex
     index._require_built()
     os.makedirs(directory, exist_ok=True)
 
@@ -166,15 +178,14 @@ def _save_hdindex(index: HDIndex, directory: str) -> None:
              indices=(references.indices if references.indices is not None
                       else np.empty(0, dtype=np.int64)))
 
-    if isinstance(index, ProcessPoolHDIndex):
-        kind = "process"
-    elif isinstance(index, ParallelHDIndex):
-        kind = "parallel"
-    else:
-        kind = "hdindex"
+    execution = index.spec.execution
     meta = {
         "format_version": FORMAT_VERSION,
-        "kind": kind,
+        # Legacy tag kept alongside the spec so pre-redesign readers (and
+        # the cross-version tests) keep working.
+        "kind": EXECUTION_TO_KIND[execution.kind],
+        "spec": {"topology": Topology().to_dict(),
+                 "execution": execution.to_dict()},
         "params": dataclasses.asdict(index.params),
         "dim": index.dim,
         "count": index.count,
@@ -187,8 +198,8 @@ def _save_hdindex(index: HDIndex, directory: str) -> None:
                  "dtype": str(np.dtype(index.params.storage_dtype))},
         "trees": [tree.state() for tree in index.trees],
     }
-    if isinstance(index, (ParallelHDIndex, ProcessPoolHDIndex)):
-        meta["num_workers"] = index.num_workers
+    if execution.kind != "sequential":
+        meta["num_workers"] = execution.workers
     with open(os.path.join(directory, META_FILE), "w") as handle:
         json.dump(meta, handle, indent=2)
 
@@ -206,18 +217,8 @@ def _load_hdindex(directory: str, cache_pages: int | None,
 
     backend = _resolve_backend(backend, meta["params"])
     params = _restore_params(meta["params"], directory, cache_pages, backend)
-    kind = meta.get("kind", "hdindex")
-    if kind == "parallel":
-        from repro.core.parallel import ParallelHDIndex
-        index = ParallelHDIndex(params, num_workers=meta.get("num_workers"))
-    elif kind == "process":
-        from repro.core.process import ProcessPoolHDIndex
-        index = ProcessPoolHDIndex(params,
-                                   num_workers=meta.get("num_workers"))
-    elif kind == "hdindex":
-        index = HDIndex(params)
-    else:
-        raise PersistenceError(f"unknown index kind {kind!r}")
+    execution = _restore_execution(meta)
+    index = HDIndex(params)
     index.dim = int(meta["dim"])
     index.count = int(meta["count"])
     index._deleted = set(int(i) for i in meta["deleted"])
@@ -250,11 +251,27 @@ def _load_hdindex(directory: str, cache_pages: int | None,
         index.trees.append(RDBTree.from_state(
             store, tree_state, cache_pages=params.cache_pages,
             page_size=params.page_size))
-    if kind == "process":
-        # Worker processes bootstrap from this very directory (never from
-        # the live index state restored above).
-        index.attach_snapshot(directory)
+    # One construction path for every execution kind: realise the spec's
+    # executor.  A process executor binds to this very directory (its
+    # worker processes bootstrap from the snapshot, never from the live
+    # state restored above) — set_executor wires that up because
+    # params.storage_dir is the snapshot directory itself.
+    index.set_executor(make_executor(execution, index))
     return index
+
+
+def _restore_execution(meta: dict) -> Execution:
+    """The snapshot's execution strategy: its recorded spec, or — for
+    pre-spec snapshots — the legacy ``kind`` tag mapped onto the
+    equivalent spec."""
+    spec_meta = meta.get("spec")
+    if spec_meta is not None and spec_meta.get("execution") is not None:
+        return Execution.from_dict(spec_meta["execution"])
+    kind = meta.get("kind", "hdindex")
+    execution_kind = KIND_TO_EXECUTION.get(kind)
+    if execution_kind is None:
+        raise PersistenceError(f"unknown index kind {kind!r}")
+    return Execution(kind=execution_kind, workers=meta.get("num_workers"))
 
 
 def _resolve_backend(backend: str | None, params_dict: dict) -> str:
@@ -286,13 +303,14 @@ def _restore_params(params_dict: dict, directory: str,
                     cache_pages: int | None,
                     backend: str) -> HDIndexParams:
     params_dict = dict(params_dict)
-    if params_dict.get("domain") is not None:
-        params_dict["domain"] = tuple(params_dict["domain"])
     params_dict["storage_dir"] = directory
     params_dict["backend"] = backend
     if cache_pages is not None:
         params_dict["cache_pages"] = cache_pages
-    return HDIndexParams(**params_dict)
+    # One deserialiser for the asdict form (spec.py owns the JSON-type
+    # coercions, e.g. domain list -> tuple), shared with
+    # IndexSpec.from_dict so snapshots and spec files cannot drift.
+    return params_from_dict(params_dict)
 
 
 # -- sharded indexes -------------------------------------------------------
@@ -306,7 +324,13 @@ def _save_sharded(index, directory: str) -> None:
     index._require_built()
     os.makedirs(directory, exist_ok=True)
     for shard_index, shard in enumerate(index.shards):
-        _save_hdindex(shard, _shard_dir(directory, shard_index))
+        shard_directory = _shard_dir(directory, shard_index)
+        if _shard_snapshot_is_current(shard, shard_directory):
+            # A remote (process-execution) shard persisted itself at
+            # build/resync time; its pages, metadata and references are
+            # already exactly what _save_hdindex would write.
+            continue
+        _save_hdindex(shard, shard_directory)
     params = dataclasses.asdict(index.params)
     # The wrapper's storage_dir is a property of the *deployment*, not the
     # snapshot; load_index re-points it at the snapshot directory.
@@ -314,6 +338,8 @@ def _save_sharded(index, directory: str) -> None:
     manifest = {
         "format_version": FORMAT_VERSION,
         "kind": "sharded",
+        "spec": {"topology": index.topology.to_dict(),
+                 "execution": index.execution.to_dict()},
         "num_shards": index.num_shards,
         "count": index.count,
         "offsets": [int(v) for v in index.offsets],
@@ -329,9 +355,35 @@ def _save_sharded(index, directory: str) -> None:
         json.dump(manifest, handle, indent=2)
 
 
+def _shard_snapshot_is_current(shard, shard_directory: str) -> bool:
+    """True when a shard already holds a clean self-persisted snapshot
+    at exactly ``shard_directory`` (remote shards save themselves on
+    build and on insert-resync).
+
+    Inserts flip ``_snapshot_dirty``; deletes deliberately do not (the
+    parent-side survivor merge filters them at query time), so the
+    recorded deleted set and count are checked against live state — a
+    delete since the last self-persist forces a real re-save.
+    """
+    if not (getattr(shard, "_remote", False)
+            and not getattr(shard, "_snapshot_dirty", True)
+            and shard.snapshot_dir is not None
+            and os.path.abspath(shard.snapshot_dir)
+            == os.path.abspath(shard_directory)):
+        return False
+    try:
+        with open(os.path.join(shard_directory, META_FILE)) as handle:
+            meta = json.load(handle)
+    except (OSError, ValueError):
+        return False
+    return (sorted(int(i) for i in meta.get("deleted", []))
+            == sorted(shard._deleted)
+            and int(meta.get("count", -1)) == shard.count)
+
+
 def _load_sharded(directory: str, cache_pages: int | None,
                   backend: str | None = None):
-    from repro.core.sharded import ShardedHDIndex
+    from repro.core.router import ShardRouter
     with open(os.path.join(directory, MANIFEST_FILE)) as handle:
         manifest = json.load(handle)
     if manifest.get("format_version") != FORMAT_VERSION:
@@ -341,11 +393,22 @@ def _load_sharded(directory: str, cache_pages: int | None,
         raise PersistenceError(
             f"manifest kind {manifest.get('kind')!r} is not 'sharded'")
 
+    # The caller's *explicit* backend choice is forwarded per shard;
+    # ``None`` lets each shard honour its own meta.json, so heterogeneous
+    # per-shard backends survive the round-trip.
+    requested_backend = backend
     backend = _resolve_backend(backend, manifest["params"])
     params = _restore_params(manifest["params"], directory, cache_pages,
                              backend)
+    spec_meta = manifest.get("spec") or {}
+    topology = (Topology.from_dict(spec_meta["topology"])
+                if spec_meta.get("topology") is not None
+                else Topology(shards=int(manifest["num_shards"])))
+    execution = (Execution.from_dict(spec_meta["execution"])
+                 if spec_meta.get("execution") is not None
+                 else Execution())
     num_shards = int(manifest["num_shards"])
-    index = ShardedHDIndex(params, num_shards=num_shards)
+    index = ShardRouter(params, topology, execution)
     index.count = int(manifest["count"])
     index.offsets = np.asarray(manifest["offsets"], dtype=np.int64)
     index.shards = []
@@ -354,7 +417,7 @@ def _load_sharded(directory: str, cache_pages: int | None,
     for shard_index in range(num_shards):
         shard_directory = _shard_dir(directory, shard_index)
         index.shards.append(
-            _load_hdindex(shard_directory, cache_pages, backend))
+            _load_hdindex(shard_directory, cache_pages, requested_backend))
         built = list(range(int(index.offsets[shard_index]),
                            int(index.offsets[shard_index + 1])))
         tail = [int(v) for v in manifest["insert_tails"][shard_index]]

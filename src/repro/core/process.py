@@ -1,75 +1,56 @@
-"""Process-parallel HD-Index — multi-core querying over a shared snapshot.
+"""Deprecated shim: ``ProcessPoolHDIndex`` is now a spec combination.
 
-:class:`~repro.core.parallel.ParallelHDIndex` fans the per-tree scans of
-Algo. 2 over threads; that scales only as far as the GIL lets the Python
-parts (B+-tree descent, key decoding) overlap.  :class:`ProcessPoolHDIndex`
-is the same *configuration* of the shared
-:class:`~repro.core.engine.QueryEngine` with a
-:class:`~repro.core.engine.ProcessExecutor`: stages (i)+(ii) run in worker
-**processes**, each of which lazily reopens the index's own persisted
-snapshot (``backend="mmap"`` by default, so the OS shares one set of
-physical pages across the pool — reopening is O(metadata), per the PR-3
-storage tier).  Workers bootstrap from the snapshot manifest; no live index
-state is ever pickled.  Stage (iii) — survivor merge, deleted-id filter and
-exact re-rank — stays in the parent process, so results are byte-identical
-to the sequential :class:`HDIndex` by construction.
+The process-parallel index was folded into the composition-based API of
+:mod:`repro.core.spec` — process execution is a property of the spec, not
+a class::
+
+    repro.build(IndexSpec(params=params,
+                          execution=Execution(kind="process", workers=4)),
+                data, storage_dir=...)
+
+and an existing snapshot reopens process-parallel with
+``repro.open(path, execution="process")``.  This module keeps the old
+class importable (and old ``kind: "process"`` snapshots loadable) while
+emitting :class:`DeprecationWarning`; see ``docs/MIGRATION.md``.
 """
 
 from __future__ import annotations
 
 import os
+import warnings
 
-import numpy as np
-
-from repro.core.engine import ProcessExecutor, QueryEngine
 from repro.core.hdindex import HDIndex
+from repro.core.spec import Execution, make_executor
 
 
 class ProcessPoolHDIndex(HDIndex):
-    """HD-Index with process-parallel per-tree scans over an mmap snapshot.
-
-    The index must live on disk: construct it with
-    ``HDIndexParams(storage_dir=...)`` and ``build()`` (which persists the
-    snapshot the workers bootstrap from), or reopen an existing snapshot
-    with :meth:`from_snapshot`.
-
-    Parameters
-    ----------
-    params:
-        Standard :class:`~repro.core.params.HDIndexParams`;
-        ``storage_dir`` is required (the workers' shared snapshot lives
-        there).
-    num_workers:
-        Worker-process count; defaults to the CPU count.
-    worker_backend:
-        Backend each worker reopens the snapshot with (default
-        ``"mmap"``).
-    worker_timeout:
-        Seconds a dispatched scan may take before the pool is declared
-        wedged (:class:`~repro.core.procpool.WorkerTimeout`); ``None``
-        disables the guard.
+    """Deprecated alias for ``HDIndex`` with a
+    :class:`~repro.core.engine.ProcessExecutor` — use
+    ``IndexSpec(execution=Execution(kind="process", workers=...))`` with
+    :func:`repro.build`, or ``repro.open(path, execution="process")``,
+    instead.  Results are byte-identical either way.
     """
-
-    name = "HD-Index(process)"
 
     def __init__(self, params=None, num_workers: int | None = None,
                  worker_backend: str = "mmap",
                  worker_timeout: float | None = None) -> None:
+        warnings.warn(
+            "ProcessPoolHDIndex is deprecated; use repro.build(IndexSpec("
+            "execution=Execution(kind='process', workers=...)), data, "
+            "storage_dir=...) or repro.open(path, execution='process') "
+            "instead", DeprecationWarning, stacklevel=2)
         super().__init__(params)
         if self.params.storage_dir is None:
             raise ValueError(
-                "ProcessPoolHDIndex requires HDIndexParams(storage_dir=...): "
+                "process execution requires HDIndexParams(storage_dir=...): "
                 "worker processes bootstrap from the on-disk snapshot")
         self.num_workers = num_workers
         self.worker_backend = worker_backend
         self.worker_timeout = worker_timeout
-        self._snapshot_dirty = False
-        self._engine = QueryEngine(self, ProcessExecutor(
-            num_workers=num_workers, backend=worker_backend,
-            cache_pages=(self.params.cache_pages or None),
-            timeout=worker_timeout))
-
-    # -- snapshot lifecycle ----------------------------------------------
+        self.set_executor(make_executor(
+            Execution(kind="process", workers=num_workers,
+                      worker_backend=worker_backend,
+                      worker_timeout=worker_timeout), self))
 
     @classmethod
     def from_snapshot(cls, directory: str | os.PathLike[str],
@@ -77,99 +58,32 @@ class ProcessPoolHDIndex(HDIndex):
                       backend: str | None = None,
                       cache_pages: int | None = None,
                       worker_backend: str = "mmap",
-                      worker_timeout: float | None = None
-                      ) -> "ProcessPoolHDIndex":
-        """Reopen a persisted plain/parallel/process snapshot for
-        process-parallel querying.
+                      worker_timeout: float | None = None) -> HDIndex:
+        """Deprecated: use ``repro.open(directory, execution=...)``.
 
-        The parent reopens the snapshot like :func:`repro.core.load_index`
-        (``backend`` chooses how; default honours the snapshot) and the
-        worker pool binds to the same directory.  Sharded snapshots are
-        not eligible — shard-level distribution already is the
-        coarser-grained parallelism; serve them with
-        ``QueryService(mode="process")`` instead.
+        Reopens a plain snapshot for process-parallel querying.  Sharded
+        snapshots are not eligible — shard-level distribution already is
+        the coarser-grained parallelism; serve them with
+        ``QueryService(execution=Execution(kind="process"))`` instead.
         """
-        from repro.core.persistence import PersistenceError, load_index
-        from repro.core.sharded import ShardedHDIndex
-        base = load_index(directory, cache_pages=cache_pages,
-                          backend=backend)
-        if isinstance(base, ShardedHDIndex):
-            base.close()
+        warnings.warn(
+            "ProcessPoolHDIndex.from_snapshot is deprecated; use "
+            "repro.open(directory, execution=Execution(kind='process', "
+            "workers=...)) instead", DeprecationWarning, stacklevel=2)
+        from repro.core.factory import open_index
+        from repro.core.persistence import PersistenceError
+        from repro.core.router import ShardRouter
+        index = open_index(directory, backend=backend,
+                           cache_pages=cache_pages)
+        if isinstance(index, ShardRouter):
+            index.close()
             raise PersistenceError(
                 "cannot wrap a sharded snapshot in ProcessPoolHDIndex; "
-                "serve it with QueryService(mode='process') instead")
-        index = cls(base.params, num_workers=num_workers,
-                    worker_backend=worker_backend,
-                    worker_timeout=worker_timeout)
-        index._adopt(base)
+                "serve it with QueryService(execution=Execution("
+                "kind='process')) instead")
+        index.set_executor(make_executor(
+            Execution(kind="process", workers=num_workers,
+                      worker_backend=worker_backend,
+                      worker_timeout=worker_timeout), index))
         index.attach_snapshot(directory)
         return index
-
-    def _adopt(self, base: HDIndex) -> None:
-        """Take over a loaded index's components (no copies, no pickles)."""
-        base._engine.close()
-        self.dim = base.dim
-        self.count = base.count
-        self._deleted = base._deleted
-        self.partitions = base.partitions
-        self.quantizer = base.quantizer
-        self.references = base.references
-        self.heap = base.heap
-        self.trees = base.trees
-
-    def attach_snapshot(self, directory: str | os.PathLike[str]) -> None:
-        """Bind the worker pool to a snapshot directory."""
-        self._engine.executor.snapshot_dir = os.fspath(directory)
-        self._snapshot_dirty = False
-
-    @property
-    def snapshot_dir(self) -> str | None:
-        return self._engine.executor.snapshot_dir
-
-    def build(self, data: np.ndarray) -> None:
-        """Build and immediately persist to ``params.storage_dir`` — the
-        snapshot the worker processes share."""
-        super().build(data)
-        from repro.core.persistence import save_index
-        save_index(self, self.params.storage_dir)
-        self.attach_snapshot(self.params.storage_dir)
-
-    # -- updates ----------------------------------------------------------
-
-    def insert(self, vector: np.ndarray) -> int:
-        """Insert, marking the workers' snapshot stale.
-
-        The parent's trees gain the new entry immediately; the snapshot is
-        re-persisted (metadata write + page flush) and the pool restarted
-        lazily on the next query, so a burst of inserts pays one resync.
-        """
-        object_id = super().insert(vector)
-        self._snapshot_dirty = True
-        return object_id
-
-    # delete() needs no resync: survivor merge minus the deleted-id set
-    # runs in the parent (engine._merge_survivors), so workers may keep
-    # returning a deleted id as a stage-(ii) survivor without it ever
-    # reaching a caller.
-
-    def _sync_snapshot(self) -> None:
-        if not self._snapshot_dirty:
-            return
-        from repro.core.persistence import save_index
-        save_index(self, self.snapshot_dir or self.params.storage_dir)
-        self._engine.executor.pool.reset()
-        self._snapshot_dirty = False
-
-    # -- querying ----------------------------------------------------------
-
-    def query(self, point, k, alpha=None, beta=None, gamma=None,
-              use_ptolemaic=None):
-        self._sync_snapshot()
-        return super().query(point, k, alpha=alpha, beta=beta, gamma=gamma,
-                             use_ptolemaic=use_ptolemaic)
-
-    def query_batch(self, points, k, alpha=None, beta=None, gamma=None,
-                    use_ptolemaic=None):
-        self._sync_snapshot()
-        return super().query_batch(points, k, alpha=alpha, beta=beta,
-                                   gamma=gamma, use_ptolemaic=use_ptolemaic)

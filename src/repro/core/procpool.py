@@ -90,20 +90,33 @@ def _worker_index():
     """The worker's own view of the snapshot, reopened on first use."""
     index = _WORKER["index"]
     if index is None:
-        from repro.core.engine import SequentialExecutor
         from repro.core.persistence import load_index
         index = load_index(_WORKER["directory"],
                            cache_pages=_WORKER["cache_pages"],
                            backend=_WORKER["backend"])
-        # Inside a worker the pool *is* the parallelism: demote any
-        # threaded/process executor the snapshot kind would re-create, so a
-        # process-kind snapshot cannot recursively fork grandchildren.
-        engine = getattr(index, "_engine", None)
-        if engine is not None:
-            engine.executor.close()
-            engine.executor = SequentialExecutor()
+        _demote_executors(index)
         _WORKER["index"] = index
     return index
+
+
+def _demote_executors(index) -> None:
+    """Force sequential scan execution inside a worker.
+
+    Inside a worker the pool *is* the parallelism: demote any
+    threaded/process executor the snapshot's spec would re-create —
+    including per-shard executors of a sharded snapshot — so a
+    process-execution snapshot cannot recursively fork grandchildren.
+    """
+    from repro.core.engine import SequentialExecutor
+    engine = getattr(index, "_engine", None)
+    if engine is not None:
+        engine.executor.close()
+        engine.executor = SequentialExecutor()
+    for shard in getattr(index, "shards", ()):
+        _demote_executors(shard)
+    if hasattr(index, "execution"):
+        from repro.core.spec import Execution
+        index.execution = Execution()
 
 
 def _run_fault_hook() -> None:

@@ -1,0 +1,353 @@
+"""Shard routing — the paper's "distributed" extension (Sec. 5.2.8).
+
+The paper observes HD-Index "can be easily parallelized and/or distributed
+with little synchronization steps".  :class:`ShardRouter` implements the
+distributed half at the library level: the dataset is split into
+``topology.shards`` horizontal shards, each indexed by an independent
+:class:`~repro.core.hdindex.HDIndex` (in a real deployment, one per
+machine).  A query fans out to every shard and the per-shard top-k lists
+are merged by exact distance — the only synchronisation point, exactly as
+the paper predicts.
+
+Topology and execution are orthogonal axes of
+:class:`~repro.core.spec.IndexSpec`, so the router composes with *any*
+:class:`~repro.core.spec.Execution`: each child index gets its own
+executor (sequential scans, a thread pool, or a process pool bootstrapping
+from that shard's own ``shard_<s>/`` snapshot) — the sharded x process
+combination the old class-per-combination design could not express.  A
+:class:`~repro.core.spec.Topology` may also assign heterogeneous per-shard
+storage backends (e.g. the hot shard in RAM, the cold tail mmap'd).
+
+Object ids are global: shard s owns the contiguous id range
+``[offsets[s], offsets[s+1])``, so results are directly comparable to the
+unsharded index over the same data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from repro.core.hdindex import HDIndex
+from repro.core.interface import BuildStats, KNNIndex, QueryStats
+from repro.core.params import HDIndexParams
+from repro.core.spec import Execution, IndexSpec, Topology, make_executor
+
+
+class ShardRouter(KNNIndex):
+    """Horizontal sharding over independent HD-Index instances.
+
+    Parameters
+    ----------
+    params:
+        Per-shard HD-Index parameters (shared by all shards; seeds are
+        derived per shard so reference sets differ, as they would across
+        machines).
+    topology:
+        A :class:`~repro.core.spec.Topology` (or a bare shard count).
+    execution:
+        The :class:`~repro.core.spec.Execution` every child index runs
+        its per-tree scans with; ``None`` means sequential.
+        ``kind="process"`` requires ``params.storage_dir`` — each shard's
+        worker pool bootstraps from its own ``shard_<s>/`` snapshot.
+    """
+
+    name = "HD-Index(sharded)"
+
+    def __init__(self, params: HDIndexParams | None = None,
+                 topology: Topology | int | None = None,
+                 execution: Execution | None = None) -> None:
+        if topology is None:
+            topology = Topology(shards=2)
+        elif isinstance(topology, int):
+            topology = Topology(shards=topology)
+        self.params = params if params is not None else HDIndexParams()
+        self.topology = topology
+        self.execution = execution if execution is not None else Execution()
+        if (self.execution.kind == "process"
+                and self.params.storage_dir is None):
+            raise ValueError(
+                "sharded process execution requires "
+                "HDIndexParams(storage_dir=...): each shard's worker pool "
+                "bootstraps from its own shard_<s>/ snapshot")
+        self.num_shards = topology.shards
+        self.shards: list[HDIndex] = []
+        self.offsets: np.ndarray | None = None
+        self.count = 0
+        self._build_stats = BuildStats()
+        self._query_stats = QueryStats()
+        self._manifest_dirty = False
+
+    @property
+    def spec(self) -> IndexSpec:
+        """The declarative spec describing this router's configuration."""
+        return IndexSpec(params=self.params, topology=self.topology,
+                         execution=self.execution)
+
+    # -- child construction ------------------------------------------------
+
+    def _shard_params(self, shard_index: int) -> HDIndexParams:
+        """Per-shard params: derived seed, ``shard_<s>/`` storage
+        subdirectory, and the topology's per-shard backend override."""
+        updates: dict = {"seed": self.params.seed + shard_index}
+        if self.params.storage_dir is not None:
+            updates["storage_dir"] = (
+                f"{self.params.storage_dir}/shard_{shard_index}")
+        else:
+            updates["storage_dir"] = None
+        if self.topology.shard_backends is not None:
+            updates["backend"] = self.topology.shard_backends[shard_index]
+        return dataclasses.replace(self.params, **updates)
+
+    def _make_shard(self, shard_index: int) -> HDIndex:
+        shard = HDIndex(self._shard_params(shard_index))
+        shard.set_executor(make_executor(self.execution, shard))
+        return shard
+
+    # -- construction ------------------------------------------------------
+
+    def build(self, data: np.ndarray) -> None:
+        started = time.perf_counter()
+        data = np.asarray(data, dtype=np.float64)
+        n = data.shape[0]
+        if n < self.num_shards:
+            raise ValueError(
+                f"cannot split {n} points into {self.num_shards} shards")
+        self.count = n
+        boundaries = np.linspace(0, n, self.num_shards + 1).astype(np.int64)
+        self.offsets = boundaries
+        self.shards = []
+        # Local-to-global id maps; grown on insert so later inserts get
+        # fresh global ids without colliding with other shards' ranges.
+        self._id_maps: list[list[int]] = []
+        # Array views of _id_maps for vectorised lookups, rebuilt lazily
+        # after inserts.
+        self._id_arrays: list[np.ndarray | None] = [None] * self.num_shards
+        for shard_index in range(self.num_shards):
+            shard = self._make_shard(shard_index)
+            shard.build(data[boundaries[shard_index]:
+                             boundaries[shard_index + 1]])
+            self.shards.append(shard)
+            self._id_maps.append(list(range(
+                int(boundaries[shard_index]),
+                int(boundaries[shard_index + 1]))))
+        self._build_stats = BuildStats(
+            time_sec=time.perf_counter() - started,
+            page_writes=sum(s.build_stats().page_writes
+                            for s in self.shards),
+            # Peak, not sum: shards build one at a time here (and on
+            # separate machines in a deployment).
+            peak_memory_bytes=max(s.build_memory_bytes()
+                                  for s in self.shards),
+        )
+        if self.execution.kind == "process":
+            # The shard snapshots are already on disk (each remote child
+            # persists itself); write the manifest too so the whole
+            # sharded snapshot is immediately reopenable.
+            from repro.core.persistence import save_index
+            save_index(self, self.params.storage_dir)
+            self._manifest_dirty = False
+
+    def _sync_manifest(self) -> None:
+        """Keep the auto-persisted snapshot reopenable after updates.
+
+        A process-execution router promises its ``storage_dir`` is always
+        a consistent snapshot.  Inserts/deletes mutate the shards (whose
+        own resync is lazy, on their next query); this re-persists the
+        whole router — the clean self-persisted shards are skipped, so
+        the usual cost is one manifest write — before the next query, so
+        a burst of updates pays one sync, mirroring
+        :meth:`HDIndex._sync_snapshot`.
+        """
+        if not self._manifest_dirty or self.execution.kind != "process":
+            return
+        for shard in self.shards:
+            shard._sync_snapshot()
+        from repro.core.persistence import save_index
+        save_index(self, self.params.storage_dir)
+        self._manifest_dirty = False
+
+    def query(self, point: np.ndarray, k: int,
+              alpha: int | None = None, beta: int | None = None,
+              gamma: int | None = None,
+              use_ptolemaic: bool | None = None
+              ) -> tuple[np.ndarray, np.ndarray]:
+        """Fan the query out to every shard and merge by exact distance.
+
+        The per-call parameter overrides are forwarded to every shard, so
+        α/β/γ sweeps behave exactly as on the unsharded index.
+        """
+        self._require_built()
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self._sync_manifest()
+        started = time.perf_counter()
+        all_ids: list[np.ndarray] = []
+        all_dists: list[np.ndarray] = []
+        shard_stats: list[QueryStats] = []
+        for shard_index, shard in enumerate(self.shards):
+            ids, dists = shard.query(point, k, alpha=alpha, beta=beta,
+                                     gamma=gamma,
+                                     use_ptolemaic=use_ptolemaic)
+            shard_stats.append(shard.last_query_stats())
+            all_ids.append(self._id_array(shard_index)[ids])
+            all_dists.append(dists)
+        merged_ids = np.concatenate(all_ids)
+        merged_dists = np.concatenate(all_dists)
+        order = np.lexsort((merged_ids, merged_dists))[:k]
+        self._query_stats = self._aggregate_stats(
+            shard_stats, time.perf_counter() - started)
+        return merged_ids[order], merged_dists[order]
+
+    def query_batch(self, points: np.ndarray, k: int,
+                    alpha: int | None = None, beta: int | None = None,
+                    gamma: int | None = None,
+                    use_ptolemaic: bool | None = None
+                    ) -> tuple[np.ndarray, np.ndarray]:
+        """Batch querying: each shard answers the whole batch through its
+        vectorised :meth:`HDIndex.query_batch`, then the per-shard (Q, k)
+        blocks are merged by exact distance per query."""
+        self._require_built()
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self._sync_manifest()
+        started = time.perf_counter()
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim == 1:
+            points = points[None, :]
+        batch = points.shape[0]
+        shard_stats: list[QueryStats] = []
+        shard_ids: list[np.ndarray] = []
+        shard_dists: list[np.ndarray] = []
+        for shard_index, shard in enumerate(self.shards):
+            ids, dists = shard.query_batch(
+                points, k, alpha=alpha, beta=beta, gamma=gamma,
+                use_ptolemaic=use_ptolemaic)
+            shard_stats.append(shard.last_query_stats())
+            # Map local ids to global ids; -1 padding stays -1.
+            id_map = self._id_array(shard_index)
+            valid = ids >= 0
+            global_ids = np.full_like(ids, -1)
+            global_ids[valid] = id_map[ids[valid]]
+            shard_ids.append(global_ids)
+            shard_dists.append(dists)
+        # (Q, shards*k) candidate pools; padded entries rank last (+inf).
+        pool_ids = np.concatenate(shard_ids, axis=1)
+        pool_dists = np.concatenate(shard_dists, axis=1)
+        ids_out = np.full((batch, k), -1, dtype=np.int64)
+        dists_out = np.full((batch, k), np.inf, dtype=np.float64)
+        for row in range(batch):
+            order = np.lexsort((pool_ids[row], pool_dists[row]))[:k]
+            keep = pool_ids[row][order] >= 0
+            ids_out[row, :keep.sum()] = pool_ids[row][order][keep]
+            dists_out[row, :keep.sum()] = pool_dists[row][order][keep]
+        self._query_stats = self._aggregate_stats(
+            shard_stats, time.perf_counter() - started,
+            extra={"batch_size": batch})
+        return ids_out, dists_out
+
+    def _aggregate_stats(self, shard_stats: list[QueryStats],
+                         elapsed: float,
+                         extra: dict | None = None) -> QueryStats:
+        """Sum the per-shard counters (each shard is one machine; the
+        merge adds no I/O)."""
+        merged_extra = {"shards": self.num_shards}
+        if extra:
+            merged_extra.update(extra)
+        return QueryStats(
+            time_sec=elapsed,
+            page_reads=sum(s.page_reads for s in shard_stats),
+            random_reads=sum(s.random_reads for s in shard_stats),
+            sequential_reads=sum(s.sequential_reads for s in shard_stats),
+            candidates=sum(s.candidates for s in shard_stats),
+            distance_computations=sum(s.distance_computations
+                                      for s in shard_stats),
+            extra=merged_extra,
+        )
+
+    def insert(self, vector: np.ndarray) -> int:
+        """Route the insert to the least-loaded shard; return a global id."""
+        self._require_built()
+        sizes = [shard.count for shard in self.shards]
+        target = int(np.argmin(sizes))
+        self.shards[target].insert(vector)
+        global_id = self.count
+        self._id_maps[target].append(global_id)
+        self._id_arrays[target] = None
+        self.count += 1
+        self._manifest_dirty = True
+        return global_id
+
+    def _id_array(self, shard_index: int) -> np.ndarray:
+        cached = self._id_arrays[shard_index]
+        if cached is None:
+            cached = np.asarray(self._id_maps[shard_index], dtype=np.int64)
+            self._id_arrays[shard_index] = cached
+        return cached
+
+    def delete(self, object_id: int) -> None:
+        """Delete a *global* id by routing it to the owning shard
+        (Sec. 3.6 update path, distributed)."""
+        self._require_built()
+        shard_index, local_id = self._locate(int(object_id))
+        self.shards[shard_index].delete(local_id)
+        self._manifest_dirty = True
+
+    def _require_built(self) -> None:
+        if not self.shards:
+            raise RuntimeError("index has not been built; call build() first")
+
+    def _locate(self, object_id: int) -> tuple[int, int]:
+        """Resolve a global id to (shard index, shard-local id).
+
+        Build-time ids live in the contiguous ranges recorded in
+        ``offsets``; ids handed out by :meth:`insert` are found in the
+        grown tails of ``_id_maps``.
+        """
+        base = int(self.offsets[-1])
+        if 0 <= object_id < base:
+            shard_index = int(np.searchsorted(
+                self.offsets, object_id, side="right")) - 1
+            return shard_index, object_id - int(self.offsets[shard_index])
+        for shard_index, id_map in enumerate(self._id_maps):
+            built = int(self.offsets[shard_index + 1]
+                        - self.offsets[shard_index])
+            for local in range(built, len(id_map)):
+                if id_map[local] == object_id:
+                    return shard_index, local
+        raise ValueError(f"unknown object id {object_id}")
+
+    # -- accounting -----------------------------------------------------
+
+    @property
+    def dim(self) -> int:
+        """Dimensionality ν of the indexed vectors (0 before build)."""
+        return self.shards[0].dim if self.shards else 0
+
+    def index_size_bytes(self) -> int:
+        return sum(shard.index_size_bytes() for shard in self.shards)
+
+    def total_size_bytes(self) -> int:
+        """Index plus descriptor heaps, summed over all shards."""
+        return sum(shard.total_size_bytes() for shard in self.shards)
+
+    def memory_bytes(self) -> int:
+        # Each machine holds one shard's reference set; report the max.
+        if not self.shards:
+            return 0
+        return max(shard.memory_bytes() for shard in self.shards)
+
+    def build_memory_bytes(self) -> int:
+        return self._build_stats.peak_memory_bytes
+
+    def last_query_stats(self) -> QueryStats:
+        return self._query_stats
+
+    def build_stats(self) -> BuildStats:
+        return self._build_stats
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()

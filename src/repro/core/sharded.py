@@ -1,271 +1,39 @@
-"""Sharded HD-Index — the paper's "distributed" extension (Sec. 5.2.8).
+"""Deprecated shim: ``ShardedHDIndex`` is now a spec combination.
 
-The paper observes HD-Index "can be easily parallelized and/or distributed
-with little synchronization steps".  This module implements the distributed
-half at the library level: the dataset is split into ``num_shards``
-horizontal shards, each indexed by an independent :class:`HDIndex` (in a
-real deployment, one per machine).  A query fans out to every shard and the
-per-shard top-k lists are merged by exact distance — the only
-synchronisation point, exactly as the paper predicts.
+Horizontal sharding was folded into the composition-based API of
+:mod:`repro.core.spec` — topology is a property of the spec, not a
+class::
 
-Object ids are global: shard s owns the contiguous id range
-``[offsets[s], offsets[s+1])``, so results are directly comparable to the
-unsharded index over the same data.
+    repro.build(IndexSpec(params=params, topology=Topology(shards=4)),
+                data)
+
+The router itself lives in :class:`repro.core.router.ShardRouter` and
+now composes with *any* execution strategy (including the sharded x
+process combination this class could never express).  This module keeps
+the old class importable (and old ``manifest.json`` snapshots loadable)
+while emitting :class:`DeprecationWarning`; see ``docs/MIGRATION.md``.
 """
 
 from __future__ import annotations
 
-import time
+import warnings
 
-import numpy as np
-
-from repro.core.hdindex import HDIndex
-from repro.core.interface import BuildStats, KNNIndex, QueryStats
 from repro.core.params import HDIndexParams
+from repro.core.router import ShardRouter
+from repro.core.spec import Topology
 
 
-class ShardedHDIndex(KNNIndex):
-    """Horizontal sharding over independent HD-Index instances.
-
-    Parameters
-    ----------
-    params:
-        Per-shard HD-Index parameters (shared by all shards; seeds are
-        derived per shard so reference sets differ, as they would across
-        machines).
-    num_shards:
-        Number of horizontal partitions of the dataset.
+class ShardedHDIndex(ShardRouter):
+    """Deprecated alias for :class:`~repro.core.router.ShardRouter` —
+    use ``IndexSpec(topology=Topology(shards=...))`` with
+    :func:`repro.build` instead.  Results are identical either way.
     """
-
-    name = "HD-Index(sharded)"
 
     def __init__(self, params: HDIndexParams | None = None,
                  num_shards: int = 2) -> None:
-        if num_shards < 1:
-            raise ValueError(f"num_shards must be >= 1, got {num_shards}")
-        self.params = params if params is not None else HDIndexParams()
-        self.num_shards = num_shards
-        self.shards: list[HDIndex] = []
-        self.offsets: np.ndarray | None = None
-        self.count = 0
-        self._build_stats = BuildStats()
-        self._query_stats = QueryStats()
-
-    def build(self, data: np.ndarray) -> None:
-        started = time.perf_counter()
-        data = np.asarray(data, dtype=np.float64)
-        n = data.shape[0]
-        if n < self.num_shards:
-            raise ValueError(
-                f"cannot split {n} points into {self.num_shards} shards")
-        self.count = n
-        boundaries = np.linspace(0, n, self.num_shards + 1).astype(np.int64)
-        self.offsets = boundaries
-        self.shards = []
-        # Local-to-global id maps; grown on insert so later inserts get
-        # fresh global ids without colliding with other shards' ranges.
-        self._id_maps: list[list[int]] = []
-        # Array views of _id_maps for vectorised lookups, rebuilt lazily
-        # after inserts.
-        self._id_arrays: list[np.ndarray | None] = [None] * self.num_shards
-        import dataclasses
-        for shard_index in range(self.num_shards):
-            shard_params = dataclasses.replace(
-                self.params, seed=self.params.seed + shard_index,
-                storage_dir=None if self.params.storage_dir is None else
-                f"{self.params.storage_dir}/shard_{shard_index}")
-            shard = HDIndex(shard_params)
-            shard.build(data[boundaries[shard_index]:
-                             boundaries[shard_index + 1]])
-            self.shards.append(shard)
-            self._id_maps.append(list(range(
-                int(boundaries[shard_index]),
-                int(boundaries[shard_index + 1]))))
-        self._build_stats = BuildStats(
-            time_sec=time.perf_counter() - started,
-            page_writes=sum(s.build_stats().page_writes
-                            for s in self.shards),
-            # Peak, not sum: shards build one at a time here (and on
-            # separate machines in a deployment).
-            peak_memory_bytes=max(s.build_memory_bytes()
-                                  for s in self.shards),
-        )
-
-    def query(self, point: np.ndarray, k: int,
-              alpha: int | None = None, beta: int | None = None,
-              gamma: int | None = None,
-              use_ptolemaic: bool | None = None
-              ) -> tuple[np.ndarray, np.ndarray]:
-        """Fan the query out to every shard and merge by exact distance.
-
-        The per-call parameter overrides are forwarded to every shard, so
-        α/β/γ sweeps behave exactly as on the unsharded index.
-        """
-        self._require_built()
-        if k < 1:
-            raise ValueError(f"k must be >= 1, got {k}")
-        started = time.perf_counter()
-        all_ids: list[np.ndarray] = []
-        all_dists: list[np.ndarray] = []
-        shard_stats: list[QueryStats] = []
-        for shard_index, shard in enumerate(self.shards):
-            ids, dists = shard.query(point, k, alpha=alpha, beta=beta,
-                                     gamma=gamma,
-                                     use_ptolemaic=use_ptolemaic)
-            shard_stats.append(shard.last_query_stats())
-            all_ids.append(self._id_array(shard_index)[ids])
-            all_dists.append(dists)
-        merged_ids = np.concatenate(all_ids)
-        merged_dists = np.concatenate(all_dists)
-        order = np.lexsort((merged_ids, merged_dists))[:k]
-        self._query_stats = self._aggregate_stats(
-            shard_stats, time.perf_counter() - started)
-        return merged_ids[order], merged_dists[order]
-
-    def query_batch(self, points: np.ndarray, k: int,
-                    alpha: int | None = None, beta: int | None = None,
-                    gamma: int | None = None,
-                    use_ptolemaic: bool | None = None
-                    ) -> tuple[np.ndarray, np.ndarray]:
-        """Batch querying: each shard answers the whole batch through its
-        vectorised :meth:`HDIndex.query_batch`, then the per-shard (Q, k)
-        blocks are merged by exact distance per query."""
-        self._require_built()
-        if k < 1:
-            raise ValueError(f"k must be >= 1, got {k}")
-        started = time.perf_counter()
-        points = np.asarray(points, dtype=np.float64)
-        if points.ndim == 1:
-            points = points[None, :]
-        batch = points.shape[0]
-        shard_stats: list[QueryStats] = []
-        shard_ids: list[np.ndarray] = []
-        shard_dists: list[np.ndarray] = []
-        for shard_index, shard in enumerate(self.shards):
-            ids, dists = shard.query_batch(
-                points, k, alpha=alpha, beta=beta, gamma=gamma,
-                use_ptolemaic=use_ptolemaic)
-            shard_stats.append(shard.last_query_stats())
-            # Map local ids to global ids; -1 padding stays -1.
-            id_map = self._id_array(shard_index)
-            valid = ids >= 0
-            global_ids = np.full_like(ids, -1)
-            global_ids[valid] = id_map[ids[valid]]
-            shard_ids.append(global_ids)
-            shard_dists.append(dists)
-        # (Q, shards*k) candidate pools; padded entries rank last (+inf).
-        pool_ids = np.concatenate(shard_ids, axis=1)
-        pool_dists = np.concatenate(shard_dists, axis=1)
-        ids_out = np.full((batch, k), -1, dtype=np.int64)
-        dists_out = np.full((batch, k), np.inf, dtype=np.float64)
-        for row in range(batch):
-            order = np.lexsort((pool_ids[row], pool_dists[row]))[:k]
-            keep = pool_ids[row][order] >= 0
-            ids_out[row, :keep.sum()] = pool_ids[row][order][keep]
-            dists_out[row, :keep.sum()] = pool_dists[row][order][keep]
-        self._query_stats = self._aggregate_stats(
-            shard_stats, time.perf_counter() - started,
-            extra={"batch_size": batch})
-        return ids_out, dists_out
-
-    def _aggregate_stats(self, shard_stats: list[QueryStats],
-                         elapsed: float,
-                         extra: dict | None = None) -> QueryStats:
-        """Sum the per-shard counters (each shard is one machine; the
-        merge adds no I/O)."""
-        merged_extra = {"shards": self.num_shards}
-        if extra:
-            merged_extra.update(extra)
-        return QueryStats(
-            time_sec=elapsed,
-            page_reads=sum(s.page_reads for s in shard_stats),
-            random_reads=sum(s.random_reads for s in shard_stats),
-            sequential_reads=sum(s.sequential_reads for s in shard_stats),
-            candidates=sum(s.candidates for s in shard_stats),
-            distance_computations=sum(s.distance_computations
-                                      for s in shard_stats),
-            extra=merged_extra,
-        )
-
-    def insert(self, vector: np.ndarray) -> int:
-        """Route the insert to the least-loaded shard; return a global id."""
-        self._require_built()
-        sizes = [shard.count for shard in self.shards]
-        target = int(np.argmin(sizes))
-        self.shards[target].insert(vector)
-        global_id = self.count
-        self._id_maps[target].append(global_id)
-        self._id_arrays[target] = None
-        self.count += 1
-        return global_id
-
-    def _id_array(self, shard_index: int) -> np.ndarray:
-        cached = self._id_arrays[shard_index]
-        if cached is None:
-            cached = np.asarray(self._id_maps[shard_index], dtype=np.int64)
-            self._id_arrays[shard_index] = cached
-        return cached
-
-    def delete(self, object_id: int) -> None:
-        """Delete a *global* id by routing it to the owning shard
-        (Sec. 3.6 update path, distributed)."""
-        self._require_built()
-        shard_index, local_id = self._locate(int(object_id))
-        self.shards[shard_index].delete(local_id)
-
-    def _require_built(self) -> None:
-        if not self.shards:
-            raise RuntimeError("index has not been built; call build() first")
-
-    def _locate(self, object_id: int) -> tuple[int, int]:
-        """Resolve a global id to (shard index, shard-local id).
-
-        Build-time ids live in the contiguous ranges recorded in
-        ``offsets``; ids handed out by :meth:`insert` are found in the
-        grown tails of ``_id_maps``.
-        """
-        base = int(self.offsets[-1])
-        if 0 <= object_id < base:
-            shard_index = int(np.searchsorted(
-                self.offsets, object_id, side="right")) - 1
-            return shard_index, object_id - int(self.offsets[shard_index])
-        for shard_index, id_map in enumerate(self._id_maps):
-            built = int(self.offsets[shard_index + 1]
-                        - self.offsets[shard_index])
-            for local in range(built, len(id_map)):
-                if id_map[local] == object_id:
-                    return shard_index, local
-        raise ValueError(f"unknown object id {object_id}")
-
-    # -- accounting -----------------------------------------------------
-
-    @property
-    def dim(self) -> int:
-        """Dimensionality ν of the indexed vectors (0 before build)."""
-        return self.shards[0].dim if self.shards else 0
-
-    def index_size_bytes(self) -> int:
-        return sum(shard.index_size_bytes() for shard in self.shards)
-
-    def total_size_bytes(self) -> int:
-        """Index plus descriptor heaps, summed over all shards."""
-        return sum(shard.total_size_bytes() for shard in self.shards)
-
-    def memory_bytes(self) -> int:
-        # Each machine holds one shard's reference set; report the max.
-        if not self.shards:
-            return 0
-        return max(shard.memory_bytes() for shard in self.shards)
-
-    def build_memory_bytes(self) -> int:
-        return self._build_stats.peak_memory_bytes
-
-    def last_query_stats(self) -> QueryStats:
-        return self._query_stats
-
-    def build_stats(self) -> BuildStats:
-        return self._build_stats
-
-    def close(self) -> None:
-        for shard in self.shards:
-            shard.close()
+        warnings.warn(
+            "ShardedHDIndex is deprecated; use repro.build(IndexSpec("
+            "topology=Topology(shards=...)), data) or ShardRouter(params, "
+            "Topology(shards=...)) instead",
+            DeprecationWarning, stacklevel=2)
+        super().__init__(params, Topology(shards=num_shards))

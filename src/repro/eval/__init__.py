@@ -4,6 +4,7 @@ from repro.eval.ground_truth import GroundTruth, exact_knn
 from repro.eval.harness import (
     ExperimentResult,
     evaluate_index,
+    evaluate_spec,
     format_table,
     run_comparison,
 )
@@ -23,6 +24,7 @@ __all__ = [
     "array_bytes",
     "average_precision",
     "evaluate_index",
+    "evaluate_spec",
     "exact_knn",
     "format_bytes",
     "format_table",

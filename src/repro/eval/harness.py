@@ -149,6 +149,34 @@ def evaluate_index(index: KNNIndex, data: np.ndarray, queries: np.ndarray,
     )
 
 
+def evaluate_spec(spec, data: np.ndarray, queries: np.ndarray, k: int,
+                  storage_dir: str | None = None,
+                  ground_truth: GroundTruth | None = None,
+                  dataset_name: str = "dataset",
+                  batch_size: int | None = None) -> ExperimentResult:
+    """Measure one declarative :class:`~repro.core.spec.IndexSpec`.
+
+    The spec-level analogue of :func:`evaluate_index`: the index is
+    instantiated through :func:`repro.core.factory.create_index`, built,
+    measured, and closed — so sweep drivers (and the
+    ``bench_spec_combos`` grid) iterate over *specs* instead of a class
+    matrix.  ``storage_dir`` is required by disk backends and process
+    execution; the result's ``extra["spec"]`` records the evaluated spec
+    dict.
+    """
+    from repro.core.factory import create_index
+    index = create_index(spec, storage_dir=storage_dir)
+    try:
+        result = evaluate_index(index, data, queries, k,
+                                ground_truth=ground_truth,
+                                dataset_name=dataset_name,
+                                batch_size=batch_size)
+    finally:
+        index.close()
+    result.extra["spec"] = index.spec.to_dict()
+    return result
+
+
 def _padded_ratio(true_dists: np.ndarray, result_dists: np.ndarray,
                   k: int) -> float:
     """Definition-1 ratio, padding missing ranks with the worst returned

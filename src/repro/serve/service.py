@@ -21,11 +21,14 @@ requests, ``submit`` blocks (optionally up to a timeout, then raises
 :class:`ServiceOverloaded`) instead of letting an unbounded queue hide an
 overloaded index.
 
-Two execution modes decide *where* a flushed micro-batch runs:
+An :class:`~repro.core.spec.Execution` decides *where* a flushed
+micro-batch runs:
 
-* ``mode="thread"`` (default) — the dispatcher thread answers through the
-  index's ``query_batch`` in-process, as before;
-* ``mode="process"`` — the dispatcher shards the batch's rows across a
+* in-process (the default, and any ``kind`` other than ``"process"``) —
+  the dispatcher thread answers through the index's ``query_batch``; the
+  index's own executor decides how the per-tree scans run inside it;
+* ``Execution(kind="process", workers=N)`` — the dispatcher shards the
+  batch's rows across a
   :class:`~repro.core.procpool.SnapshotWorkerPool` of worker processes,
   each holding a lazily reopened ``backend="mmap"`` view of the same
   snapshot directory, and re-concatenates the slices.  Rows are
@@ -33,6 +36,9 @@ Two execution modes decide *where* a flushed micro-batch runs:
   fails the affected callers fast with a typed
   :class:`~repro.core.procpool.ProcessPoolError` and the pool is rebuilt
   for the next batch.
+
+The legacy string ``mode=`` keyword maps onto the same machinery and
+emits :class:`DeprecationWarning` (see ``docs/MIGRATION.md``).
 """
 
 from __future__ import annotations
@@ -41,12 +47,14 @@ import dataclasses
 import os
 import threading
 import time
+import warnings
 from collections import OrderedDict, deque
 from concurrent.futures import Future
 
 import numpy as np
 
 from repro.core.procpool import ProcessPoolError, SnapshotWorkerPool
+from repro.core.spec import Execution
 from repro.serve.cache import ResultCache, canonical_overrides, make_key
 
 
@@ -133,6 +141,38 @@ class _Request:
         self.key = key
         self.future: Future = Future()
 
+    @classmethod
+    def from_call(cls, point: np.ndarray, k, overrides: dict) -> "_Request":
+        """The one canonical normaliser for every client entry point.
+
+        ``submit`` (and therefore ``query``, which routes through it)
+        builds requests exclusively here, so the private point copy, the
+        canonical overrides tuple used for batch grouping, and the cache
+        key can never diverge between paths.
+
+        Raises:
+            ValueError: If ``k < 1``.
+            TypeError: If an override value is unhashable (rejected in
+                the caller's thread — an unhashable value reaching the
+                dispatcher's group map would kill the worker and hang
+                every other client).
+        """
+        k = int(k)
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        # Private float64 copy: the caller may mutate or reuse its array
+        # long before the batch is dispatched.
+        point = np.array(point, dtype=np.float64, copy=True).ravel()
+        canonical = canonical_overrides(overrides)
+        key = make_key(point, k, canonical)
+        try:
+            hash(key)
+        except TypeError:
+            raise TypeError(
+                f"override values must be hashable, got {overrides!r}"
+            ) from None
+        return cls(point, k, canonical, key)
+
 
 class QueryService:
     """Thread-safe micro-batching front end over one index.
@@ -152,11 +192,15 @@ class QueryService:
     is running.  After ``insert()``/``delete()`` on the underlying index,
     call :meth:`invalidate_cache`.
 
-    With ``mode="process"`` (see :meth:`from_snapshot`) each flushed
-    micro-batch is row-sharded across ``workers`` worker processes that
-    each hold a lazily reopened ``mmap`` view of the same snapshot — the
-    multi-core serving tier.  Process mode serves an *immutable* snapshot:
-    mutate the underlying index offline and re-snapshot instead.
+    The first argument may also be a snapshot *path* (the service then
+    opens and owns the index), and ``execution=Execution(kind="process",
+    workers=N)`` (see :meth:`from_snapshot`) row-shards each flushed
+    micro-batch across worker processes that each hold a lazily reopened
+    ``mmap`` view of the same snapshot — the multi-core serving tier.
+    Process execution serves an *immutable* snapshot: mutate the
+    underlying index offline and re-snapshot instead.  The legacy
+    ``mode=`` string keyword still works but emits
+    :class:`DeprecationWarning`.
 
     >>> import numpy as np
     >>> from repro import HDIndex, HDIndexParams, QueryService
@@ -171,24 +215,36 @@ class QueryService:
     """
 
     def __init__(self, index, config: ServiceConfig | None = None,
-                 mode: str = "thread", workers: int | None = None,
+                 mode: str | None = None, workers: int | None = None,
                  snapshot_dir: str | os.PathLike[str] | None = None,
                  worker_backend: str = "mmap",
                  worker_timeout: float | None = None,
+                 execution: Execution | str | None = None,
                  **overrides) -> None:
         base = config if config is not None else ServiceConfig()
         self.config = dataclasses.replace(base, **overrides)
-        if mode not in ("thread", "process"):
-            raise ValueError(
-                f"unknown mode {mode!r}; choose 'thread' or 'process'")
+        execution = self._resolve_execution(
+            execution, mode, workers, worker_backend, worker_timeout)
+        owns_index = False
+        if isinstance(index, (str, os.PathLike)):
+            # "Accept a spec or path": a snapshot directory is opened on
+            # the caller's behalf (the service then owns the index and
+            # closes it on stop()); prefer from_snapshot() when reopen
+            # options matter.
+            from repro.core.factory import open_index
+            if snapshot_dir is None:
+                snapshot_dir = os.fspath(index)
+            index = open_index(index)
+            owns_index = True
         self.index = index
-        self.mode = mode
+        self.execution = execution
         self._pool: SnapshotWorkerPool | None = None
-        if mode == "process":
+        if execution.kind == "process":
             directory = self._resolve_snapshot_dir(index, snapshot_dir)
             self._pool = SnapshotWorkerPool(
-                directory, num_workers=workers, backend=worker_backend,
-                timeout=worker_timeout)
+                directory, num_workers=execution.workers,
+                backend=execution.worker_backend,
+                timeout=execution.worker_timeout)
         self.cache = ResultCache(self.config.cache_size)
         self._queue: deque[_Request] = deque()
         self._lock = threading.Lock()
@@ -197,9 +253,58 @@ class QueryService:
         self._closed = False
         self._worker: threading.Thread | None = None
         self._stats = ServiceStats()
-        # True only for from_snapshot(): the service then owns the index
-        # and closes its page stores on stop().
-        self._owns_index = False
+        # True for from_snapshot() and path construction: the service
+        # then owns the index and closes its page stores on stop().
+        self._owns_index = owns_index
+
+    @property
+    def mode(self) -> str:
+        """Dispatch mode derived from the execution strategy (kept for
+        backward compatibility with the string-typed ``mode=`` API)."""
+        return "process" if self._pool is not None else "thread"
+
+    @staticmethod
+    def _resolve_execution(execution, mode, workers, worker_backend,
+                           worker_timeout) -> Execution:
+        """Fold the legacy ``mode=``/``workers=`` keywords and the new
+        ``execution=`` parameter into one :class:`Execution` value."""
+        if mode is not None:
+            warnings.warn(
+                "QueryService(mode=...) is deprecated; pass execution="
+                "Execution(kind='process', workers=...) (or omit it for "
+                "in-process dispatch) instead",
+                DeprecationWarning, stacklevel=3)
+            if mode not in ("thread", "process"):
+                raise ValueError(
+                    f"unknown mode {mode!r}; choose 'thread' or 'process'")
+            if execution is not None:
+                raise ValueError(
+                    "pass either execution=... or the deprecated mode=..., "
+                    "not both")
+            if mode == "thread":
+                return Execution()
+            return Execution(kind="process", workers=workers,
+                             worker_backend=worker_backend,
+                             worker_timeout=worker_timeout)
+        if execution is None:
+            return Execution(workers=workers,
+                             worker_backend=worker_backend,
+                             worker_timeout=worker_timeout)
+        if isinstance(execution, str):
+            return Execution(kind=execution, workers=workers,
+                             worker_backend=worker_backend,
+                             worker_timeout=worker_timeout)
+        # An Execution object wins on any field it sets, but the keyword
+        # arguments still fill its unset fields instead of being
+        # silently dropped (from_snapshot documents `workers=` as the
+        # pool width either way).
+        merged = {}
+        if workers is not None and execution.workers is None:
+            merged["workers"] = workers
+        if worker_timeout is not None and execution.worker_timeout is None:
+            merged["worker_timeout"] = worker_timeout
+        return (dataclasses.replace(execution, **merged) if merged
+                else execution)
 
     @staticmethod
     def _resolve_snapshot_dir(index, snapshot_dir):
@@ -312,9 +417,10 @@ class QueryService:
     def from_snapshot(cls, directory, cache_pages: int | None = None,
                       config: ServiceConfig | None = None,
                       backend: str | None = None,
-                      mode: str = "thread", workers: int | None = None,
+                      mode: str | None = None, workers: int | None = None,
                       worker_backend: str = "mmap",
                       worker_timeout: float | None = None,
+                      execution: Execution | str | None = None,
                       **overrides) -> "QueryService":
         """Open a persisted index and wrap it in a service.
 
@@ -334,11 +440,14 @@ class QueryService:
                 ``"mmap"`` (zero-copy, O(metadata) cold start: the
                 larger-than-RAM serving mode) or ``"memory"``; ``None``
                 keeps the snapshot's own backend.
-            mode: ``"thread"`` answers batches in-process (default);
-                ``"process"`` shards each micro-batch's rows across
-                ``workers`` worker processes that bootstrap from this same
-                snapshot directory.
-            workers: Worker-process count for ``mode="process"``
+            mode: Deprecated string form of ``execution`` (emits
+                :class:`DeprecationWarning`).
+            execution: An :class:`~repro.core.spec.Execution` (or bare
+                kind string).  ``kind="process"`` shards each
+                micro-batch's rows across ``workers`` worker processes
+                that bootstrap from this same snapshot directory; any
+                other kind answers batches in-process (default).
+            workers: Worker-process count for process execution
                 (default: CPU count).
             worker_backend: Backend each worker reopens the snapshot with
                 (default ``"mmap"`` — the OS shares the physical pages
@@ -357,7 +466,8 @@ class QueryService:
                                  backend=backend),
                       config=config, mode=mode, workers=workers,
                       snapshot_dir=directory, worker_backend=worker_backend,
-                      worker_timeout=worker_timeout, **overrides)
+                      worker_timeout=worker_timeout, execution=execution,
+                      **overrides)
         service._owns_index = True
         return service
 
@@ -389,24 +499,8 @@ class QueryService:
             ServiceOverloaded: If admission stayed blocked past
                 ``timeout``.
         """
-        if k < 1:
-            raise ValueError(f"k must be >= 1, got {k}")
-        # Private float64 copy: the caller may mutate or reuse its array
-        # long before the batch is dispatched.
-        point = np.array(point, dtype=np.float64, copy=True).ravel()
-        canonical = canonical_overrides(overrides)
-        key = make_key(point, k, canonical)
-        try:
-            hash(key)
-        except TypeError:
-            # Reject here, in the caller's thread: an unhashable override
-            # value reaching the dispatcher's group map would kill the
-            # worker and hang every other client.
-            raise TypeError(
-                f"override values must be hashable, got {overrides!r}"
-            ) from None
-        request = _Request(point, int(k), canonical, key)
-        cached = self.cache.get(key)
+        request = _Request.from_call(point, k, overrides)
+        cached = self.cache.get(request.key)
         if cached is not None:
             with self._lock:
                 self._check_open()

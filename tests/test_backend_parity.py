@@ -14,9 +14,9 @@ import pytest
 from repro.core import (
     HDIndex,
     HDIndexParams,
-    ParallelHDIndex,
     PersistenceError,
-    ShardedHDIndex,
+    ShardRouter,
+    ThreadedExecutor,
     load_index,
     save_index,
 )
@@ -186,9 +186,9 @@ class TestFamilyBackends:
         plain.build(data)
         expected = _answers(plain, queries)
         plain.close()
-        parallel = ParallelHDIndex(
+        parallel = HDIndex(
             _params(backend="mmap", storage_dir=str(tmp_path)),
-            num_workers=3)
+            executor=ThreadedExecutor(3))
         parallel.build(data)
         _assert_same_answers(_answers(parallel, queries), expected,
                              "parallel-mmap")
@@ -196,7 +196,7 @@ class TestFamilyBackends:
 
     def test_sharded_snapshot_mmap_parity(self, workload, tmp_path):
         data, queries = workload
-        sharded = ShardedHDIndex(_params(), num_shards=2)
+        sharded = ShardRouter(_params(), 2)
         sharded.build(data)
         save_index(sharded, tmp_path)
         expected = _answers(sharded, queries)

@@ -3,13 +3,15 @@
 The engine extraction makes drift between the sequential, parallel and
 sharded indexes structurally impossible; these tests pin the contract:
 
-* identical (ids, dists) across `HDIndex`, `ParallelHDIndex` and the
-  vectorised batch path on the same data/seed;
-* ``query_batch`` equals a loop of ``query`` for all three index classes;
-* the parallel index reports the same ``QueryStats`` fields — including
-  the random/sequential read breakdown the Sec. 5 evaluation metrics
-  depend on — as the sequential index (regression: it used to drop them);
-* the sharded index forwards per-call α/β/γ/Ptolemaic overrides and
+* identical (ids, dists) across sequential and thread-parallel `HDIndex`
+  executors and the vectorised batch path on the same data/seed;
+* ``query_batch`` equals a loop of ``query`` for every topology/execution
+  combination;
+* the thread-parallel executor reports the same ``QueryStats`` fields —
+  including the random/sequential read breakdown the Sec. 5 evaluation
+  metrics depend on — as sequential execution (regression: it used to
+  drop them);
+* the shard router forwards per-call α/β/γ/Ptolemaic overrides and
   supports global-id ``delete``.
 """
 
@@ -19,12 +21,15 @@ import pytest
 from repro.core import (
     HDIndex,
     HDIndexParams,
-    ParallelHDIndex,
     QueryEngine,
     SequentialExecutor,
-    ShardedHDIndex,
+    ShardRouter,
     ThreadedExecutor,
 )
+
+
+def thread_index(p, workers=None):
+    return HDIndex(p, executor=ThreadedExecutor(workers))
 
 
 @pytest.fixture(scope="module")
@@ -50,8 +55,8 @@ def params(**overrides):
 def built_trio(workload):
     data, _ = workload
     sequential = HDIndex(params())
-    parallel = ParallelHDIndex(params(), num_workers=3)
-    sharded = ShardedHDIndex(params(), num_shards=3)
+    parallel = thread_index(params(), workers=3)
+    sharded = ShardRouter(params(), 3)
     for index in (sequential, parallel, sharded):
         index.build(data)
     yield sequential, parallel, sharded
@@ -104,7 +109,7 @@ class TestCrossImplementationParity:
     def test_ptolemaic_path_parity(self, workload):
         data, queries = workload
         sequential = HDIndex(params(use_ptolemaic=True))
-        parallel = ParallelHDIndex(params(use_ptolemaic=True))
+        parallel = thread_index(params(use_ptolemaic=True))
         sequential.build(data)
         parallel.build(data)
         batch_ids, _ = parallel.query_batch(queries, 10)
@@ -121,8 +126,8 @@ class TestCrossImplementationParity:
         store on a single thread; disk mode would corrupt reads
         otherwise."""
         data, queries = workload
-        disk = ParallelHDIndex(params(storage_dir=str(tmp_path / "hd")),
-                               num_workers=4)
+        disk = thread_index(params(storage_dir=str(tmp_path / "hd")),
+                            workers=4)
         memory = HDIndex(params())
         disk.build(data)
         memory.build(data)
@@ -222,8 +227,8 @@ class TestShardedOverridesAndUpdates:
         """Regression: per-call α/β/γ overrides used to be dropped, so
         sweeps over a sharded index silently ran with defaults."""
         data, queries = workload
-        sharded = ShardedHDIndex(params(), num_shards=2)
-        unsharded_like = ShardedHDIndex(params(), num_shards=2)
+        sharded = ShardRouter(params(), 2)
+        unsharded_like = ShardRouter(params(), 2)
         sharded.build(data)
         unsharded_like.build(data)
         overrides = dict(alpha=16, gamma=8)
@@ -237,7 +242,7 @@ class TestShardedOverridesAndUpdates:
 
     def test_ptolemaic_override_forwarded(self, workload):
         data, queries = workload
-        sharded = ShardedHDIndex(params(), num_shards=2)
+        sharded = ShardRouter(params(), 2)
         sharded.build(data)
         sharded.query(queries[0], 5, use_ptolemaic=True)
         for shard in sharded.shards:
@@ -245,7 +250,7 @@ class TestShardedOverridesAndUpdates:
 
     def test_delete_routes_to_owning_shard(self, workload):
         data, _ = workload
-        sharded = ShardedHDIndex(params(), num_shards=3)
+        sharded = ShardRouter(params(), 3)
         sharded.build(data)
         for probe in (0, len(data) // 2, len(data) - 1):
             ids, _ = sharded.query(data[probe], 1)
@@ -256,7 +261,7 @@ class TestShardedOverridesAndUpdates:
 
     def test_delete_inserted_object(self, workload):
         data, _ = workload
-        sharded = ShardedHDIndex(params(), num_shards=3)
+        sharded = ShardRouter(params(), 3)
         sharded.build(data)
         point = np.full(16, 50.0)
         new_id = sharded.insert(point)
@@ -268,7 +273,7 @@ class TestShardedOverridesAndUpdates:
 
     def test_delete_unknown_id_rejected(self, workload):
         data, _ = workload
-        sharded = ShardedHDIndex(params(), num_shards=2)
+        sharded = ShardRouter(params(), 2)
         sharded.build(data)
         with pytest.raises(ValueError):
             sharded.delete(len(data) + 7)
@@ -277,11 +282,11 @@ class TestShardedOverridesAndUpdates:
 
     def test_delete_before_build_rejected(self):
         with pytest.raises(RuntimeError):
-            ShardedHDIndex(params()).delete(0)
+            ShardRouter(params()).delete(0)
 
     def test_total_size_bytes_sums_shards(self, workload):
         data, _ = workload
-        sharded = ShardedHDIndex(params(), num_shards=2)
+        sharded = ShardRouter(params(), 2)
         sharded.build(data)
         assert sharded.total_size_bytes() == sum(
             shard.total_size_bytes() for shard in sharded.shards)
@@ -298,11 +303,14 @@ class TestEngineComponents:
         for shard in sharded.shards:
             assert type(shard._engine) is QueryEngine
 
-    def test_parallel_defines_no_query_override(self):
-        """The structural guarantee: the parallel index has no second copy
-        of the Algo.-2 stage logic."""
+    def test_shims_define_no_query_override(self):
+        """The structural guarantee: neither deprecated shim carries a
+        second copy of the Algo.-2 stage logic."""
+        from repro.core import ParallelHDIndex, ShardedHDIndex
         assert "query" not in ParallelHDIndex.__dict__
         assert "query_batch" not in ParallelHDIndex.__dict__
+        assert "query" not in ShardedHDIndex.__dict__
+        assert "query_batch" not in ShardedHDIndex.__dict__
 
     def test_threaded_executor_rejects_bad_width(self):
         with pytest.raises(ValueError):
@@ -335,8 +343,8 @@ class TestDeleteBatchParity:
 
     @pytest.mark.parametrize("make_index", [
         lambda: HDIndex(params()),
-        lambda: ParallelHDIndex(params(), num_workers=2),
-        lambda: ShardedHDIndex(params(), num_shards=3),
+        lambda: thread_index(params(), workers=2),
+        lambda: ShardRouter(params(), 3),
     ], ids=["sequential", "parallel", "sharded"])
     def test_batch_equals_loop_after_deletes(self, workload, make_index):
         data, queries = workload

@@ -3,7 +3,19 @@
 import numpy as np
 import pytest
 
-from repro.core import HDIndex, HDIndexParams, ParallelHDIndex
+from repro.core import (
+    Execution,
+    HDIndex,
+    HDIndexParams,
+    IndexSpec,
+    create_index,
+)
+
+
+def thread_index(p, workers=None):
+    """Thread-parallel scans, declared through the spec API."""
+    return create_index(IndexSpec(
+        params=p, execution=Execution(kind="thread", workers=workers)))
 
 
 @pytest.fixture(scope="module")
@@ -30,7 +42,7 @@ class TestParallelHDIndex:
         parallelising them must not change the answer set."""
         data, queries = workload
         sequential = HDIndex(params())
-        parallel = ParallelHDIndex(params(), num_workers=4)
+        parallel = thread_index(params(), workers=4)
         sequential.build(data)
         parallel.build(data)
         for query in queries:
@@ -43,7 +55,7 @@ class TestParallelHDIndex:
     def test_ptolemaic_path_identical(self, workload):
         data, queries = workload
         sequential = HDIndex(params(use_ptolemaic=True))
-        parallel = ParallelHDIndex(params(use_ptolemaic=True))
+        parallel = thread_index(params(use_ptolemaic=True))
         sequential.build(data)
         parallel.build(data)
         ids_seq, _ = sequential.query(queries[0], 10)
@@ -53,7 +65,7 @@ class TestParallelHDIndex:
 
     def test_worker_count_respected(self, workload):
         data, queries = workload
-        index = ParallelHDIndex(params(), num_workers=2)
+        index = thread_index(params(), workers=2)
         index.build(data)
         index.query(queries[0], 5)
         assert index.last_query_stats().extra["workers"] == 2
@@ -61,25 +73,25 @@ class TestParallelHDIndex:
 
     def test_context_manager(self, workload):
         data, queries = workload
-        with ParallelHDIndex(params()) as index:
+        with thread_index(params()) as index:
             index.build(data)
             ids, _ = index.query(queries[0], 5)
             assert len(ids) == 5
 
     def test_close_is_idempotent(self, workload):
         data, _ = workload
-        index = ParallelHDIndex(params())
+        index = thread_index(params())
         index.build(data)
         index.close()
         index.close()
 
     def test_invalid_workers_rejected(self):
         with pytest.raises(ValueError):
-            ParallelHDIndex(params(), num_workers=0)
+            Execution(kind="thread", workers=0)
 
     def test_updates_still_work(self, workload):
         data, _ = workload
-        index = ParallelHDIndex(params())
+        index = thread_index(params())
         index.build(data)
         new_point = np.full(16, 42.0)
         new_id = index.insert(new_point)

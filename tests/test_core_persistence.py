@@ -8,9 +8,9 @@ import pytest
 from repro.core import (
     HDIndex,
     HDIndexParams,
-    ParallelHDIndex,
     PersistenceError,
-    ShardedHDIndex,
+    ShardRouter,
+    ThreadedExecutor,
     load_index,
     save_index,
 )
@@ -138,12 +138,15 @@ class TestFamilySaveLoad:
 
     def test_parallel_round_trip_restores_class(self, workload, tmp_path):
         data, queries = workload
-        original = ParallelHDIndex(params(), num_workers=3)
+        original = HDIndex(params(), executor=ThreadedExecutor(3))
         original.build(data)
         save_index(original, tmp_path / "index")
         reloaded = load_index(tmp_path / "index")
-        assert isinstance(reloaded, ParallelHDIndex)
-        assert reloaded.num_workers == 3
+        # The snapshot's spec reconstructs the deployment: a thread-pool
+        # executor of the saved width (no per-combination class needed).
+        assert isinstance(reloaded, HDIndex)
+        assert isinstance(reloaded.executor, ThreadedExecutor)
+        assert reloaded.spec.execution.workers == 3
         for query in queries:
             ids_a, dists_a = original.query(query, 10)
             ids_b, dists_b = reloaded.query(query, 10)
@@ -155,11 +158,11 @@ class TestFamilySaveLoad:
     def test_sharded_round_trip_matches_pre_save_exactly(self, workload,
                                                          tmp_path):
         data, queries = workload
-        original = ShardedHDIndex(params(), num_shards=3)
+        original = ShardRouter(params(), 3)
         original.build(data)
         save_index(original, tmp_path / "index")
         reloaded = load_index(tmp_path / "index")
-        assert isinstance(reloaded, ShardedHDIndex)
+        assert isinstance(reloaded, ShardRouter)
         assert reloaded.num_shards == 3
         assert reloaded.count == original.count
         np.testing.assert_array_equal(reloaded.offsets, original.offsets)
@@ -177,7 +180,7 @@ class TestFamilySaveLoad:
 
     def test_sharded_snapshot_layout(self, workload, tmp_path):
         data, _ = workload
-        index = ShardedHDIndex(params(), num_shards=2)
+        index = ShardRouter(params(), 2)
         index.build(data)
         save_index(index, tmp_path / "index")
         manifest = json.loads(
@@ -194,7 +197,7 @@ class TestFamilySaveLoad:
 
     def test_sharded_inserts_and_deletes_survive(self, workload, tmp_path):
         data, _ = workload
-        index = ShardedHDIndex(params(), num_shards=2)
+        index = ShardRouter(params(), 2)
         index.build(data)
         point = np.full(16, 55.0)
         new_id = index.insert(point)
@@ -217,7 +220,7 @@ class TestFamilySaveLoad:
 
     def test_sharded_cache_pages_plumbed_to_shards(self, workload, tmp_path):
         data, queries = workload
-        index = ShardedHDIndex(params(), num_shards=2)
+        index = ShardRouter(params(), 2)
         index.build(data)
         save_index(index, tmp_path / "index")
         reloaded = load_index(tmp_path / "index", cache_pages=128)
@@ -232,7 +235,7 @@ class TestFamilySaveLoad:
 
     def test_save_unbuilt_sharded_rejected(self, tmp_path):
         with pytest.raises(RuntimeError):
-            save_index(ShardedHDIndex(params()), tmp_path / "index")
+            save_index(ShardRouter(params()), tmp_path / "index")
 
     def test_save_foreign_index_rejected(self, tmp_path):
         from repro.baselines import LinearScan
@@ -246,7 +249,7 @@ class TestFamilySaveLoad:
 
     def test_load_bad_manifest_kind_rejected(self, workload, tmp_path):
         data, _ = workload
-        index = ShardedHDIndex(params(), num_shards=2)
+        index = ShardRouter(params(), 2)
         index.build(data)
         save_index(index, tmp_path / "index")
         manifest_path = tmp_path / "index" / "manifest.json"

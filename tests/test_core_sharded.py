@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import HDIndexParams, ShardedHDIndex
+from repro.core import HDIndexParams, ShardRouter
 from repro.eval import exact_knn, recall_at_k
 
 
@@ -27,10 +27,10 @@ def params(**overrides):
     return HDIndexParams(**defaults)
 
 
-class TestShardedHDIndex:
+class TestShardRouter:
     def test_global_ids_are_consistent(self, workload):
         data, queries = workload
-        index = ShardedHDIndex(params(), num_shards=3)
+        index = ShardRouter(params(), 3)
         index.build(data)
         # Querying with a database point must return its global id.
         for probe in (0, len(data) // 2, len(data) - 1):
@@ -40,7 +40,7 @@ class TestShardedHDIndex:
 
     def test_quality_close_to_unsharded(self, workload):
         data, queries = workload
-        sharded = ShardedHDIndex(params(), num_shards=3)
+        sharded = ShardRouter(params(), 3)
         sharded.build(data)
         k = 10
         true_ids, _ = exact_knn(data, queries, k)
@@ -50,7 +50,7 @@ class TestShardedHDIndex:
 
     def test_merge_is_sorted_by_distance(self, workload):
         data, queries = workload
-        index = ShardedHDIndex(params(), num_shards=4)
+        index = ShardRouter(params(), 4)
         index.build(data)
         _, dists = index.query(queries[0], 12)
         assert np.all(np.diff(dists) >= 0)
@@ -59,7 +59,7 @@ class TestShardedHDIndex:
         from repro.core import HDIndex
         data, queries = workload
         plain = HDIndex(params())
-        one_shard = ShardedHDIndex(params(), num_shards=1)
+        one_shard = ShardRouter(params(), 1)
         plain.build(data)
         one_shard.build(data)
         ids_a, _ = plain.query(queries[0], 10)
@@ -68,7 +68,7 @@ class TestShardedHDIndex:
 
     def test_insert_gets_fresh_global_id(self, workload):
         data, _ = workload
-        index = ShardedHDIndex(params(), num_shards=3)
+        index = ShardRouter(params(), 3)
         index.build(data)
         point = np.full(16, 50.0)
         new_id = index.insert(point)
@@ -78,7 +78,7 @@ class TestShardedHDIndex:
 
     def test_per_shard_stats_aggregate(self, workload):
         data, queries = workload
-        index = ShardedHDIndex(params(), num_shards=2)
+        index = ShardRouter(params(), 2)
         index.build(data)
         index.query(queries[0], 5)
         stats = index.last_query_stats()
@@ -88,7 +88,7 @@ class TestShardedHDIndex:
     def test_build_memory_is_per_machine(self, workload):
         """Distributed build RAM is the max over shards, not the sum."""
         data, _ = workload
-        index = ShardedHDIndex(params(), num_shards=3)
+        index = ShardRouter(params(), 3)
         index.build(data)
         per_shard = [s.build_memory_bytes() for s in index.shards]
         assert index.build_memory_bytes() == max(per_shard)
@@ -96,11 +96,11 @@ class TestShardedHDIndex:
     def test_invalid_configuration(self, workload):
         data, _ = workload
         with pytest.raises(ValueError):
-            ShardedHDIndex(params(), num_shards=0)
-        tiny = ShardedHDIndex(params(), num_shards=10)
+            ShardRouter(params(), 0)
+        tiny = ShardRouter(params(), 10)
         with pytest.raises(ValueError):
             tiny.build(data[:5])
 
     def test_query_before_build_rejected(self):
         with pytest.raises(RuntimeError):
-            ShardedHDIndex(params()).query(np.zeros(16), 1)
+            ShardRouter(params()).query(np.zeros(16), 1)

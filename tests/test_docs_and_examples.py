@@ -44,8 +44,14 @@ class TestArchitectureDoc:
             assert phrase.lower() in text.lower(), f"missing {phrase!r}"
 
     def test_covers_the_index_family(self, text):
-        for name in ("HDIndex", "ParallelHDIndex", "ShardedHDIndex",
-                     "QueryService"):
+        for name in ("HDIndex", "ShardRouter", "QueryService",
+                     # deprecated shims stay documented for migration
+                     "ParallelHDIndex", "ShardedHDIndex"):
+            assert name in text, f"missing {name!r}"
+
+    def test_covers_the_spec_axes(self, text):
+        for name in ("IndexSpec", "Topology", "Execution", "repro.build",
+                     "repro.open"):
             assert name in text, f"missing {name!r}"
 
     def test_covers_the_storage_backend_matrix(self, text):
@@ -74,3 +80,28 @@ class TestReadme:
         # PR 2 extended persistence to the whole family; the README must
         # not regress to the old HDIndex-only story.
         assert "load_index" in text and "manifest.json" in text
+
+    def test_quickstart_uses_the_spec_api(self, text):
+        # PR 5 redesigned the public API around IndexSpec; the README's
+        # front door must lead with it.
+        for token in ("IndexSpec", "repro.build", "repro.open",
+                      "Topology", "Execution"):
+            assert token in text, f"missing {token!r}"
+
+
+class TestMigrationDoc:
+    @pytest.fixture(scope="class")
+    def text(self):
+        path = REPO_ROOT / "docs" / "MIGRATION.md"
+        assert path.exists(), "docs/MIGRATION.md is missing"
+        return path.read_text()
+
+    def test_every_deprecated_symbol_has_a_mapping(self, text):
+        for name in ("ParallelHDIndex", "ProcessPoolHDIndex",
+                     "ShardedHDIndex", 'mode="process"', "--mode"):
+            assert name in text, f"missing migration entry for {name!r}"
+
+    def test_names_the_replacements(self, text):
+        for name in ("IndexSpec", "Topology", "Execution", "repro.build",
+                     "repro.open", "--execution", "--spec"):
+            assert name in text, f"missing replacement {name!r}"

@@ -13,11 +13,13 @@ import numpy as np
 import pytest
 
 from repro.core import (
+    Execution,
     HDIndex,
     HDIndexParams,
-    ParallelHDIndex,
-    ProcessPoolHDIndex,
-    ShardedHDIndex,
+    IndexSpec,
+    ShardRouter,
+    Topology,
+    create_index,
 )
 
 DIM = 8
@@ -41,16 +43,19 @@ def _make_hdindex(tmp_path):
 
 
 def _make_parallel(tmp_path):
-    return ParallelHDIndex(_params(), num_workers=2)
+    return create_index(IndexSpec(
+        params=_params(), execution=Execution(kind="thread", workers=2)))
 
 
 def _make_process(tmp_path):
-    return ProcessPoolHDIndex(_params(storage_dir=str(tmp_path)),
-                              num_workers=2)
+    return create_index(IndexSpec(
+        params=_params(storage_dir=str(tmp_path)),
+        execution=Execution(kind="process", workers=2)))
 
 
 def _make_sharded(tmp_path):
-    return ShardedHDIndex(_params(), num_shards=2)
+    return create_index(IndexSpec(params=_params(),
+                                  topology=Topology(shards=2)))
 
 
 FAMILY = [
@@ -65,7 +70,7 @@ SINGLETON_FAMILY = FAMILY[:3]
 
 def _heap_reads(index) -> int:
     """Descriptor-heap page reads, summed over shards where applicable."""
-    if isinstance(index, ShardedHDIndex):
+    if isinstance(index, ShardRouter):
         return sum(shard.heap.stats.page_reads for shard in index.shards)
     return index.heap.stats.page_reads
 
@@ -152,7 +157,7 @@ class TestSinglePointIndex:
 
 
 def test_sharded_rejects_fewer_points_than_shards():
-    index = ShardedHDIndex(_params(), num_shards=2)
+    index = ShardRouter(_params(), Topology(shards=2))
     with pytest.raises(ValueError, match="shards"):
         index.build(_data(1))
 

@@ -98,10 +98,11 @@ class TestMiscEdges:
             heap.restore_count(10**6)
 
     def test_hdindex_name_attributes(self):
-        from repro.core import ParallelHDIndex, ShardedHDIndex
+        from repro.core import ShardRouter, ThreadedExecutor
         assert HDIndex().name == "HD-Index"
-        assert ParallelHDIndex().name == "HD-Index(parallel)"
-        assert ShardedHDIndex().name == "HD-Index(sharded)"
+        assert HDIndex(executor=ThreadedExecutor(2)).name == \
+            "HD-Index(parallel)"
+        assert ShardRouter().name == "HD-Index(sharded)"
 
     def test_build_stats_extra_fields(self):
         rng = np.random.default_rng(0)

@@ -21,12 +21,13 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core import (
+    Execution,
     HDIndex,
     HDIndexParams,
-    ParallelHDIndex,
-    ProcessPoolHDIndex,
-    ShardedHDIndex,
+    ShardRouter,
+    ThreadedExecutor,
     load_index,
+    open_index,
     save_index,
 )
 
@@ -65,10 +66,11 @@ def tiers(tmp_path_factory):
     sequential.build(data)
     save_index(sequential, snapshot)
 
-    threaded = ParallelHDIndex(_params(), num_workers=3)
+    threaded = HDIndex(_params(), executor=ThreadedExecutor(3))
     threaded.build(data)
 
-    process = ProcessPoolHDIndex.from_snapshot(snapshot, num_workers=2)
+    process = open_index(snapshot,
+                         execution=Execution(kind="process", workers=2))
 
     yield {"data": data, "snapshot": snapshot, "sequential": sequential,
            "threaded": threaded, "process": process}
@@ -194,9 +196,10 @@ class TestBackendParityRandomized:
         """The workers' own reopen backend must not show in the answers."""
         queries = _queries(77, count=3)
         oracle = tiers["sequential"].query_batch(queries, 5)
-        process = ProcessPoolHDIndex.from_snapshot(
-            tiers["snapshot"], num_workers=2,
-            worker_backend=worker_backend)
+        process = open_index(
+            tiers["snapshot"],
+            execution=Execution(kind="process", workers=2,
+                                worker_backend=worker_backend))
         try:
             _assert_rows_equal(process.query_batch(queries, 5), oracle,
                                f"worker_backend={worker_backend}")
@@ -212,7 +215,7 @@ class TestShardedSelfParity:
     def sharded_snapshot(self, tmp_path_factory):
         data = _data()
         directory = tmp_path_factory.mktemp("prop-sharded")
-        index = ShardedHDIndex(_params(), num_shards=3)
+        index = ShardRouter(_params(), 3)
         index.build(data)
         save_index(index, directory)
         yield index, directory

@@ -31,15 +31,17 @@ import pytest
 
 import repro.core.procpool as procpool
 from repro.core import (
+    Execution,
     HDIndex,
     HDIndexParams,
-    PersistenceError,
+    IndexSpec,
     ProcessPoolError,
-    ProcessPoolHDIndex,
-    ShardedHDIndex,
+    ShardRouter,
     SnapshotWorkerPool,
     WorkerCrashed,
     WorkerTimeout,
+    create_index,
+    open_index,
     save_index,
 )
 from repro.serve import QueryService, ServiceClosed
@@ -93,9 +95,9 @@ class TestProcessModeParity:
     def test_served_answers_match_sequential(self, workload, snapshot):
         _, queries = workload
         directory, expected = snapshot
-        with QueryService.from_snapshot(directory, mode="process",
-                                        workers=2, max_batch=8,
-                                        max_wait_ms=2.0) as service:
+        with QueryService.from_snapshot(directory, execution=Execution(
+                                            kind="process", workers=2),
+                                        max_batch=8, max_wait_ms=2.0) as service:
             futures = [service.submit(q, K) for q in queries]
             for future, (ids, dists) in zip(futures, expected):
                 got_ids, got_dists = future.result(timeout=WAIT)
@@ -107,13 +109,39 @@ class TestProcessModeParity:
         """Workers bootstrap whole sharded snapshots too (each worker
         reopens every shard via mmap and answers full queries)."""
         data, queries = workload
-        sharded = ShardedHDIndex(_params(), num_shards=2)
+        sharded = ShardRouter(_params(), 2)
         sharded.build(data)
         save_index(sharded, tmp_path)
         expected = [sharded.query(q, K) for q in queries[:6]]
         sharded.close()
-        with QueryService.from_snapshot(tmp_path, mode="process",
-                                        workers=2, max_batch=4) as service:
+        with QueryService.from_snapshot(tmp_path, execution=Execution(
+                                            kind="process", workers=2),
+                                        max_batch=4) as service:
+            for q, (ids, dists) in zip(queries, expected):
+                got_ids, got_dists = service.query(q, K, timeout=WAIT)
+                np.testing.assert_array_equal(got_ids, ids)
+                np.testing.assert_array_equal(got_dists, dists)
+
+    def test_process_service_over_process_sharded_snapshot(self, workload,
+                                                           tmp_path):
+        """Regression: a snapshot whose recorded spec is sharded x process
+        must not recursively fork grandchildren inside service workers —
+        the worker-side bootstrap demotes every shard's executor to
+        sequential before answering."""
+        from repro.core import IndexSpec, Topology
+        from repro.core import build as build_spec
+        data, queries = workload
+        spec = IndexSpec(params=_params(),
+                         topology=Topology(shards=2),
+                         execution=Execution(kind="process", workers=2),
+                         backend="mmap")
+        index = build_spec(spec, data, storage_dir=tmp_path)
+        expected = [index.query(q, K) for q in queries[:4]]
+        index.close()
+        with QueryService.from_snapshot(
+                tmp_path, execution=Execution(kind="process", workers=2,
+                                              worker_timeout=60.0),
+                max_batch=4) as service:
             for q, (ids, dists) in zip(queries, expected):
                 got_ids, got_dists = service.query(q, K, timeout=WAIT)
                 np.testing.assert_array_equal(got_ids, ids)
@@ -125,7 +153,7 @@ class TestProcessModeParity:
         index.build(data)
         try:
             with pytest.raises(ValueError, match="snapshot"):
-                QueryService(index, mode="process")
+                QueryService(index, execution="process")
         finally:
             index.close()
 
@@ -138,22 +166,22 @@ class TestProcessModeParity:
         index.build(data)
         save_index(index, tmp_path)
         try:
-            QueryService(index, mode="process", workers=1)  # fresh: fine
+            QueryService(index, execution="process", workers=1)  # fresh: fine
             index.insert(np.full(16, 1.0))
             with pytest.raises(ValueError, match="save_index"):
-                QueryService(index, mode="process", workers=1)
+                QueryService(index, execution="process", workers=1)
             with pytest.raises(ValueError, match="save_index"):
-                QueryService(index, mode="process", workers=1,
+                QueryService(index, execution="process", workers=1,
                              snapshot_dir=tmp_path)
             save_index(index, tmp_path)  # re-snapshot clears the drift
-            QueryService(index, mode="process", workers=1)
+            QueryService(index, execution="process", workers=1)
         finally:
             index.close()
 
-    def test_unknown_mode_rejected(self, workload):
+    def test_unknown_execution_rejected(self, workload):
         index = HDIndex(_params())
-        with pytest.raises(ValueError, match="mode"):
-            QueryService(index, mode="fiber")
+        with pytest.raises(ValueError, match="execution kind"):
+            QueryService(index, execution="fiber")
 
 
 @needs_fork
@@ -164,8 +192,8 @@ class TestWorkerCrash:
         directory, expected = snapshot
         procpool._FAULT_HOOK = lambda: os.kill(os.getpid(), signal.SIGKILL)
         service = QueryService.from_snapshot(
-            directory, mode="process", workers=2, max_batch=16,
-            max_wait_ms=20.0).start()
+            directory, execution=Execution(kind="process", workers=2),
+            max_batch=16, max_wait_ms=20.0).start()
         try:
             futures = [service.submit(q, K) for q in queries]
             started = time.perf_counter()
@@ -196,7 +224,8 @@ class TestWorkerCrash:
         service."""
         _, queries = workload
         directory, expected = snapshot
-        index = ProcessPoolHDIndex.from_snapshot(directory, num_workers=2)
+        index = open_index(directory,
+                           execution=Execution(kind="process", workers=2))
         try:
             procpool._FAULT_HOOK = lambda: os.kill(os.getpid(),
                                                    signal.SIGKILL)
@@ -218,7 +247,8 @@ class TestWorkerTimeout:
         directory, expected = snapshot
         procpool._FAULT_HOOK = lambda: time.sleep(30)
         service = QueryService.from_snapshot(
-            directory, mode="process", workers=1, worker_timeout=0.75,
+            directory, execution=Execution(kind="process", workers=1,
+                                           worker_timeout=0.75),
             max_batch=4, max_wait_ms=0.0).start()
         try:
             started = time.perf_counter()
@@ -242,8 +272,8 @@ class TestCloseIdempotence:
         _, queries = workload
         directory, _ = snapshot
         service = QueryService.from_snapshot(
-            directory, mode="process", workers=2, max_batch=8,
-            max_wait_ms=1.0).start()
+            directory, execution=Execution(kind="process", workers=2),
+            max_batch=8, max_wait_ms=1.0).start()
         outcomes: list[str] = []
         lock = threading.Lock()
 
@@ -280,8 +310,8 @@ class TestCloseIdempotence:
     def test_close_is_idempotent_when_never_started(self, workload,
                                                     snapshot):
         directory, _ = snapshot
-        service = QueryService.from_snapshot(directory, mode="process",
-                                             workers=1)
+        service = QueryService.from_snapshot(directory,
+                                             execution="process", workers=1)
         service.close()
         service.close()
         with pytest.raises(ServiceClosed):
@@ -312,16 +342,29 @@ class TestPoolValidation:
 
     def test_process_index_requires_storage_dir(self):
         with pytest.raises(ValueError, match="storage_dir"):
-            ProcessPoolHDIndex(HDIndexParams(num_trees=2))
+            create_index(IndexSpec(params=HDIndexParams(num_trees=2),
+                                   execution=Execution(kind="process")))
 
-    def test_from_snapshot_rejects_sharded(self, workload, tmp_path):
-        data, _ = workload
-        sharded = ShardedHDIndex(_params(), num_shards=2)
+    def test_sharded_snapshot_reopens_with_process_execution(
+            self, workload, tmp_path):
+        """The spec redesign made sharded x process expressible: a sharded
+        snapshot reopens with per-shard worker pools."""
+        data, queries = workload
+        sharded = ShardRouter(_params(), 2)
         sharded.build(data)
         save_index(sharded, tmp_path)
+        expected = [sharded.query(q, K) for q in queries[:3]]
         sharded.close()
-        with pytest.raises(PersistenceError, match="sharded"):
-            ProcessPoolHDIndex.from_snapshot(tmp_path)
+        reopened = open_index(tmp_path,
+                              execution=Execution(kind="process", workers=2))
+        try:
+            assert reopened.execution.kind == "process"
+            for q, (ids, dists) in zip(queries, expected):
+                got_ids, got_dists = reopened.query(q, K)
+                np.testing.assert_array_equal(got_ids, ids)
+                np.testing.assert_array_equal(got_dists, dists)
+        finally:
+            reopened.close()
 
 
 class TestProcessKindPersistence:
@@ -329,14 +372,20 @@ class TestProcessKindPersistence:
                                                       tmp_path):
         from repro.core import load_index
         data, queries = workload
-        index = ProcessPoolHDIndex(_params(str(tmp_path)), num_workers=2)
+        index = create_index(IndexSpec(
+            params=_params(str(tmp_path)),
+            execution=Execution(kind="process", workers=2)))
         index.build(data)
         expected = index.query_batch(queries[:4], K)
         index.close()
         reopened = load_index(tmp_path)
         try:
-            assert isinstance(reopened, ProcessPoolHDIndex)
-            assert reopened.num_workers == 2
+            # The spec reconstructs process execution without the
+            # deprecated class: workers bootstrap from this directory.
+            assert isinstance(reopened, HDIndex)
+            assert reopened.spec.execution.kind == "process"
+            assert reopened.spec.execution.workers == 2
+            assert reopened.snapshot_dir == str(tmp_path)
             got = reopened.query_batch(queries[:4], K)
             np.testing.assert_array_equal(got[0], expected[0])
             np.testing.assert_array_equal(got[1], expected[1])
@@ -347,7 +396,9 @@ class TestProcessKindPersistence:
         """Workers must see inserted points: the snapshot is re-persisted
         and the pool restarted lazily on the next query."""
         data, queries = workload
-        index = ProcessPoolHDIndex(_params(str(tmp_path)), num_workers=2)
+        index = create_index(IndexSpec(
+            params=_params(str(tmp_path)),
+            execution=Execution(kind="process", workers=2)))
         index.build(data)
         probe = np.full(16, 50.0)
         new_id = index.insert(probe)

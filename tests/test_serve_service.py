@@ -14,8 +14,8 @@ import pytest
 from repro.core import (
     HDIndex,
     HDIndexParams,
-    ParallelHDIndex,
-    ShardedHDIndex,
+    ShardRouter,
+    ThreadedExecutor,
     save_index,
 )
 from repro.serve import (
@@ -114,8 +114,8 @@ class TestConcurrentParity:
                 np.testing.assert_array_equal(results[row][1], dists)
 
     @pytest.mark.parametrize("make_index", [
-        lambda p: ParallelHDIndex(p, num_workers=2),
-        lambda p: ShardedHDIndex(p, num_shards=2),
+        lambda p: HDIndex(p, executor=ThreadedExecutor(2)),
+        lambda p: ShardRouter(p, 2),
     ], ids=["parallel", "sharded"])
     def test_family_members_served_identically(self, workload, make_index):
         data, queries = workload
@@ -293,14 +293,14 @@ class TestServiceMechanics:
     def test_from_snapshot_serves_sharded_directory(self, workload,
                                                     tmp_path):
         data, queries = workload
-        index = ShardedHDIndex(params(), num_shards=2)
+        index = ShardRouter(params(), 2)
         index.build(data)
         expected = [index.query(query, K) for query in queries[:6]]
         save_index(index, tmp_path / "snap")
         index.close()
         service = QueryService.from_snapshot(tmp_path / "snap",
                                              max_batch=8, max_wait_ms=1.0)
-        assert isinstance(service.index, ShardedHDIndex)
+        assert isinstance(service.index, ShardRouter)
         with service:
             results = run_clients(service, queries[:6], 3)
         for (ids, dists), (got_ids, got_dists) in zip(expected, results):

@@ -1,0 +1,191 @@
+"""Cross-version snapshot compatibility across the IndexSpec redesign.
+
+Both directions are pinned:
+
+* **old -> new**: every legacy ``kind``-tagged snapshot layout written by
+  the deprecated classes (including one with the ``spec`` section
+  stripped, byte-exactly what pre-redesign releases wrote) reopens via
+  ``repro.open()`` with byte-identical answers;
+* **new -> old**: a spec-written snapshot still reopens through the
+  legacy ``load_index()`` entry point.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+import repro
+from repro import (
+    Execution,
+    HDIndexParams,
+    IndexSpec,
+    ParallelHDIndex,
+    ProcessPoolHDIndex,
+    ShardedHDIndex,
+    Topology,
+    load_index,
+    save_index,
+)
+
+DIM = 16
+K = 6
+
+#: The legacy constructors intentionally exercised here all warn.
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(17)
+    centers = rng.uniform(0.0, 100.0, size=(4, DIM))
+    data = np.vstack([center + rng.normal(0.0, 3.0, size=(50, DIM))
+                      for center in centers])
+    data = data[rng.permutation(len(data))]
+    queries = data[rng.choice(len(data), 6, replace=False)] \
+        + rng.normal(0.0, 0.5, size=(6, DIM))
+    return np.clip(data, 0, 100), np.clip(queries, 0, 100)
+
+
+def params(**overrides):
+    defaults = dict(num_trees=3, hilbert_order=6, num_references=4,
+                    alpha=64, gamma=16, domain=(0.0, 100.0), seed=5)
+    defaults.update(overrides)
+    return HDIndexParams(**defaults)
+
+
+def _strip_spec(directory) -> None:
+    """Rewrite the snapshot metadata without the ``spec`` section — the
+    byte layout pre-redesign releases wrote (they also had no spec-aware
+    reader, so the legacy ``kind`` tag is all that survives)."""
+    for name in ("meta.json", "manifest.json"):
+        path = os.path.join(directory, name)
+        if not os.path.exists(path):
+            continue
+        with open(path) as handle:
+            meta = json.load(handle)
+        meta.pop("spec", None)
+        with open(path, "w") as handle:
+            json.dump(meta, handle, indent=2)
+    for entry in os.listdir(directory):
+        child = os.path.join(directory, entry)
+        if os.path.isdir(child) and entry.startswith("shard_"):
+            _strip_spec(child)
+
+
+LEGACY_WRITERS = {
+    "hdindex": lambda p: repro.HDIndex(p),
+    "parallel": lambda p: ParallelHDIndex(p, num_workers=3),
+    "sharded": lambda p: ShardedHDIndex(p, num_shards=2),
+}
+
+
+class TestLegacySnapshotsReopenViaOpen:
+    @pytest.mark.parametrize("kind", ["hdindex", "parallel", "sharded",
+                                      "process"])
+    def test_kind_tagged_snapshot_reopens_byte_identically(
+            self, workload, tmp_path, kind):
+        data, queries = workload
+        if kind == "process":
+            index = ProcessPoolHDIndex(params(storage_dir=str(tmp_path)),
+                                       num_workers=2)
+        else:
+            index = LEGACY_WRITERS[kind](params())
+        index.build(data)
+        save_index(index, tmp_path)
+        expected = index.query_batch(queries, K)
+        index.close()
+
+        _strip_spec(tmp_path)  # exactly what the old releases wrote
+        with open(os.path.join(
+                tmp_path, "manifest.json" if kind == "sharded"
+                else "meta.json")) as handle:
+            meta = json.load(handle)
+        assert "spec" not in meta
+        assert meta["kind"] == kind
+
+        reopened = repro.open(tmp_path)
+        try:
+            got = reopened.query_batch(queries, K)
+            np.testing.assert_array_equal(got[0], expected[0])
+            np.testing.assert_array_equal(got[1], expected[1])
+            # The legacy kind maps onto the equivalent execution spec.
+            expected_kind = {"hdindex": "sequential", "parallel": "thread",
+                             "process": "process", "sharded": "sequential"}
+            assert reopened.spec.execution.kind == expected_kind[kind]
+        finally:
+            reopened.close()
+
+    def test_unknown_legacy_kind_still_rejected(self, workload, tmp_path):
+        data, _ = workload
+        index = repro.HDIndex(params())
+        index.build(data)
+        save_index(index, tmp_path)
+        index.close()
+        meta_path = os.path.join(tmp_path, "meta.json")
+        with open(meta_path) as handle:
+            meta = json.load(handle)
+        meta.pop("spec")
+        meta["kind"] = "quantum"
+        with open(meta_path, "w") as handle:
+            json.dump(meta, handle)
+        from repro.core import PersistenceError
+        with pytest.raises(PersistenceError, match="kind"):
+            repro.open(tmp_path)
+
+
+class TestSpecSnapshotsReopenViaLegacyLoader:
+    @pytest.mark.parametrize("spec_kwargs", [
+        dict(),
+        dict(execution=Execution(kind="thread", workers=2)),
+        dict(topology=Topology(shards=2)),
+        dict(topology=Topology(shards=2),
+             execution=Execution(kind="process", workers=2),
+             backend="mmap"),
+    ], ids=["plain", "thread", "sharded", "sharded-process"])
+    def test_spec_snapshot_loads_with_load_index(self, workload, tmp_path,
+                                                 spec_kwargs):
+        data, queries = workload
+        spec = IndexSpec(params=params(), **spec_kwargs)
+        index = repro.build(spec, data, storage_dir=tmp_path)
+        expected = index.query_batch(queries, K)
+        index.close()
+        reloaded = load_index(tmp_path)  # the pre-redesign entry point
+        try:
+            got = reloaded.query_batch(queries, K)
+            np.testing.assert_array_equal(got[0], expected[0])
+            np.testing.assert_array_equal(got[1], expected[1])
+        finally:
+            reloaded.close()
+
+    def test_spec_snapshot_keeps_legacy_kind_tag(self, workload, tmp_path):
+        """New snapshots stay readable by old releases: the kind tag is
+        still written alongside the spec."""
+        data, _ = workload
+        repro.build(IndexSpec(params=params(),
+                              execution=Execution(kind="thread")),
+                    data, storage_dir=tmp_path).close()
+        with open(os.path.join(tmp_path, "meta.json")) as handle:
+            meta = json.load(handle)
+        assert meta["kind"] == "parallel"
+        assert meta["spec"]["execution"]["kind"] == "thread"
+
+    def test_legacy_shim_roundtrips_through_spim_snapshot(self, workload,
+                                                          tmp_path):
+        """A snapshot written via the new API reopens and answers
+        identically when the deprecated shim classes query it after a
+        plain load (mixed old/new code bases during migration)."""
+        data, queries = workload
+        index = repro.build(IndexSpec(params=params()), data,
+                            storage_dir=tmp_path)
+        expected = index.query_batch(queries, K)
+        index.close()
+        reopened = repro.open(tmp_path, execution="thread")
+        try:
+            got = reopened.query_batch(queries, K)
+            np.testing.assert_array_equal(got[0], expected[0])
+        finally:
+            reopened.close()
