@@ -5,10 +5,15 @@ one-at-a-time ``query`` loop for batch sizes {1, 16, 256}, on the default
 synthetic SIFT-like dataset, for the sequential and the thread-parallel
 index.  The batch path amortises per-query fixed costs MRPT/HDIdx-style —
 one query-to-reference matmul per batch, one Hilbert-encoding pass per
-tree, one descriptor fetch per *distinct* candidate across the batch — so
-large batches should clear the one-at-a-time loop by well over 2×, while
-batch size 1 stays within a small constant factor of the loop (it does the
-same work through the batch plumbing).
+tree, one descriptor fetch per *distinct* candidate across the batch.
+
+The array-native hot path gave the one-at-a-time loop those same kernels
+(see docs/ARCHITECTURE.md, "Single query vs batch"), so the batch edge is
+now the residual per-call dispatch + duplicate-candidate amortisation
+(~1.4-2x here) rather than the ~6x python-loop gap this bench originally
+guarded.  The acceptance therefore checks both halves of that story:
+batches must never fall behind the loop, and the loop itself must hold
+the array-path floor recorded in results/BENCH_hotpath.json.
 
 Run with::
 
@@ -30,6 +35,9 @@ BENCH = "batch_throughput"
 BATCH_SIZES = (1, 16, 256)
 NUM_QUERIES = 256
 K = 10
+#: Pre-array-path one-at-a-time throughput on this workload (the loop the
+#: original ">= 2x" batch bar was set against; kept as the loop's floor).
+PRE_REFACTOR_LOOP_QPS = 53.1
 
 
 @pytest.fixture(scope="module")
@@ -53,10 +61,17 @@ def indexes(workload):
 def test_batch_throughput(workload, indexes, benchmark):
     table = benchmark.pedantic(lambda: _measure(workload, indexes),
                                rounds=1, iterations=1)
-    # Acceptance: batch-256 throughput >= 2x the one-at-a-time loop.
+    # Acceptance: the loop holds the array-path floor (>= 2x the old
+    # python loop, generous vs the ~6x measured in BENCH_hotpath.json)
+    # and batch-256 never falls behind it.
     for name in indexes:
-        speedup = table[(name, 256)] / table[(name, "loop")]
-        assert speedup >= 2.0, f"{name}: batch-256 only {speedup:.2f}x loop"
+        loop_qps = table[(name, "loop")]
+        assert loop_qps >= 2.0 * PRE_REFACTOR_LOOP_QPS, \
+            (f"{name}: loop {loop_qps:.1f} q/s lost the array-native win "
+             f"(pre-refactor floor {PRE_REFACTOR_LOOP_QPS} q/s)")
+        speedup = table[(name, 256)] / loop_qps
+        assert speedup >= 1.0, \
+            f"{name}: batch-256 only {speedup:.2f}x loop"
 
 
 def test_batch_results_match_loop(workload, indexes):
@@ -93,7 +108,8 @@ def _measure(workload, indexes):
             table[(name, batch_size)] = qps
             emit(BENCH, f"{name:<20} {f'batch {batch_size}':>10} "
                         f"{qps:>9.1f} {f'{qps / loop_qps:.2f}x':>8}")
-    emit(BENCH, "\n-> amortising reference distances, Hilbert encoding and "
-                "duplicate descriptor fetches across the batch pays off "
-                "from batch 16 on; batch 1 is the plumbing overhead floor")
+    emit(BENCH, "\n-> the loop runs the same array kernels as the batch "
+                "path now; the remaining batch edge is per-call dispatch "
+                "+ duplicate descriptor amortisation, and batch 1 is the "
+                "plumbing overhead floor")
     return table

@@ -1,0 +1,80 @@
+"""CI perf gate: fresh hot-path bench vs the committed baseline.
+
+Runs :func:`benchmarks.bench_hotpath.run_hotpath_measurement` and compares
+its single-query throughput against the committed
+``results/BENCH_hotpath.json``.  Fails (exit 1) when
+
+* the fresh run's parity flag is false (the packed/batched kernels no
+  longer match the scalar oracle — a correctness bug, not a perf one), or
+* single-query throughput dropped more than ``MAX_REGRESSION`` (20%)
+  below the committed number.
+
+Throughput on shared CI runners is noisy, which is why the gate only
+fires on a 20% drop — the refactor's margin over the pre-refactor loop
+is >5x, so a real loss of the array path blows straight through the
+threshold while scheduler jitter does not.  The committed baseline's
+host fingerprint is printed alongside a mismatch for triage.
+
+Usage::
+
+    PYTHONPATH=src:. python benchmarks/check_regression.py
+
+Refreshing the baseline after an intentional perf change::
+
+    PYTHONPATH=src:. python benchmarks/bench_hotpath.py
+    git add benchmarks/results/BENCH_hotpath.json
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from benchmarks.bench_hotpath import run_hotpath_measurement
+from benchmarks.common import host_fingerprint, load_baseline
+
+BENCH = "hotpath"
+#: Maximum tolerated drop in single-query throughput vs the baseline.
+MAX_REGRESSION = 0.20
+
+
+def main() -> int:
+    baseline = load_baseline(BENCH)
+    if baseline is None:
+        print(f"no committed BENCH_{BENCH}.json baseline; run "
+              f"benchmarks/bench_hotpath.py and commit the result",
+              file=sys.stderr)
+        return 1
+
+    fresh = run_hotpath_measurement()
+    fresh_qps = fresh["metrics"]["single_query_qps"]
+    base_qps = baseline["metrics"]["single_query_qps"]
+    floor = base_qps * (1.0 - MAX_REGRESSION)
+
+    print(f"baseline single-query: {base_qps:.1f} q/s "
+          f"(floor at -{MAX_REGRESSION:.0%}: {floor:.1f} q/s)")
+    print(f"fresh    single-query: {fresh_qps:.1f} q/s")
+    print(f"fresh parity: {fresh['parity']} "
+          f"(backends: {', '.join(fresh['parity_backends'])})")
+
+    failed = False
+    if not fresh["parity"]:
+        print("FAIL: packed/batched kernels diverged from the scalar "
+              "oracle", file=sys.stderr)
+        failed = True
+    if fresh_qps < floor:
+        print(f"FAIL: single-query throughput regressed "
+              f"{1 - fresh_qps / base_qps:.0%} (> {MAX_REGRESSION:.0%} "
+              f"allowed)", file=sys.stderr)
+        print(f"baseline host: {json.dumps(baseline.get('host', {}))}",
+              file=sys.stderr)
+        print(f"this host:     {json.dumps(host_fingerprint())}",
+              file=sys.stderr)
+        failed = True
+    if not failed:
+        print("OK: within regression budget, parity holds")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

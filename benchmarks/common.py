@@ -15,6 +15,9 @@ absolute values from the authors' 2014-era HDD testbed.
 
 from __future__ import annotations
 
+import json
+import os
+import platform
 import sys
 import time
 from pathlib import Path
@@ -33,6 +36,56 @@ def emit(bench_name: str, text: str) -> None:
     RESULTS_DIR.mkdir(exist_ok=True)
     with open(RESULTS_DIR / f"{bench_name}.txt", "a") as handle:
         handle.write(text + "\n")
+
+
+def host_fingerprint() -> dict:
+    """Where a benchmark number came from — throughput figures are only
+    comparable against baselines from a similar host."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def emit_json(bench_name: str, payload: dict) -> Path:
+    """Write machine-readable results to ``results/BENCH_<bench>.json``.
+
+    The committed file is the regression baseline that
+    ``benchmarks/check_regression.py`` (and the CI perf gate) compares
+    fresh runs against; ``payload`` should carry ``config``, ``metrics``
+    and a ``parity`` flag.  The host fingerprint is attached here.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{bench_name}.json"
+    payload = dict(payload)
+    payload.setdefault("bench", bench_name)
+    payload["host"] = host_fingerprint()
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_baseline(bench_name: str) -> dict | None:
+    """The committed ``BENCH_<bench>.json`` baseline, if any."""
+    path = RESULTS_DIR / f"BENCH_{bench_name}.json"
+    if not path.exists():
+        return None
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def latency_percentiles(seconds: list[float]) -> dict:
+    """p50/p90/p99 of per-query latencies, in milliseconds."""
+    latencies = np.asarray(seconds, dtype=np.float64) * 1e3
+    return {
+        "p50_ms": float(np.percentile(latencies, 50)),
+        "p90_ms": float(np.percentile(latencies, 90)),
+        "p99_ms": float(np.percentile(latencies, 99)),
+    }
 
 
 def start_report(bench_name: str, title: str) -> None:

@@ -17,6 +17,8 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right
 from typing import Iterable, Iterator
 
+import numpy as np
+
 from repro.btree.node import (
     NO_PAGE,
     InternalNode,
@@ -27,6 +29,7 @@ from repro.btree.node import (
     serialize_internal,
     serialize_leaf,
 )
+from repro.btree.packed import PackedTree, supports_packing
 from repro.storage.buffer import BufferPool
 from repro.storage.codecs import Codec
 from repro.storage.pages import DEFAULT_PAGE_SIZE, InMemoryPageStore, PageStore
@@ -78,6 +81,8 @@ class BPlusTree:
         self._root: int = NO_PAGE
         self._height = 0
         self._count = 0
+        #: Packed-array mirror of a bulk-built tree (None until built).
+        self._packed: PackedTree | None = None
 
     # -- persistence -----------------------------------------------------
 
@@ -140,6 +145,12 @@ class BPlusTree:
         if not 0.0 < fill <= 1.0:
             raise ValueError(f"fill factor must be in (0, 1], got {fill}")
         per_leaf = max(1, int(self.leaf_capacity * fill))
+        # Capture the entry bytes for the packed read path while they stream
+        # past (only worthwhile when the pool is off — the packed path's
+        # synthetic I/O trace models uncached reads, see _active_packed).
+        capture = supports_packing(self.key_codec) and self.pool.capacity == 0
+        key_buffer = bytearray()
+        value_buffer = bytearray()
         leaf_pages: list[int] = []
         leaf_min_keys: list[bytes] = []
         pending = LeafNode()
@@ -150,6 +161,9 @@ class BPlusTree:
             if previous_key is not None and key < previous_key:
                 raise ValueError("bulk_load input must be sorted by key")
             previous_key = key
+            if capture:
+                key_buffer += key
+                value_buffer += value
             pending.keys.append(key)
             pending.values.append(value)
             self._count += 1
@@ -161,8 +175,31 @@ class BPlusTree:
         if not leaf_pages:
             return
         self._link_siblings(leaf_pages)
-        self._root, self._height = self._build_internal_levels(
+        self._root, self._height, levels = self._build_internal_levels(
             leaf_pages, leaf_min_keys)
+        if capture:
+            self._packed = self._packed_from_build(
+                key_buffer, value_buffer, leaf_pages, per_leaf, levels)
+
+    def _packed_from_build(self, key_buffer: bytearray,
+                           value_buffer: bytearray, leaf_pages: list[int],
+                           per_leaf: int,
+                           levels: list[tuple[list[int], list[int]]],
+                           ) -> PackedTree:
+        count = self._count
+        keys_raw = np.frombuffer(bytes(key_buffer), dtype=np.uint8)
+        values_raw = np.frombuffer(bytes(value_buffer), dtype=np.uint8)
+        # Bulk loading fills every leaf to per_leaf except the last.
+        leaf_starts = np.minimum(
+            np.arange(len(leaf_pages) + 1, dtype=np.int64) * per_leaf, count)
+        return PackedTree(
+            self.key_codec,
+            keys_raw.reshape(count, self.key_width),
+            values_raw.reshape(count, self.value_width),
+            leaf_starts,
+            np.asarray(leaf_pages, dtype=np.int64),
+            [np.asarray(pages, dtype=np.int64) for pages, _ in levels],
+            [np.asarray(starts, dtype=np.int64) for _, starts in levels])
 
     def _flush_bulk_leaf(self, node: LeafNode, pages: list[int],
                          min_keys: list[bytes]) -> None:
@@ -179,13 +216,18 @@ class BPlusTree:
                           if index + 1 < len(leaf_pages) else NO_PAGE)
             self._write_leaf(page_id, node)
 
-    def _build_internal_levels(self, child_pages: list[int],
-                               child_min_keys: list[bytes]) -> tuple[int, int]:
+    def _build_internal_levels(
+            self, child_pages: list[int], child_min_keys: list[bytes],
+    ) -> tuple[int, int, list[tuple[list[int], list[int]]]]:
+        """Returns (root page, height, internal levels root-first) where each
+        level is its node pages plus the prefix array of child counts."""
         height = 1
         fanout = self.internal_capacity + 1
+        levels: list[tuple[list[int], list[int]]] = []
         while len(child_pages) > 1:
             next_pages: list[int] = []
             next_min_keys: list[bytes] = []
+            child_starts = [0]
             for start in range(0, len(child_pages), fanout):
                 group = child_pages[start:start + fanout]
                 group_keys = child_min_keys[start:start + fanout]
@@ -194,16 +236,24 @@ class BPlusTree:
                 self._write_internal(page_id, node)
                 next_pages.append(page_id)
                 next_min_keys.append(group_keys[0])
+                child_starts.append(child_starts[-1] + len(group))
+            levels.append((next_pages, child_starts))
             child_pages, child_min_keys = next_pages, next_min_keys
             height += 1
-        return child_pages[0], height
+        levels.reverse()
+        return child_pages[0], height, levels
 
     # -- point insert (Sec. 3.6 updates) -------------------------------
 
     def insert(self, key: bytes, value: bytes) -> None:
-        """Insert one entry (duplicates allowed), splitting as needed."""
+        """Insert one entry (duplicates allowed), splitting as needed.
+
+        Invalidates the packed mirror; call :meth:`repack` to rebuild it
+        once a batch of inserts has settled.
+        """
         if len(key) != self.key_width or len(value) != self.value_width:
             raise ValueError("entry width does not match codecs")
+        self._packed = None
         if self._root == NO_PAGE:
             node = LeafNode(keys=[key], values=[value])
             self._root = self.pool.allocate()
@@ -312,6 +362,11 @@ class BPlusTree:
         """Iterate entries with ``low <= key <= high`` in key order."""
         if self._root == NO_PAGE or low > high:
             return
+        packed = self._active_packed()
+        if (packed is not None and len(low) == self.key_width
+                and len(high) == self.key_width):
+            yield from packed.range_entries(low, high, self.stats)
+            return
         page_id = self._descend_to_leaf_leftmost(low)
         while page_id != NO_PAGE:
             node = self._read_leaf(page_id)
@@ -332,6 +387,10 @@ class BPlusTree:
         """
         if count <= 0 or self._root == NO_PAGE:
             return []
+        packed = self._active_packed()
+        if packed is not None and len(key) == self.key_width:
+            return packed.entries(
+                packed.nearest_positions(key, count, self.stats))
         target = self.key_codec.decode(key)
         forward = self._scan_forward(key)
         backward = self._scan_backward(key)
@@ -356,6 +415,93 @@ class BPlusTree:
                 result.append(next_backward)
                 next_backward = next(backward, None)
         return result
+
+    # -- packed read path --------------------------------------------------
+
+    @property
+    def packed_layout(self) -> PackedTree | None:
+        """The packed mirror, whether or not it is currently active."""
+        return self._packed
+
+    def attach_packed(self, packed: PackedTree | None) -> None:
+        """Adopt a deserialized packed mirror (snapshot load path)."""
+        if packed is not None and packed.count != self._count:
+            raise ValueError("packed layout does not match tree entry count")
+        self._packed = packed
+
+    def _active_packed(self) -> PackedTree | None:
+        """The packed mirror, when usable.
+
+        Its synthetic I/O trace models uncached reads, so it is bypassed
+        whenever a buffer pool is enabled — with caching the two paths
+        would diverge on hit/miss accounting.
+        """
+        if self._packed is not None and self.pool.capacity == 0:
+            return self._packed
+        return None
+
+    def nearest_positions(self, key: bytes, count: int) -> np.ndarray | None:
+        """Packed fast path for :meth:`nearest`: global entry positions in
+        pick order, or ``None`` when the packed mirror is unavailable.
+
+        Callers holding the packed arrays (see :attr:`packed_layout`) can
+        slice them with these positions instead of materialising byte
+        pairs.  I/O accounting is identical to :meth:`nearest`.
+        """
+        packed = self._active_packed()
+        if packed is None or len(key) != self.key_width:
+            return None
+        if count <= 0 or self._root == NO_PAGE:
+            return np.empty(0, dtype=np.int64)
+        return packed.nearest_positions(key, count, self.stats)
+
+    def repack(self) -> bool:
+        """Rebuild the packed mirror by walking the tree top-down.
+
+        :meth:`insert` drops the mirror (the packed arrays cannot absorb a
+        page split); once a batch of inserts has settled, this re-reads the
+        whole tree — every page access is counted I/O — and re-attaches it.
+        Returns ``True`` when a mirror is attached afterwards.
+        """
+        self._packed = None
+        if self._root == NO_PAGE or not supports_packing(self.key_codec):
+            return False
+        level: list[int] = [self._root]
+        level_pages: list[list[int]] = []
+        level_starts: list[list[int]] = []
+        for _ in range(self._height - 1):
+            children: list[int] = []
+            child_starts = [0]
+            for page_id in level:
+                node = self._read_node(page_id)
+                if not isinstance(node, InternalNode):
+                    raise RuntimeError(f"page {page_id} is not internal")
+                children.extend(node.children)
+                child_starts.append(len(children))
+            level_pages.append(level)
+            level_starts.append(child_starts)
+            level = children
+        key_buffer = bytearray()
+        value_buffer = bytearray()
+        leaf_starts = [0]
+        for page_id in level:
+            node = self._read_leaf(page_id)
+            for key in node.keys:
+                key_buffer += key
+            for value in node.values:
+                value_buffer += value
+            leaf_starts.append(leaf_starts[-1] + len(node))
+        keys_raw = np.frombuffer(bytes(key_buffer), dtype=np.uint8)
+        values_raw = np.frombuffer(bytes(value_buffer), dtype=np.uint8)
+        self._packed = PackedTree(
+            self.key_codec,
+            keys_raw.reshape(self._count, self.key_width),
+            values_raw.reshape(self._count, self.value_width),
+            np.asarray(leaf_starts, dtype=np.int64),
+            np.asarray(level, dtype=np.int64),
+            [np.asarray(pages, dtype=np.int64) for pages in level_pages],
+            [np.asarray(starts, dtype=np.int64) for starts in level_starts])
+        return True
 
     # -- scan generators ---------------------------------------------------
 

@@ -37,10 +37,13 @@ import numpy as np
 from repro.core.filters import (
     filter_candidates,
     ptolemaic_lower_bounds,
+    ptolemaic_lower_bounds_many,
     triangular_lower_bounds,
+    triangular_lower_bounds_many,
 )
 from repro.core.interface import QueryStats
 from repro.distance.metrics import euclidean_to_many, top_k_smallest
+from repro.hilbert.butz import encode_for_curves
 
 
 class Executor:
@@ -190,18 +193,75 @@ class QueryEngine:
     # -- stage (i): RDB-tree candidate retrieval --------------------------
 
     def scan_tree(self, tree, part: np.ndarray, point: np.ndarray,
-                  alpha: int, key: int | None = None
+                  alpha: int, key: int | bytes | None = None
                   ) -> tuple[np.ndarray, np.ndarray]:
         """α nearest entries by Hilbert key in one tree (Algo. 2 line 4).
 
-        ``key`` may be precomputed (the batch path encodes all queries'
-        keys per tree in one pass); otherwise the point's sub-vector is
-        quantised and encoded here.
+        ``key`` may be precomputed — as an int or the encoder's raw
+        big-endian bytes (batch paths encode all queries' keys per tree in
+        one pass); otherwise the point's sub-vector is quantised and
+        encoded here.
         """
         if key is None:
             coords = self.index.quantizer.quantize(point[part])[None, :]
-            key = int(tree.curve.encode_batch(coords)[0])
+            key = tree.curve.encode_batch_bytes(coords)[0].tobytes()
         return tree.candidates(key, alpha)
+
+    def scan_many(self, tree_indices: Sequence[int], points: np.ndarray,
+                  query_ref: np.ndarray, alpha: int, beta: int, gamma: int,
+                  ptolemaic: bool) -> list[list[np.ndarray]]:
+        """Stages (i)+(ii) for the given trees over all Q query rows.
+
+        This is the array-native hot path: one quantisation pass over the
+        full points, one fused :func:`encode_for_curves` call producing
+        every (tree, query) Hilbert key, the packed-tree candidate lookups,
+        and a single batched lower-bound evaluation over the concatenated
+        candidate matrix of all (tree, query) segments — no per-candidate
+        Python loop anywhere.  Returns, per tree, one survivor-id array per
+        query row; results are byte-identical to per-tree
+        :meth:`scan_tree` + :meth:`filter_survivors` calls.
+        """
+        index = self.index
+        quantized = index.quantizer.quantize(points)
+        curves = [index.trees[t].curve for t in tree_indices]
+        coords = [quantized[:, index.partitions[t]] for t in tree_indices]
+        keys = encode_for_curves(curves, coords)
+        batch = points.shape[0]
+        candidate_ids: list[np.ndarray] = []
+        candidate_ref: list[np.ndarray] = []
+        segment_rows: list[int] = []
+        for tree_position, tree_index in enumerate(tree_indices):
+            tree = index.trees[tree_index]
+            tree_keys = keys[tree_position]
+            for row in range(batch):
+                ids, ref = tree.candidates(tree_keys[row].tobytes(), alpha)
+                candidate_ids.append(ids)
+                candidate_ref.append(ref)
+                segment_rows.append(row)
+        survivors = self._filter_many(query_ref, candidate_ids,
+                                      candidate_ref, segment_rows, beta,
+                                      gamma, ptolemaic)
+        return [survivors[i * batch:(i + 1) * batch]
+                for i in range(len(tree_indices))]
+
+    def _dispatch_scans(self, points: np.ndarray, query_ref: np.ndarray,
+                        alpha: int, beta: int, gamma: int, ptolemaic: bool
+                        ) -> list[list[np.ndarray]]:
+        """Shape stages (i)+(ii) to the executor: sequential execution gets
+        one maximally fused :meth:`scan_many` over every tree; a pool gets
+        one task per tree, preserving the one-thread-per-tree invariant
+        (page stores are not thread-safe)."""
+        index = self.index
+        tree_count = len(index.trees)
+        if self.executor.workers is None:
+            return self.scan_many(range(tree_count), points, query_ref,
+                                  alpha, beta, gamma, ptolemaic)
+
+        def scan_one(tree_index):
+            return self.scan_many([tree_index], points, query_ref, alpha,
+                                  beta, gamma, ptolemaic)[0]
+
+        return self.executor.map(scan_one, range(tree_count))
 
     # -- stage (ii): lower-bound filtering --------------------------------
 
@@ -222,6 +282,64 @@ class QueryEngine:
             keep = filter_candidates(ptol, min(gamma, len(ptol)))
             cand_ids = cand_ids[keep]
         return cand_ids
+
+    def _filter_many(self, query_ref: np.ndarray,
+                     candidate_ids: list[np.ndarray],
+                     candidate_ref: list[np.ndarray],
+                     segment_rows: list[int], beta: int, gamma: int,
+                     ptolemaic: bool) -> list[np.ndarray]:
+        """Algo. 2 lines 5-10 over many (tree, query) segments at once.
+
+        ``query_ref`` is the (Q, m) batch matrix; segment ``s`` holds one
+        tree's candidates for query row ``segment_rows[s]``.  Both bound
+        kernels run once over the concatenated candidate matrix; only the
+        per-segment top-β/top-γ selections remain per segment (they are
+        O(candidates) argpartitions).  Segment-for-segment identical to
+        :meth:`filter_survivors`.
+        """
+        sizes = np.asarray([ids.shape[0] for ids in candidate_ids],
+                           dtype=np.int64)
+        survivors: list[np.ndarray | None] = [None] * len(candidate_ids)
+        if int(sizes.sum()) == 0:
+            return list(candidate_ids)
+        rows = np.repeat(np.asarray(segment_rows, dtype=np.int64), sizes)
+        all_ref = np.concatenate(
+            [ref for ref in candidate_ref if ref.shape[0]])
+        tri = triangular_lower_bounds_many(query_ref[rows], all_ref)
+        kept_ids: list[np.ndarray] = []
+        kept_ref: list[np.ndarray] = []
+        kept_segments: list[int] = []
+        offset = 0
+        for segment, ids in enumerate(candidate_ids):
+            count = ids.shape[0]
+            if count == 0:
+                survivors[segment] = ids
+                continue
+            keep = filter_candidates(tri[offset:offset + count],
+                                     min(beta, count))
+            offset += count
+            if ptolemaic:
+                kept_ids.append(ids[keep])
+                kept_ref.append(candidate_ref[segment][keep])
+                kept_segments.append(segment)
+            else:
+                survivors[segment] = ids[keep]
+        if ptolemaic and kept_segments:
+            rows = np.repeat(
+                np.asarray([segment_rows[s] for s in kept_segments],
+                           dtype=np.int64),
+                [ids.shape[0] for ids in kept_ids])
+            ptol = ptolemaic_lower_bounds_many(
+                query_ref[rows], np.concatenate(kept_ref),
+                self.index.references.ref_ref)
+            offset = 0
+            for segment, ids in zip(kept_segments, kept_ids):
+                count = ids.shape[0]
+                keep = filter_candidates(ptol[offset:offset + count],
+                                         min(gamma, count))
+                survivors[segment] = ids[keep]
+                offset += count
+        return survivors
 
     # -- stage (iii): exact re-ranking ------------------------------------
 
@@ -291,16 +409,10 @@ class QueryEngine:
             # query).
             query_ref = index.references.distances_from(point)[0]
             index._distance_counter.add(index.references.size)
-
-            def scan(tree_and_part):
-                tree, part = tree_and_part
-                cand_ids, cand_ref = self.scan_tree(tree, part, point,
-                                                    eff_alpha)
-                return self.filter_survivors(query_ref, cand_ids, cand_ref,
-                                             eff_beta, eff_gamma, ptolemaic)
-
-            survivor_ids = self.executor.map(
-                scan, list(zip(index.trees, index.partitions)))
+            per_tree = self._dispatch_scans(
+                point[None, :], query_ref[None, :], eff_alpha, eff_beta,
+                eff_gamma, ptolemaic)
+            survivor_ids = [rows[0] for rows in per_tree]
         merged = self._merge_survivors(survivor_ids)
         ids, dists = self.rerank(point, merged, k)
 
@@ -366,41 +478,15 @@ class QueryEngine:
                 ptolemaic)
         else:
             remote_delta = None
-            # One (Q, m) reference-distance matmul for the whole batch.
+            # One (Q, m) reference-distance matmul for the whole batch,
+            # then stages (i)+(ii) through the fused array-native path
+            # (one task per tree under a pool — a tree's page store stays
+            # on a single thread, the independence the paper's "little
+            # synchronization" argument rests on).
             query_ref = index.references.distances_from(points)
             index._distance_counter.add(batch * index.references.size)
-
-            # One Hilbert-encoding pass per tree covering all Q queries.
-            tree_keys: list[np.ndarray] = []
-            for tree, part in zip(index.trees, index.partitions):
-                coords = index.quantizer.quantize(points[:, part])
-                tree_keys.append(tree.curve.encode_batch(coords))
-
-            trees = index.trees
-            partitions = index.partitions
-
-            # One task per tree, scanning all Q queries against it.
-            # Keeping a tree's page store on a single thread preserves the
-            # one-thread-per-tree invariant of the parallel single-query
-            # path — the stores (shared file handles, buffer pools, I/O
-            # counters) are not thread-safe, and the trees are the
-            # independent units the paper's "little synchronization"
-            # argument rests on.
-            def scan_tree_rows(tree_index):
-                tree = trees[tree_index]
-                part = partitions[tree_index]
-                keys = tree_keys[tree_index]
-                out = []
-                for row in range(batch):
-                    cand_ids, cand_ref = self.scan_tree(
-                        tree, part, points[row], eff_alpha,
-                        key=int(keys[row]))
-                    out.append(self.filter_survivors(
-                        query_ref[row], cand_ids, cand_ref, eff_beta,
-                        eff_gamma, ptolemaic))
-                return out
-
-            per_tree = self.executor.map(scan_tree_rows, range(len(trees)))
+            per_tree = self._dispatch_scans(points, query_ref, eff_alpha,
+                                            eff_beta, eff_gamma, ptolemaic)
         merged_per_row = [
             self._merge_survivors([tree_rows[row] for tree_rows in per_tree])
             for row in range(batch)]

@@ -81,6 +81,60 @@ def ptolemaic_lower_bounds(query_ref: np.ndarray, cand_ref: np.ndarray,
     return np.max(numerators / denominators[None, :], axis=1)
 
 
+def triangular_lower_bounds_many(query_ref_rows: np.ndarray,
+                                 cand_ref: np.ndarray) -> np.ndarray:
+    """Eq. (5) for candidates belonging to *different* queries at once.
+
+    ``query_ref_rows`` is (n, m): row ``i`` holds the reference distances
+    of the query that candidate ``i`` belongs to (typically a fancy-index
+    of the (Q, m) batch matrix).  Row-for-row identical to calling
+    :func:`triangular_lower_bounds` per query segment — the ops are
+    elementwise, so fusing segments does not change a single float.
+    """
+    query_ref_rows = np.asarray(query_ref_rows, dtype=np.float64)
+    cand_ref = np.asarray(cand_ref, dtype=np.float64)
+    if cand_ref.shape != query_ref_rows.shape:
+        raise ValueError(
+            f"cand_ref shape {cand_ref.shape} must match per-candidate "
+            f"query rows {query_ref_rows.shape}")
+    return np.max(np.abs(cand_ref - query_ref_rows), axis=1)
+
+
+def ptolemaic_lower_bounds_many(query_ref_rows: np.ndarray,
+                                cand_ref: np.ndarray,
+                                ref_ref: np.ndarray) -> np.ndarray:
+    """Eq. (6) across candidates of different queries at once.
+
+    Same contract as :func:`triangular_lower_bounds_many`; falls back to it
+    under exactly the conditions :func:`ptolemaic_lower_bounds` does (fewer
+    than two references, or no positive reference-pair distance).
+    """
+    query_ref_rows = np.asarray(query_ref_rows, dtype=np.float64)
+    cand_ref = np.asarray(cand_ref, dtype=np.float64)
+    ref_ref = np.asarray(ref_ref, dtype=np.float64)
+    if cand_ref.shape != query_ref_rows.shape:
+        raise ValueError(
+            f"cand_ref shape {cand_ref.shape} must match per-candidate "
+            f"query rows {query_ref_rows.shape}")
+    m = cand_ref.shape[1]
+    if ref_ref.shape != (m, m):
+        raise ValueError(f"ref_ref must be ({m}, {m}), got {ref_ref.shape}")
+    if m < 2:
+        return triangular_lower_bounds_many(query_ref_rows, cand_ref)
+    first, second = np.triu_indices(m, k=1)
+    denominators = ref_ref[first, second]
+    valid = denominators > 0.0
+    if not np.any(valid):
+        return triangular_lower_bounds_many(query_ref_rows, cand_ref)
+    first, second = first[valid], second[valid]
+    denominators = denominators[valid]
+    numerators = np.abs(
+        query_ref_rows[:, first] * cand_ref[:, second]
+        - query_ref_rows[:, second] * cand_ref[:, first]
+    )
+    return np.max(numerators / denominators[None, :], axis=1)
+
+
 def filter_candidates(bounds: np.ndarray, keep: int) -> np.ndarray:
     """Indices of the ``keep`` candidates with the smallest lower bounds.
 

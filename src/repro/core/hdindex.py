@@ -222,7 +222,7 @@ class HDIndex(KNNIndex):
         for tree_index, part in enumerate(self.partitions):
             curve = HilbertCurve(len(part), params.hilbert_order)
             coords = self.quantizer.quantize(data[:, part])
-            keys = curve.encode_batch(coords)
+            keys = curve.encode_batch_bytes(coords)
             peak_memory = max(
                 peak_memory,
                 reference_distances.nbytes + self.references.memory_bytes()

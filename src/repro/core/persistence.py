@@ -48,7 +48,9 @@ from repro.core.spec import (
     make_executor,
     params_from_dict,
 )
+from repro.btree.packed import PackedTree
 from repro.hilbert.quantize import GridQuantizer
+from repro.storage.codecs import pack_arrays, unpack_arrays
 from repro.storage.pages import FilePageStore, InMemoryPageStore, MmapPageStore
 from repro.storage.vectors import VectorHeapFile
 
@@ -170,6 +172,7 @@ def _save_hdindex(index: HDIndex, directory: str) -> None:
     for tree_index, tree in enumerate(index.trees):
         _materialise_store(tree.tree.pool.store, directory,
                            f"tree_{tree_index}", index.params.page_size)
+        _write_packed_sidecar(tree, directory, tree_index)
 
     references = index.references
     np.savez(os.path.join(directory, REFERENCES_FILE),
@@ -248,9 +251,13 @@ def _load_hdindex(directory: str, cache_pages: int | None,
         store = _open_store(
             os.path.join(directory, f"tree_{tree_index}.pages"),
             params.page_size, backend)
-        index.trees.append(RDBTree.from_state(
+        tree = RDBTree.from_state(
             store, tree_state, cache_pages=params.cache_pages,
-            page_size=params.page_size))
+            page_size=params.page_size)
+        _attach_packed_sidecar(
+            tree, os.path.join(directory, f"tree_{tree_index}.packed"),
+            backend)
+        index.trees.append(tree)
     # One construction path for every execution kind: realise the spec's
     # executor.  A process executor binds to this very directory (its
     # worker processes bootstrap from the snapshot, never from the live
@@ -423,6 +430,47 @@ def _load_sharded(directory: str, cache_pages: int | None,
         tail = [int(v) for v in manifest["insert_tails"][shard_index]]
         index._id_maps.append(built + tail)
     return index
+
+
+# -- packed-layout sidecars -------------------------------------------------
+
+
+def _write_packed_sidecar(tree, directory: str, tree_index: int) -> None:
+    """Persist (or clear) one RDB-tree's packed-array mirror.
+
+    The mirror serialises to a ``tree_<i>.packed`` file next to the page
+    file.  A tree whose mirror was invalidated (post-``insert``, not yet
+    ``repack()``-ed) gets any stale sidecar removed, so a reload falls back
+    to the node path instead of reading wrong positions.
+    """
+    path = os.path.join(directory, f"tree_{tree_index}.packed")
+    packed = tree.tree.packed_layout
+    if packed is None:
+        if os.path.exists(path):
+            os.remove(path)
+        return
+    with open(path, "wb") as handle:
+        handle.write(pack_arrays(packed.to_arrays()))
+
+
+def _attach_packed_sidecar(tree, path: str, backend: str) -> None:
+    """Re-attach a packed mirror from its snapshot sidecar, if present.
+
+    Only the sidecar file is touched — never the page store, so reopening
+    records zero page reads.  Under the mmap backend the arrays are
+    zero-copy views of the mapping: worker processes opening the same
+    snapshot share one physical copy of the packed keys and records.
+    """
+    if not os.path.exists(path):
+        return
+    if backend == "mmap":
+        buffer = np.memmap(path, dtype=np.uint8, mode="r")
+    else:
+        buffer = np.fromfile(path, dtype=np.uint8)
+    packed = PackedTree.from_arrays(tree.tree.key_codec,
+                                    unpack_arrays(buffer))
+    if packed.count == len(tree.tree):
+        tree.tree.attach_packed(packed)
 
 
 # -- page-store materialisation --------------------------------------------

@@ -171,19 +171,8 @@ def _scan_trees_task(tree_indices: list[int], points: np.ndarray,
     # stay identical to sequential ones.
     query_ref = index.references.distances_from(points)
 
-    survivors: list[list[np.ndarray]] = []
-    for tree_index in tree_indices:
-        tree = index.trees[tree_index]
-        part = index.partitions[tree_index]
-        keys = tree.curve.encode_batch(
-            index.quantizer.quantize(points[:, part]))
-        rows = []
-        for row in range(points.shape[0]):
-            cand_ids, cand_ref = engine.scan_tree(
-                tree, part, points[row], alpha, key=int(keys[row]))
-            rows.append(engine.filter_survivors(
-                query_ref[row], cand_ids, cand_ref, beta, gamma, ptolemaic))
-        survivors.append(rows)
+    survivors = engine.scan_many(tree_indices, points, query_ref, alpha,
+                                 beta, gamma, ptolemaic)
 
     random_after, sequential_after = index._read_breakdown()
     delta = {

@@ -58,6 +58,9 @@ class RDBTree:
             key_codec, value_codec, store=store, cache_pages=cache_pages,
             leaf_capacity_override=self.leaf_order, page_size=page_size)
         self._key_codec = key_codec
+        # (packed layout, ids int64, ref-distance view) — rebuilt whenever
+        # the tree's packed mirror changes identity.
+        self._records_cache: tuple | None = None
 
     # -- construction ------------------------------------------------------
 
@@ -65,11 +68,23 @@ class RDBTree:
                    reference_distances: np.ndarray) -> None:
         """Bulk-load from parallel arrays (Algo. 1 lines 8–10).
 
-        ``keys`` are Hilbert keys (Python ints), ``object_ids`` the pointers
-        into the descriptor heap, ``reference_distances`` the (n, m) matrix
+        ``keys`` are Hilbert keys — either Python ints or, from
+        :meth:`HilbertCurve.encode_batch_bytes`, an already-encoded
+        ``(n, key_bytes)`` uint8 matrix (the fast path: no per-key
+        ``int.to_bytes``).  ``object_ids`` are the pointers into the
+        descriptor heap, ``reference_distances`` the (n, m) matrix
         restricted to these objects.  Entries are sorted by key here.
         """
-        keys = np.asarray(keys, dtype=object)
+        raw_keys = None
+        if isinstance(keys, np.ndarray) and keys.dtype == np.uint8 \
+                and keys.ndim == 2:
+            if keys.shape[1] != self._key_codec.width:
+                raise ValueError(
+                    f"raw keys must be {self._key_codec.width} bytes wide, "
+                    f"got {keys.shape[1]}")
+            raw_keys = np.ascontiguousarray(keys)
+        else:
+            keys = np.asarray(keys, dtype=object)
         object_ids = np.asarray(object_ids, dtype=np.int64)
         reference_distances = np.asarray(reference_distances,
                                          dtype=np.float32)
@@ -80,6 +95,21 @@ class RDBTree:
             raise ValueError(
                 f"expected {self.num_references} reference distances, got "
                 f"{reference_distances.shape[1]}")
+        pack = self._record.pack
+        if raw_keys is not None:
+            # Big-endian fixed-width keys: bytewise order == numeric order,
+            # so a stable argsort on an 'S' view gives the same permutation
+            # as the numeric sorts below.
+            order = np.argsort(
+                raw_keys.view(f"S{raw_keys.shape[1]}").ravel(),
+                kind="stable")
+            entries = (
+                (raw_keys[i].tobytes(),
+                 pack(int(object_ids[i]), *reference_distances[i]))
+                for i in order
+            )
+            self.tree.bulk_load(entries)
+            return
         if self.curve.key_bits <= 64:
             # η·ω ≤ 64: keys fit a machine word, so the sort is a single
             # numpy argsort instead of a Python comparison sort over
@@ -88,7 +118,6 @@ class RDBTree:
         else:
             order = sorted(range(n), key=lambda i: keys[i])
         encode_key = self._key_codec.encode
-        pack = self._record.pack
         entries = (
             (encode_key(int(keys[i])),
              pack(int(object_ids[i]), *reference_distances[i]))
@@ -134,14 +163,30 @@ class RDBTree:
 
     # -- querying -----------------------------------------------------------
 
-    def candidates(self, query_key: int,
+    def candidates(self, query_key,
                    alpha: int) -> tuple[np.ndarray, np.ndarray]:
         """α nearest entries by Hilbert key (Algo. 2 line 4).
 
-        Returns (object_ids, reference_distances) with shapes (α',) and
-        (α', m), α' ≤ α when the tree is small.
+        ``query_key`` is a Hilbert key as a Python int or as its
+        ``key_bytes``-wide big-endian encoding (the batched encoder's
+        native output).  Returns (object_ids, reference_distances) with
+        shapes (α',) and (α', m), α' ≤ α when the tree is small.
         """
-        raw = self.tree.nearest(self._key_codec.encode(int(query_key)), alpha)
+        if isinstance(query_key, (bytes, bytearray, np.bytes_)):
+            raw_key = bytes(query_key)
+        else:
+            raw_key = self._key_codec.encode(int(query_key))
+        positions = self.tree.nearest_positions(raw_key, alpha)
+        if positions is not None:
+            # Packed fast path: slice the pre-decoded record arrays instead
+            # of materialising per-entry byte pairs.
+            object_ids, reference_view = self._packed_records()
+            if positions.size == 0:
+                return (np.empty(0, dtype=np.int64),
+                        np.empty((0, self.num_references), dtype=np.float64))
+            return (object_ids[positions],
+                    reference_view[positions].astype(np.float64))
+        raw = self.tree.nearest(raw_key, alpha)
         count = len(raw)
         if count == 0:
             return (np.empty(0, dtype=np.int64),
@@ -153,6 +198,23 @@ class RDBTree:
         object_ids = records["id"].astype(np.int64)
         distances = records["ref"].astype(np.float64)
         return object_ids, distances
+
+    def _packed_records(self) -> tuple[np.ndarray, np.ndarray]:
+        """Structured views over the packed value bytes, cached per mirror."""
+        packed = self.tree.packed_layout
+        cached = self._records_cache
+        if cached is not None and cached[0] is packed:
+            return cached[1], cached[2]
+        records = packed.values_raw.reshape(-1).view(self._record_dtype)
+        object_ids = records["id"].astype(np.int64)
+        reference_view = records["ref"]
+        self._records_cache = (packed, object_ids, reference_view)
+        return object_ids, reference_view
+
+    def repack(self) -> bool:
+        """Rebuild the packed fast path after inserts (counted tree walk)."""
+        self._records_cache = None
+        return self.tree.repack()
 
     # -- accounting -------------------------------------------------------
 

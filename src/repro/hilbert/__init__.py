@@ -1,6 +1,6 @@
 """Hilbert space-filling curve (Butz/Skilling algorithm) and quantisation."""
 
-from repro.hilbert.butz import MAX_ORDER, HilbertCurve
+from repro.hilbert.butz import MAX_ORDER, HilbertCurve, encode_for_curves
 from repro.hilbert.quantize import GridQuantizer
 
-__all__ = ["HilbertCurve", "GridQuantizer", "MAX_ORDER"]
+__all__ = ["HilbertCurve", "GridQuantizer", "MAX_ORDER", "encode_for_curves"]

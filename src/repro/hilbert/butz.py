@@ -82,6 +82,32 @@ class HilbertCurve:
         self._axes_to_transpose_batch(x)
         return self._pack_keys(x)
 
+    def encode_batch_bytes(self, coords: np.ndarray) -> np.ndarray:
+        """Encode an (n, dim) integer array straight to big-endian key bytes.
+
+        Returns an ``(n, key_bytes)`` uint8 array whose rows equal
+        ``key.to_bytes(key_bytes, "big")`` for the keys :meth:`encode_batch`
+        would produce.  This is the hot-path form: no object-dtype Python
+        integers are materialised, the bit interleave is one shift/mask per
+        order level plus a single ``np.packbits``, and the rows feed the
+        packed-tree searches (:mod:`repro.btree.packed`) without a codec
+        round-trip.
+        """
+        coords = np.asarray(coords)
+        if coords.ndim != 2 or coords.shape[1] != self.dim:
+            raise ValueError(
+                f"expected shape (n, {self.dim}), got {coords.shape}"
+            )
+        if coords.size == 0:
+            return np.empty((0, self.key_bytes), dtype=np.uint8)
+        if coords.min() < 0 or coords.max() > self._coord_max:
+            raise ValueError(
+                f"coordinates must lie in [0, {self._coord_max}]"
+            )
+        x = np.ascontiguousarray(coords.T, dtype=np.uint64).copy()
+        self._axes_to_transpose_batch(x)
+        return self._pack_key_bytes(x)
+
     def decode_batch(self, keys: np.ndarray) -> np.ndarray:
         """Decode an object array of keys to an (n, dim) uint64 array."""
         keys = np.asarray(keys, dtype=object)
@@ -252,6 +278,27 @@ class HilbertCurve:
             return keys.astype(object)
         return keys
 
+    def _pack_key_bytes(self, x: np.ndarray) -> np.ndarray:
+        """Interleave transposed bit-planes into ``(n, key_bytes)`` rows.
+
+        Bit b of the key (from the MSB) is bit ``order - 1 - b // dim`` of
+        dimension ``b % dim`` — the same interleave as
+        :meth:`_transpose_to_key`, built as one boolean matrix and packed
+        with ``np.packbits``.  Keys narrower than a whole number of bytes
+        gain *leading* zero bits, matching ``int.to_bytes(..., "big")``.
+        """
+        n, order = self.dim, self.order
+        count = x.shape[1]
+        planes = np.empty((order, n, count), dtype=np.uint8)
+        for level, q in enumerate(range(order - 1, -1, -1)):
+            planes[level] = (x >> np.uint64(q)) & np.uint64(1)
+        bits = planes.reshape(self.key_bits, count).T
+        pad = 8 * self.key_bytes - self.key_bits
+        if pad:
+            bits = np.concatenate(
+                [np.zeros((count, pad), dtype=np.uint8), bits], axis=1)
+        return np.packbits(bits, axis=1)
+
     def _unpack_keys(self, keys: np.ndarray) -> np.ndarray:
         n, order = self.dim, self.order
         count = keys.shape[0]
@@ -269,3 +316,39 @@ class HilbertCurve:
                         x[i, j] |= np.uint64(1 << q)
                     groups[j] >>= 1
         return x
+
+
+def encode_for_curves(curves, coords_list) -> list[np.ndarray]:
+    """Encode per-curve coordinate batches with one transform per geometry.
+
+    ``curves[i]`` and ``coords_list[i]`` describe one RDB-tree's sub-space:
+    an (n_i, dim_i) integer array to encode under that tree's curve.  Curves
+    sharing a ``(dim, order)`` geometry — in HD-Index, *all* trees except
+    possibly a remainder partition — are concatenated and run through a
+    single batched Skilling transform, so one query against tau trees costs
+    one kernel invocation instead of tau, which is most of the fixed
+    per-query cost the array-native hot path removes.
+
+    Returns one ``(n_i, key_bytes)`` uint8 array per curve (the
+    :meth:`HilbertCurve.encode_batch_bytes` form).
+    """
+    if len(curves) != len(coords_list):
+        raise ValueError("curves and coords_list must align")
+    groups: dict[tuple[int, int], list[int]] = {}
+    for index, curve in enumerate(curves):
+        groups.setdefault((curve.dim, curve.order), []).append(index)
+    out: list[np.ndarray | None] = [None] * len(curves)
+    for members in groups.values():
+        curve = curves[members[0]]
+        if len(members) == 1:
+            out[members[0]] = curve.encode_batch_bytes(coords_list[members[0]])
+            continue
+        stacked = np.concatenate(
+            [np.asarray(coords_list[i]) for i in members], axis=0)
+        raw = curve.encode_batch_bytes(stacked)
+        offset = 0
+        for i in members:
+            rows = np.asarray(coords_list[i]).shape[0]
+            out[i] = raw[offset:offset + rows]
+            offset += rows
+    return out

@@ -8,12 +8,15 @@ can be switched off exactly as in the paper's methodology.
 
 from repro.storage.buffer import BufferPool
 from repro.storage.codecs import (
+    ARRAY_PACK_MAGIC,
     BytesCodec,
     Codec,
     Float64Codec,
     StructCodec,
     UInt64Codec,
     UIntCodec,
+    pack_arrays,
+    unpack_arrays,
 )
 from repro.storage.pages import (
     DEFAULT_PAGE_SIZE,
@@ -27,6 +30,7 @@ from repro.storage.stats import IOStats
 from repro.storage.vectors import VectorHeapFile, heap_file_from_array
 
 __all__ = [
+    "ARRAY_PACK_MAGIC",
     "BufferPool",
     "BytesCodec",
     "Codec",
@@ -43,4 +47,6 @@ __all__ = [
     "UIntCodec",
     "VectorHeapFile",
     "heap_file_from_array",
+    "pack_arrays",
+    "unpack_arrays",
 ]

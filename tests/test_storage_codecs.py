@@ -1,14 +1,18 @@
 """Unit and property tests for the fixed-width codecs."""
 
+import numpy as np
 import pytest
 from hypothesis import given, strategies as st
 
 from repro.storage import (
+    ARRAY_PACK_MAGIC,
     BytesCodec,
     Float64Codec,
     StructCodec,
     UInt64Codec,
     UIntCodec,
+    pack_arrays,
+    unpack_arrays,
 )
 
 
@@ -107,3 +111,41 @@ class TestStructCodec:
 
     def test_width_matches_struct(self):
         assert StructCodec(">Q10f").width == 8 + 40
+
+
+class TestPackArrays:
+    def test_round_trip_mixed_dtypes(self):
+        arrays = {
+            "bytes": np.arange(24, dtype=np.uint8).reshape(6, 4),
+            "offsets": np.asarray([0, 3, 6], dtype=np.int64),
+            "floats": np.linspace(-1.0, 1.0, 5),
+        }
+        restored = unpack_arrays(pack_arrays(arrays))
+        assert set(restored) == set(arrays)
+        for name, array in arrays.items():
+            assert restored[name].dtype == array.dtype
+            np.testing.assert_array_equal(restored[name], array)
+
+    def test_segments_are_aligned_views(self):
+        buffer = np.frombuffer(
+            pack_arrays({"a": np.arange(7, dtype=np.int64),
+                         "b": np.ones(3, dtype=np.float64)}),
+            dtype=np.uint8)
+        restored = unpack_arrays(buffer)
+        for array in restored.values():
+            # Zero-copy (views into the buffer) and 64-byte aligned
+            # relative to the container start, so over a page-aligned
+            # mmap the views are safe for any dtype.
+            assert array.base is not None
+            assert (array.ctypes.data - buffer.ctypes.data) % 64 == 0
+
+    def test_empty_arrays_and_empty_dict(self):
+        restored = unpack_arrays(pack_arrays(
+            {"none": np.empty((0, 16), dtype=np.uint8)}))
+        assert restored["none"].shape == (0, 16)
+        assert unpack_arrays(pack_arrays({})) == {}
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            unpack_arrays(b"NOPE" + bytes(64))
+        assert pack_arrays({}).startswith(ARRAY_PACK_MAGIC)
