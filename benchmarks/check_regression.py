@@ -4,10 +4,21 @@ Runs :func:`benchmarks.bench_hotpath.run_hotpath_measurement` and compares
 its single-query throughput against the committed
 ``results/BENCH_hotpath.json``.  Fails (exit 1) when
 
-* the fresh run's parity flag is false (the packed/batched kernels no
-  longer match the scalar oracle — a correctness bug, not a perf one), or
+* the fresh run's parity flag is false **or absent** (the packed/batched
+  kernels no longer match the scalar oracle — a correctness bug, not a
+  perf one; a result that never ran the parity check proves nothing and
+  must not pass the gate),
+* the committed baseline's parity flag is false or absent (a baseline
+  refreshed from a run that skipped or failed parity is not a valid
+  reference), or
 * single-query throughput dropped more than ``MAX_REGRESSION`` (20%)
   below the committed number.
+
+The run also refreshes ``results/LINT_report.json`` (the
+machine-readable static-analysis report, see
+:mod:`repro.devtools.report`) so the perf and correctness artifacts
+travel together; the lint has its own CI gate, so report emission here
+is informational and never flips this gate's exit code.
 
 Throughput on shared CI runners is noisy, which is why the gate only
 fires on a 20% drop — the refactor's margin over the pre-refactor loop
@@ -54,13 +65,29 @@ def main() -> int:
     print(f"baseline single-query: {base_qps:.1f} q/s "
           f"(floor at -{MAX_REGRESSION:.0%}: {floor:.1f} q/s)")
     print(f"fresh    single-query: {fresh_qps:.1f} q/s")
-    print(f"fresh parity: {fresh['parity']} "
-          f"(backends: {', '.join(fresh['parity_backends'])})")
+    print(f"fresh parity: {fresh.get('parity', 'ABSENT')} "
+          f"(backends: {', '.join(fresh.get('parity_backends', ()))})")
 
     failed = False
-    if not fresh["parity"]:
+    # .get with an explicit absent-fails check: a measurement dict that
+    # dropped the parity key (refactor, partial run) must read as a
+    # failure, never as a silent pass.
+    if "parity" not in fresh:
+        print("FAIL: fresh measurement carries no parity flag; the "
+              "scalar-oracle check did not run", file=sys.stderr)
+        failed = True
+    elif not fresh["parity"]:
         print("FAIL: packed/batched kernels diverged from the scalar "
               "oracle", file=sys.stderr)
+        failed = True
+    if "parity" not in baseline:
+        print("FAIL: committed BENCH_hotpath.json carries no parity "
+              "flag; regenerate it with benchmarks/bench_hotpath.py",
+              file=sys.stderr)
+        failed = True
+    elif not baseline["parity"]:
+        print("FAIL: committed BENCH_hotpath.json was recorded with "
+              "parity=false and is not a valid reference", file=sys.stderr)
         failed = True
     if fresh_qps < floor:
         print(f"FAIL: single-query throughput regressed "
@@ -73,7 +100,26 @@ def main() -> int:
         failed = True
     if not failed:
         print("OK: within regression budget, parity holds")
+    _emit_lint_report()
     return 1 if failed else 0
+
+
+def _emit_lint_report() -> None:
+    """Refresh results/LINT_report.json next to the BENCH files.
+
+    Informational here (the static-analysis CI job owns the gate), so
+    any failure to produce it is printed and swallowed.
+    """
+    try:
+        from pathlib import Path
+
+        from repro.devtools.report import write_report
+
+        destination = write_report(Path(__file__).resolve().parents[1])
+        print(f"static-analysis report refreshed: {destination}")
+    except Exception as error:
+        print(f"note: LINT_report.json not refreshed ({error})",
+              file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -1,4 +1,19 @@
-"""Legacy shim so `pip install -e .` works on environments without wheel."""
-from setuptools import setup
+"""Legacy shim so `pip install -e .` works on environments without wheel.
 
-setup()
+Package data matters here: ``repro/py.typed`` marks the package as typed
+(PEP 561) and ``repro/devtools/hotpaths.toml`` + ``mypy_baseline.txt``
+are read at runtime by the lint/typecheck CLIs, so all three must ship
+in wheels and sdists alike.
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-hdindex",
+    packages=find_packages(where="src"),
+    package_dir={"": "src"},
+    package_data={
+        "repro": ["py.typed"],
+        "repro.devtools": ["hotpaths.toml", "mypy_baseline.txt"],
+    },
+    python_requires=">=3.10",
+)

@@ -131,3 +131,16 @@ __all__ = [
     "save_index",
     "__version__",
 ]
+
+# Opt-in runtime invariant sanitizer (REPRO_SANITIZE=1): cross-checks
+# the packed-tree read path against the node path, IOStats balance,
+# buffer-pool eviction accounting, and write-protects zero-copy mmap
+# views.  The env guard keeps repro.devtools entirely unimported on the
+# normal path.
+import os as _os
+
+if _os.environ.get("REPRO_SANITIZE"):
+    from repro.devtools.sanitize import install_from_env as _sanitize_hook
+
+    _sanitize_hook()
+del _os

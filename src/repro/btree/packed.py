@@ -328,7 +328,10 @@ def _subtract_words(a: np.ndarray, b: np.ndarray) -> np.ndarray:
     a, b = np.broadcast_arrays(a, b)
     out = np.empty(a.shape, dtype=np.uint64)
     borrow = np.zeros(a.shape[0], dtype=bool)
-    for word in range(a.shape[1] - 1, -1, -1):
+    # a.shape[1] is the per-key word count (key_width/8, a small build-time
+    # constant), not the entry count; each iteration is a full-width
+    # vectorised column operation.
+    for word in range(a.shape[1] - 1, -1, -1):  # lint: disable=HK101
         a_w, b_w = a[:, word], b[:, word]
         subtrahend = b_w + borrow.astype(np.uint64)
         wraps = borrow & (b_w == _WORD_MAX)

@@ -233,7 +233,10 @@ class QueryEngine:
         for tree_position, tree_index in enumerate(tree_indices):
             tree = index.trees[tree_index]
             tree_keys = keys[tree_position]
-            for row in range(batch):
+            # One packed-tree descent per (tree, row): the tree candidate
+            # API is inherently per-key and each call is O(log n) page
+            # work, so this loop is over *queries*, not array elements.
+            for row in range(batch):  # lint: disable=HK101
                 ids, ref = tree.candidates(tree_keys[row].tobytes(), alpha)
                 candidate_ids.append(ids)
                 candidate_ref.append(ref)

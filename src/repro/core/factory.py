@@ -107,7 +107,8 @@ def build(spec: IndexSpec | None, data: np.ndarray,
     return index
 
 
-def _already_persisted(index, storage_dir) -> bool:
+def _already_persisted(index: HDIndex | ShardRouter,
+                       storage_dir: str | os.PathLike[str]) -> bool:
     """True when build() itself persisted a complete snapshot at
     ``storage_dir`` (process-execution indexes auto-persist so their
     workers can bootstrap) — re-saving would only rewrite identical

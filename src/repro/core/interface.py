@@ -9,6 +9,7 @@ querying RAM.  :class:`KNNIndex` fixes the vocabulary so the harness in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -23,10 +24,10 @@ class QueryStats:
     sequential_reads: int = 0
     candidates: int = 0
     distance_computations: int = 0
-    extra: dict = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
 
-    def as_dict(self) -> dict:
-        data = {
+    def as_dict(self) -> dict[str, Any]:
+        data: dict[str, Any] = {
             "time_sec": self.time_sec,
             "page_reads": self.page_reads,
             "random_reads": self.random_reads,
@@ -45,7 +46,7 @@ class BuildStats:
     time_sec: float = 0.0
     page_writes: int = 0
     peak_memory_bytes: int = 0
-    extra: dict = field(default_factory=dict)
+    extra: dict[str, Any] = field(default_factory=dict)
 
 
 class KNNIndex:
@@ -116,7 +117,7 @@ class KNNIndex:
         raise NotImplementedError
 
     def query_batch(self, points: np.ndarray, k: int,
-                    **overrides) -> tuple[np.ndarray, np.ndarray]:
+                    **overrides: Any) -> tuple[np.ndarray, np.ndarray]:
         """Query each row of ``points`` in one call.
 
         Args:

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.params import HDIndexParams
 
@@ -91,13 +92,13 @@ class Topology:
                         f"unknown shard backend {backend!r}; choose from "
                         f"{_BACKENDS}")
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return {"shards": self.shards,
                 "shard_backends": (None if self.shard_backends is None
                                    else list(self.shard_backends))}
 
     @classmethod
-    def from_dict(cls, data: dict) -> "Topology":
+    def from_dict(cls, data: dict[str, Any]) -> "Topology":
         backends = data.get("shard_backends")
         return cls(shards=int(data.get("shards", 1)),
                    shard_backends=(None if backends is None
@@ -156,11 +157,11 @@ class Execution:
             raise ValueError(
                 f"worker_timeout must be > 0, got {self.worker_timeout}")
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         return dataclasses.asdict(self)
 
     @classmethod
-    def from_dict(cls, data: dict) -> "Execution":
+    def from_dict(cls, data: dict[str, Any]) -> "Execution":
         return cls(kind=data.get("kind", "sequential"),
                    workers=data.get("workers"),
                    worker_backend=data.get("worker_backend", "mmap"),
@@ -223,7 +224,7 @@ class IndexSpec:
                         ) -> HDIndexParams:
         """``params`` with the spec-level ``backend`` and an optional
         ``storage_dir`` applied (the factory's working copy)."""
-        updates: dict = {}
+        updates: dict[str, Any] = {}
         if self.backend is not None:
             updates["backend"] = self.backend
         if storage_dir is not None:
@@ -231,7 +232,7 @@ class IndexSpec:
         return (dataclasses.replace(self.params, **updates) if updates
                 else self.params)
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """Plain-JSON form: ``{"params": ..., "topology": ...,
         "execution": ..., "backend": ...}``."""
         return {"params": dataclasses.asdict(self.params),
@@ -240,7 +241,7 @@ class IndexSpec:
                 "backend": self.backend}
 
     @classmethod
-    def from_dict(cls, data: dict) -> "IndexSpec":
+    def from_dict(cls, data: dict[str, Any]) -> "IndexSpec":
         """Inverse of :meth:`to_dict` (tolerates missing sections)."""
         params = data.get("params")
         return cls(
@@ -251,7 +252,7 @@ class IndexSpec:
             backend=data.get("backend"))
 
 
-def params_from_dict(data: dict) -> HDIndexParams:
+def params_from_dict(data: dict[str, Any]) -> HDIndexParams:
     """Rebuild :class:`HDIndexParams` from its ``asdict`` form (JSON
     deserialisation turns the ``domain`` tuple into a list)."""
     data = dict(data)
@@ -260,7 +261,9 @@ def params_from_dict(data: dict) -> HDIndexParams:
     return HDIndexParams(**data)
 
 
-def coerce_spec(spec) -> IndexSpec:
+def coerce_spec(
+        spec: "IndexSpec | HDIndexParams | dict[str, Any] | None",
+) -> IndexSpec:
     """Accept an :class:`IndexSpec`, a bare :class:`HDIndexParams`, a
     spec dict, or ``None`` (all defaults) and return an
     :class:`IndexSpec`.
@@ -283,7 +286,7 @@ def coerce_spec(spec) -> IndexSpec:
         f"IndexSpec, HDIndexParams, dict or None")
 
 
-def make_executor(execution: Execution, index=None):
+def make_executor(execution: Execution, index: Any = None) -> Any:
     """Instantiate the :class:`~repro.core.engine.Executor` an
     :class:`Execution` describes.
 
@@ -313,7 +316,7 @@ def make_executor(execution: Execution, index=None):
                            timeout=execution.worker_timeout)
 
 
-def executor_to_execution(executor) -> Execution:
+def executor_to_execution(executor: Any) -> Execution:
     """The :class:`Execution` value describing a live executor — the
     inverse of :func:`make_executor`, used when persisting an index's
     spec into its snapshot."""

@@ -1,0 +1,387 @@
+"""Repo-native AST lint: rule registry, pragmas, CLI.
+
+Framework pieces:
+
+* :class:`Rule` subclasses register themselves with :func:`register`
+  under a short code (``HK101``, ``FS202``, ``API301``...).  Each rule
+  receives a parsed :class:`ModuleContext` and yields
+  :class:`Finding`\\ s.
+* ``# lint: disable=CODE[,CODE...]`` on the *reported line* suppresses
+  a finding.  Pragmas carrying a code no rule owns produce an
+  ``LNT001`` warning — a typo'd pragma must not silently disable
+  nothing.  Pragmas are located with :mod:`tokenize`, so a ``#`` inside
+  a string literal is never misread as one.
+* Exit status: 0 when no error-severity findings survive suppression
+  (warnings never fail the build), 1 otherwise, 2 on usage errors.
+
+Run it before pushing::
+
+    PYTHONPATH=src python -m repro.devtools.lint src/repro
+    PYTHONPATH=src python -m repro.devtools.lint src/repro --format json
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import json
+import re
+import sys
+import tokenize
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Iterable, Iterator
+
+from repro.devtools.config import HotDecl, LintConfig, default_config_path
+
+#: Pragma comment form (whole comment, located via tokenize).
+PRAGMA_RE = re.compile(
+    r"#\s*lint:\s*disable=([A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)")
+
+#: Framework-owned code for pragmas naming unknown rules.
+UNKNOWN_PRAGMA_CODE = "LNT001"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One lint hit, anchored to a file line."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    severity: str = "error"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: {self.code} {self.message}"
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set ``code``/``name``/``description`` and implement
+    :meth:`check`; registration is via the :func:`register` decorator.
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, module: "ModuleContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, module: "ModuleContext", node: ast.AST,
+                message: str) -> Finding:
+        return Finding(code=self.code, message=message, path=module.path,
+                       line=getattr(node, "lineno", 1))
+
+
+#: code -> rule instance.  Populated by :func:`register` at import time.
+REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator: instantiate and index a rule by its code."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    REGISTRY[cls.code] = cls()
+    return cls
+
+
+class ModuleContext:
+    """One parsed module plus everything rules need to inspect it."""
+
+    def __init__(self, path: str, source: str, config: LintConfig) -> None:
+        self.path = path
+        self.source = source
+        self.config = config
+        self.tree = ast.parse(source, filename=path)
+        self._functions: list[tuple[str, ast.AST]] | None = None
+
+    # -- structure helpers ------------------------------------------------
+
+    def functions(self) -> list[tuple[str, ast.AST]]:
+        """All function/method defs as ``(dotted qualname, node)`` pairs."""
+        if self._functions is None:
+            found: list[tuple[str, ast.AST]] = []
+
+            def walk(node: ast.AST, prefix: str) -> None:
+                for child in ast.iter_child_nodes(node):
+                    if isinstance(child, (ast.FunctionDef,
+                                          ast.AsyncFunctionDef)):
+                        qual = f"{prefix}{child.name}"
+                        found.append((qual, child))
+                        walk(child, f"{qual}.")
+                    elif isinstance(child, ast.ClassDef):
+                        walk(child, f"{prefix}{child.name}.")
+                    else:
+                        walk(child, prefix)
+
+            walk(self.tree, "")
+            self._functions = found
+        return self._functions
+
+    def hot_decl(self) -> HotDecl | None:
+        return self.config.hot_decl_for(self.path)
+
+    def hot_functions(self) -> list[tuple[str, ast.AST]]:
+        """Functions the HK rules apply to (per ``hotpaths.toml``).
+
+        Nested defs inside a hot function are reported through their
+        parent's traversal, so only outermost hot functions are listed.
+        """
+        decl = self.hot_decl()
+        if decl is None:
+            return []
+        hot = [(qual, node) for qual, node in self.functions()
+               if decl.applies_to(qual)]
+        outermost: list[tuple[str, ast.AST]] = []
+        for qual, node in hot:
+            if not any(other != qual and qual.startswith(other + ".")
+                       for other, _ in hot):
+                outermost.append((qual, node))
+        return outermost
+
+    def module_level_names(self) -> set[str]:
+        """Names bound at module top level (imports, defs, assignments)."""
+        names: set[str] = set()
+        for node in self.tree.body:
+            names.update(_bound_names(node))
+        return names
+
+
+def _bound_names(node: ast.stmt) -> set[str]:
+    names: set[str] = set()
+    if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                         ast.ClassDef)):
+        names.add(node.name)
+    elif isinstance(node, ast.Import):
+        for alias in node.names:
+            names.add(alias.asname or alias.name.split(".")[0])
+    elif isinstance(node, ast.ImportFrom):
+        for alias in node.names:
+            if alias.name == "*":
+                continue
+            names.add(alias.asname or alias.name)
+    elif isinstance(node, ast.Assign):
+        for target in node.targets:
+            names.update(_target_names(target))
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        names.update(_target_names(node.target))
+    elif isinstance(node, (ast.If, ast.Try)):
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.stmt):
+                names.update(_bound_names(child))
+        for body in (getattr(node, "body", []), getattr(node, "orelse", []),
+                     getattr(node, "finalbody", [])):
+            for child in body:
+                names.update(_bound_names(child))
+    return names
+
+
+def _target_names(target: ast.expr) -> set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: set[str] = set()
+        for element in target.elts:
+            names.update(_target_names(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return set()
+
+
+# -- pragma handling --------------------------------------------------------
+
+
+def pragma_lines(source: str, path: str
+                 ) -> tuple[dict[int, set[str]], list[Finding]]:
+    """Map line -> disabled codes, plus warnings for unknown codes.
+
+    Comments are located with :mod:`tokenize` so string literals that
+    merely *contain* ``# lint:`` text are never misparsed.
+    """
+    disabled: dict[int, set[str]] = {}
+    warnings: list[Finding] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = PRAGMA_RE.match(token.string)
+            if not match:
+                continue
+            line = token.start[0]
+            codes = {code.strip() for code in match.group(1).split(",")}
+            for code in sorted(codes):
+                if code not in REGISTRY:
+                    warnings.append(Finding(
+                        code=UNKNOWN_PRAGMA_CODE,
+                        message=(f"pragma disables unknown rule {code!r} "
+                                 f"(known: {', '.join(sorted(REGISTRY))})"),
+                        path=path, line=line, severity="warning"))
+            disabled.setdefault(line, set()).update(codes)
+    except tokenize.TokenError:
+        pass  # the ast parse will have reported the real problem
+    return disabled, warnings
+
+
+# -- running ----------------------------------------------------------------
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run over a set of files."""
+
+    findings: list[Finding]
+    suppressed: list[Finding]
+    files_scanned: int
+
+    @property
+    def errors(self) -> list[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def clean(self) -> bool:
+        return not self.errors
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "clean": self.clean,
+            "files_scanned": self.files_scanned,
+            "counts": {
+                "errors": len(self.errors),
+                "warnings": len(self.findings) - len(self.errors),
+                "suppressed": len(self.suppressed),
+            },
+            "findings": [asdict(f) for f in self.findings],
+            "suppressed": [asdict(f) for f in self.suppressed],
+        }
+
+
+def lint_source(path: str, source: str, config: LintConfig) -> LintResult:
+    """Lint one module's source text (the unit the tests drive)."""
+    try:
+        module = ModuleContext(path, source, config)
+    except SyntaxError as error:
+        return LintResult(
+            findings=[Finding(code="LNT002",
+                              message=f"syntax error: {error.msg}",
+                              path=path, line=error.lineno or 1)],
+            suppressed=[], files_scanned=1)
+    raw: list[Finding] = []
+    for rule in REGISTRY.values():
+        raw.extend(rule.check(module))
+    disabled, warnings = pragma_lines(source, path)
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in raw:
+        if finding.code in disabled.get(finding.line, ()):
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+    kept.extend(warnings)
+    kept.sort(key=lambda f: (f.path, f.line, f.code))
+    return LintResult(findings=kept, suppressed=suppressed, files_scanned=1)
+
+
+def lint_paths(paths: Iterable[str | Path],
+               config: LintConfig | None = None) -> LintResult:
+    """Lint every ``.py`` file under the given paths."""
+    if config is None:
+        config = LintConfig.load()
+    findings: list[Finding] = []
+    suppressed: list[Finding] = []
+    count = 0
+    for path in iter_python_files(paths):
+        count += 1
+        result = lint_source(str(path), path.read_text(encoding="utf-8"),
+                             config)
+        findings.extend(result.findings)
+        suppressed.extend(result.suppressed)
+    findings.sort(key=lambda f: (f.path, f.line, f.code))
+    return LintResult(findings=findings, suppressed=suppressed,
+                      files_scanned=count)
+
+
+def _import_rules() -> None:
+    """Load the rule modules (registration happens at import)."""
+    from repro.devtools import rules_api, rules_fork, rules_hot  # noqa: F401
+
+
+_import_rules()
+
+
+# -- CLI --------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.lint",
+        description="Repo-native static analysis (HK/FS/API rule series).")
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    parser.add_argument("--config", default=None,
+                        help=f"hotpaths.toml to use "
+                             f"(default: {default_config_path()})")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    parser.add_argument("--report", default=None, metavar="PATH",
+                        help="also write the JSON result to PATH")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code in sorted(REGISTRY):
+            rule = REGISTRY[code]
+            print(f"{code}  {rule.name}: {rule.description}")
+        return 0
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+    config = LintConfig.load(args.config)
+    result = lint_paths(args.paths, config)
+
+    payload = result.to_dict()
+    if args.report:
+        Path(args.report).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.report).write_text(json.dumps(payload, indent=2) + "\n",
+                                     encoding="utf-8")
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        for finding in result.findings:
+            stream = sys.stderr if finding.severity == "error" else sys.stdout
+            print(finding.render(), file=stream)
+        counts = payload["counts"]
+        print(f"{result.files_scanned} files scanned: "
+              f"{counts['errors']} error(s), {counts['warnings']} "
+              f"warning(s), {counts['suppressed']} suppressed")
+    return 0 if result.clean else 1
+
+
+if __name__ == "__main__":
+    # Delegate to the canonical module object: under ``python -m`` this
+    # file is executed as ``__main__`` *after* the package import already
+    # created ``repro.devtools.lint`` (whose REGISTRY the rule modules
+    # populated) — running against this copy's empty registry would
+    # silently lint with zero rules.
+    from repro.devtools.lint import main as _main
+    raise SystemExit(_main())

@@ -1,0 +1,167 @@
+"""API-series rules: public-surface hygiene (apply to every file).
+
+* ``API301`` — bare ``except:``: swallows ``KeyboardInterrupt`` and
+  ``SystemExit``; catch ``Exception`` (or narrower) instead.
+* ``API302`` — mutable default argument (``[]``/``{}``/``set()``/
+  ``list()``/``dict()``): shared across calls, a classic aliasing bug.
+* ``API303`` — ``__all__`` drift: a listed name that is not bound at
+  module level (stale export), a duplicate entry, or a non-literal
+  element the checker cannot verify.  Modules with a PEP 562 top-level
+  ``__getattr__`` are exempt from the unbound-name check (exports may
+  be lazy) but still checked for duplicates/non-literals.
+* ``API304`` — a non-frozen dataclass in a file declared to carry the
+  immutable spec surface (``[api].frozen_dataclass_files`` in
+  ``hotpaths.toml``): specs are hashable/sharable contracts and must
+  stay ``frozen=True``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint import Finding, ModuleContext, Rule, register
+
+
+@register
+class BareExceptRule(Rule):
+    code = "API301"
+    name = "bare-except"
+    description = ("bare 'except:' swallows KeyboardInterrupt/SystemExit; "
+                   "catch Exception or narrower.")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(module, node,
+                                   "bare 'except:' clause")
+
+
+#: constructors whose zero-arg call builds a fresh-but-shared mutable.
+MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray",
+                           "defaultdict", "OrderedDict", "Counter", "deque"})
+
+
+@register
+class MutableDefaultRule(Rule):
+    code = "API302"
+    name = "mutable-default-arg"
+    description = ("mutable default argument is evaluated once and shared "
+                   "across calls; default to None.")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for qual, func in module.functions():
+            assert isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef))
+            defaults = list(func.args.defaults) + [
+                d for d in func.args.kw_defaults if d is not None]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.finding(
+                        module, default,
+                        f"{qual}: mutable default argument")
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+            return True
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id in MUTABLE_CALLS):
+            return True
+        return False
+
+
+@register
+class AllDriftRule(Rule):
+    code = "API303"
+    name = "all-drift"
+    description = ("__all__ names a binding the module does not define, "
+                   "repeats an entry, or is not a literal list of "
+                   "strings.")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for node in module.tree.body:
+            value: ast.expr | None = None
+            if isinstance(node, ast.Assign):
+                if any(isinstance(t, ast.Name) and t.id == "__all__"
+                       for t in node.targets):
+                    value = node.value
+            elif (isinstance(node, ast.AnnAssign)
+                  and isinstance(node.target, ast.Name)
+                  and node.target.id == "__all__"):
+                value = node.value
+            if value is None:
+                continue
+            if not isinstance(value, (ast.List, ast.Tuple)):
+                yield self.finding(
+                    module, node,
+                    "__all__ is not a literal list/tuple; exports cannot "
+                    "be verified")
+                continue
+            bound = module.module_level_names()
+            # PEP 562: a module-level __getattr__ can serve any name
+            # lazily, so absence of a static binding proves nothing.
+            lazy = any(
+                isinstance(stmt, ast.FunctionDef)
+                and stmt.name == "__getattr__"
+                for stmt in module.tree.body)
+            seen: set[str] = set()
+            for element in value.elts:
+                if not (isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)):
+                    yield self.finding(
+                        module, element,
+                        "__all__ entry is not a string literal")
+                    continue
+                name = element.value
+                if name in seen:
+                    yield self.finding(
+                        module, element,
+                        f"duplicate __all__ entry {name!r}")
+                seen.add(name)
+                if name not in bound and not lazy:
+                    yield self.finding(
+                        module, element,
+                        f"__all__ exports {name!r} but the module never "
+                        f"binds it")
+
+
+@register
+class FrozenSpecRule(Rule):
+    code = "API304"
+    name = "non-frozen-spec-dataclass"
+    description = ("dataclass in a declared spec file is not frozen=True; "
+                   "spec objects are immutable contracts.")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if not module.config.api.requires_frozen(module.path):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            for decorator in node.decorator_list:
+                if self._is_dataclass(decorator) and not self._is_frozen(
+                        decorator):
+                    yield self.finding(
+                        module, node,
+                        f"dataclass {node.name!r} in a spec file is not "
+                        f"frozen=True")
+
+    @staticmethod
+    def _is_dataclass(decorator: ast.expr) -> bool:
+        target = decorator.func if isinstance(decorator,
+                                              ast.Call) else decorator
+        if isinstance(target, ast.Name):
+            return target.id == "dataclass"
+        if isinstance(target, ast.Attribute):
+            return target.attr == "dataclass"
+        return False
+
+    @staticmethod
+    def _is_frozen(decorator: ast.expr) -> bool:
+        if not isinstance(decorator, ast.Call):
+            return False
+        for keyword in decorator.keywords:
+            if (keyword.arg == "frozen"
+                    and isinstance(keyword.value, ast.Constant)):
+                return bool(keyword.value.value)
+        return False

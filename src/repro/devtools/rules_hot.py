@@ -1,0 +1,275 @@
+"""HK-series rules: array-native discipline for declared hot kernels.
+
+Scope: only functions declared hot in ``hotpaths.toml`` (see
+:mod:`repro.devtools.config`).  The rules encode the PR-6 hot-path
+contract — batch work happens inside numpy, never element-by-element in
+the interpreter:
+
+* ``HK101`` — Python ``for``/``while`` loop over array *data* (a
+  data-sized iterable).  Loops over fixed-small things (curve count,
+  word count of a key) are fine; loops whose trip count scales with the
+  number of points/pages are not.
+* ``HK102`` — ``dtype=object`` arrays (or ``astype(object)``): these
+  silently fall back to per-element Python arithmetic.
+* ``HK103`` — ``.tolist()``: materialises every element as a Python
+  object.
+* ``HK104`` — per-element scalarisation inside a loop: ``int(x)``,
+  ``float(x)``, ``.item()``, ``struct.pack``/``struct.unpack``.
+* ``HK105`` — numpy allocators (``np.zeros``/``empty``/``ones``/
+  ``full``/``array``/``concatenate``/``arange``) inside a loop body:
+  hoist the allocation, fill slices.
+
+"Data-sized" is decided by a small local taint pass: names assigned
+from expressions that mention ``.shape``/``.size``/``len(...)``/
+``.nbytes`` (or another tainted name) are data-sized; parameters are
+not.  This keeps the rule quiet on loops like ``for curve in curves``
+(a handful of trees) while firing on ``for i in range(n)`` where
+``n = points.shape[0]``.  Comprehensions are deliberately out of scope:
+the hot kernels use none, and flagging them would punish idiomatic
+small-tuple builds.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.lint import Finding, ModuleContext, Rule, register
+
+#: numpy allocator attribute names for HK105.
+ALLOCATORS = frozenset({
+    "zeros", "empty", "ones", "full", "array", "concatenate",
+    "arange", "zeros_like", "empty_like", "ones_like", "full_like",
+})
+
+#: call names that scalarise one element at a time (HK104).
+SCALARISERS = frozenset({"int", "float", "bool", "ord", "chr"})
+
+
+def _mentions_size(node: ast.expr) -> bool:
+    """Expression textually derives from an array's element count."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Attribute) and sub.attr in (
+                "shape", "size", "nbytes"):
+            return True
+        if (isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name)
+                and sub.func.id == "len"):
+            return True
+    return False
+
+
+def _names_in(node: ast.expr) -> set[str]:
+    return {sub.id for sub in ast.walk(node) if isinstance(sub, ast.Name)}
+
+
+def data_sized_names(func: ast.AST) -> set[str]:
+    """Fixpoint over simple assignments: which local names hold counts
+    (or slices) derived from array sizes."""
+    tainted: set[str] = set()
+    assigns: list[tuple[set[str], ast.expr]] = []
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            value = node.value
+            targets: set[str] = set()
+            for target in node.targets:
+                targets.update(_names_in_target(target))
+            assigns.append((targets, value))
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            assigns.append((_names_in_target(node.target), node.value))
+        elif isinstance(node, ast.AugAssign):
+            assigns.append((_names_in_target(node.target), node.value))
+    changed = True
+    while changed:
+        changed = False
+        for targets, value in assigns:
+            if targets <= tainted:
+                continue
+            if _mentions_size(value) or (_names_in(value) & tainted):
+                if not targets <= tainted:
+                    tainted |= targets
+                    changed = True
+    return tainted
+
+
+def _names_in_target(target: ast.expr) -> set[str]:
+    if isinstance(target, ast.Name):
+        return {target.id}
+    if isinstance(target, (ast.Tuple, ast.List)):
+        names: set[str] = set()
+        for element in target.elts:
+            names.update(_names_in_target(element))
+        return names
+    if isinstance(target, ast.Starred):
+        return _names_in_target(target.value)
+    return set()
+
+
+def _iterable_is_data_sized(iterable: ast.expr, tainted: set[str]) -> bool:
+    """The ``for`` target: a tainted name, or ``range``/``enumerate``/
+    ``zip``/``reversed`` over something size-derived."""
+    if isinstance(iterable, ast.Name):
+        return iterable.id in tainted
+    if isinstance(iterable, ast.Call) and isinstance(iterable.func, ast.Name):
+        if iterable.func.id in ("range", "enumerate", "zip", "reversed"):
+            for arg in iterable.args:
+                if _mentions_size(arg) or (_names_in(arg) & tainted):
+                    return True
+    return False
+
+
+def _loops_in(func: ast.AST) -> Iterator[ast.For | ast.While]:
+    for node in ast.walk(func):
+        if isinstance(node, (ast.For, ast.While)):
+            yield node
+
+
+def _outer_loops(func: ast.AST) -> Iterator[ast.For | ast.While]:
+    """Loops not nested inside another loop (walking one covers its
+    body, so reporting per outer loop avoids duplicate findings)."""
+
+    def visit(node: ast.AST) -> Iterator[ast.For | ast.While]:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.For, ast.While)):
+                yield child
+            else:
+                yield from visit(child)
+
+    yield from visit(func)
+
+
+@register
+class HotLoopRule(Rule):
+    code = "HK101"
+    name = "hot-python-loop"
+    description = ("Python for/while over array data inside a declared "
+                   "hot kernel; vectorise or justify with a pragma.")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for qual, func in module.hot_functions():
+            tainted = data_sized_names(func)
+            for loop in _loops_in(func):
+                if isinstance(loop, ast.For):
+                    if _iterable_is_data_sized(loop.iter, tainted):
+                        yield self.finding(
+                            module, loop,
+                            f"{qual}: python for-loop over a data-sized "
+                            f"iterable in a hot kernel")
+                else:
+                    if _names_in(loop.test) & tainted:
+                        yield self.finding(
+                            module, loop,
+                            f"{qual}: python while-loop conditioned on a "
+                            f"data-sized count in a hot kernel")
+
+
+@register
+class ObjectDtypeRule(Rule):
+    code = "HK102"
+    name = "object-dtype"
+    description = ("dtype=object / astype(object) in a hot kernel falls "
+                   "back to per-element Python arithmetic.")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for qual, func in module.hot_functions():
+            for node in ast.walk(func):
+                if not isinstance(node, ast.Call):
+                    continue
+                for keyword in node.keywords:
+                    if keyword.arg == "dtype" and _is_object_ref(
+                            keyword.value):
+                        yield self.finding(
+                            module, node,
+                            f"{qual}: dtype=object array in a hot kernel")
+                if (isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "astype" and node.args
+                        and _is_object_ref(node.args[0])):
+                    yield self.finding(
+                        module, node,
+                        f"{qual}: astype(object) in a hot kernel")
+
+
+def _is_object_ref(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name) and node.id == "object":
+        return True
+    if isinstance(node, ast.Attribute) and node.attr in ("object_",
+                                                         "object"):
+        return True
+    if isinstance(node, ast.Constant) and node.value in ("object", "O"):
+        return True
+    return False
+
+
+@register
+class TolistRule(Rule):
+    code = "HK103"
+    name = "tolist-in-hot-kernel"
+    description = (".tolist() materialises every element as a Python "
+                   "object; keep the data in the array.")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for qual, func in module.hot_functions():
+            for node in ast.walk(func):
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "tolist"):
+                    yield self.finding(
+                        module, node,
+                        f"{qual}: .tolist() in a hot kernel")
+
+
+@register
+class ScalariseInLoopRule(Rule):
+    code = "HK104"
+    name = "per-element-scalarisation"
+    description = ("int()/float()/.item()/struct.(un)pack inside a loop "
+                   "in a hot kernel: one Python object per element.")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for qual, func in module.hot_functions():
+            for loop in _outer_loops(func):
+                for node in ast.walk(loop):
+                    if node is loop or not isinstance(node, ast.Call):
+                        continue
+                    if (isinstance(node.func, ast.Name)
+                            and node.func.id in SCALARISERS):
+                        yield self.finding(
+                            module, node,
+                            f"{qual}: {node.func.id}() per loop iteration "
+                            f"in a hot kernel")
+                    elif isinstance(node.func, ast.Attribute):
+                        if node.func.attr == "item":
+                            yield self.finding(
+                                module, node,
+                                f"{qual}: .item() per loop iteration in a "
+                                f"hot kernel")
+                        elif (node.func.attr in ("pack", "unpack",
+                                                 "pack_into", "unpack_from")
+                              and isinstance(node.func.value, ast.Name)
+                              and node.func.value.id == "struct"):
+                            yield self.finding(
+                                module, node,
+                                f"{qual}: struct.{node.func.attr} per loop "
+                                f"iteration in a hot kernel")
+
+
+@register
+class AllocInLoopRule(Rule):
+    code = "HK105"
+    name = "alloc-in-loop"
+    description = ("numpy allocation inside a loop body in a hot kernel; "
+                   "hoist the buffer and fill slices.")
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        for qual, func in module.hot_functions():
+            for loop in _outer_loops(func):
+                for node in ast.walk(loop):
+                    if node is loop or not isinstance(node, ast.Call):
+                        continue
+                    if (isinstance(node.func, ast.Attribute)
+                            and node.func.attr in ALLOCATORS
+                            and isinstance(node.func.value, ast.Name)
+                            and node.func.value.id in ("np", "numpy")):
+                        yield self.finding(
+                            module, node,
+                            f"{qual}: np.{node.func.attr} allocated inside "
+                            f"a loop in a hot kernel")

@@ -1,0 +1,153 @@
+"""Strict mypy over the typed core, compared against a committed baseline.
+
+The typed surface is ``core/``, ``storage/`` and ``serve/`` (the
+packages ``py.typed`` advertises); ``mypy.ini`` at the repo root holds
+the strictness flags.  Because a fully-clean strict run is a journey,
+the gate is *ratchet-shaped*: findings are normalised (line numbers
+stripped — they churn with every edit) and diffed against
+``mypy_baseline.txt`` next to this module.  New findings fail; fixed
+ones are reported so the baseline can be shrunk with
+``--update-baseline``.
+
+Two deliberate soft spots:
+
+* mypy is an optional tool, not a runtime dependency.  Where it is not
+  installed (the pinned reproduction container ships without it) this
+  command prints a note and exits 0 — the lint and the sanitizer still
+  run everywhere.
+* A baseline whose first line is the ``UNVERIFIED`` sentinel was
+  committed from an environment without mypy; against such a baseline
+  mismatches are advisory (printed, exit 0) until someone with mypy
+  regenerates it.  This keeps the CI job honest: it can never go red
+  against numbers nobody has verified.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.devtools.typecheck
+    PYTHONPATH=src python -m repro.devtools.typecheck --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib.util
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+#: Packages the strict gate covers (must match mypy.ini / py.typed).
+STRICT_TARGETS = ("src/repro/core", "src/repro/storage", "src/repro/serve")
+
+#: First line of a baseline generated without running mypy.
+UNVERIFIED_SENTINEL = "# UNVERIFIED"
+
+_LINE_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+)(?::\d+)?: "
+                      r"(?P<severity>error|note): (?P<message>.*)$")
+
+
+def baseline_path() -> Path:
+    return Path(__file__).with_name("mypy_baseline.txt")
+
+
+def mypy_available() -> bool:
+    return importlib.util.find_spec("mypy") is not None
+
+
+def normalise(raw_output: str) -> list[str]:
+    """Stable fingerprints: ``path: message`` (line numbers dropped,
+    notes skipped), sorted and de-duplicated."""
+    entries: set[str] = set()
+    for line in raw_output.splitlines():
+        match = _LINE_RE.match(line.strip())
+        if not match or match.group("severity") != "error":
+            continue
+        path = Path(match.group("path")).as_posix()
+        entries.add(f"{path}: {match.group('message')}")
+    return sorted(entries)
+
+
+def run_mypy(repo_root: Path) -> list[str]:
+    """Run mypy over the strict targets; returns normalised entries."""
+    command = [sys.executable, "-m", "mypy",
+               "--config-file", str(repo_root / "mypy.ini"),
+               *STRICT_TARGETS]
+    completed = subprocess.run(command, cwd=repo_root, text=True,
+                               capture_output=True)
+    return normalise(completed.stdout)
+
+
+def read_baseline(path: Path) -> tuple[list[str], bool]:
+    """Returns ``(entries, verified)``."""
+    if not path.exists():
+        return [], False
+    lines = path.read_text(encoding="utf-8").splitlines()
+    verified = not (lines and lines[0].startswith(UNVERIFIED_SENTINEL))
+    entries = [line for line in lines
+               if line and not line.startswith("#")]
+    return sorted(set(entries)), verified
+
+
+def write_baseline(path: Path, entries: list[str],
+                   verified: bool = True) -> None:
+    header = [
+        "# mypy baseline for repro.devtools.typecheck.",
+        "# One normalised entry per line ('path: message'); regenerate",
+        "# with: python -m repro.devtools.typecheck --update-baseline",
+    ]
+    if not verified:
+        header.insert(0, f"{UNVERIFIED_SENTINEL} — committed without a "
+                         f"local mypy; advisory until regenerated.")
+    path.write_text("\n".join(header + entries) + "\n", encoding="utf-8")
+
+
+def compare(fresh: list[str], baseline: list[str]
+            ) -> tuple[list[str], list[str]]:
+    """``(new, resolved)`` relative to the baseline."""
+    baseline_set = set(baseline)
+    fresh_set = set(fresh)
+    return (sorted(fresh_set - baseline_set),
+            sorted(baseline_set - fresh_set))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.devtools.typecheck",
+        description="Strict mypy vs the committed baseline (ratchet).")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from this run")
+    parser.add_argument("--repo-root", default=None,
+                        help="repository root (default: two levels above "
+                             "src/repro)")
+    args = parser.parse_args(argv)
+
+    repo_root = (Path(args.repo_root) if args.repo_root
+                 else Path(__file__).resolve().parents[3])
+    if not mypy_available():
+        print("typecheck: mypy is not installed in this environment; "
+              "skipping (the lint and sanitizer gates still apply).")
+        return 0
+
+    fresh = run_mypy(repo_root)
+    if args.update_baseline:
+        write_baseline(baseline_path(), fresh, verified=True)
+        print(f"typecheck: baseline rewritten with {len(fresh)} entr(ies).")
+        return 0
+
+    baseline, verified = read_baseline(baseline_path())
+    new, resolved = compare(fresh, baseline)
+    for entry in new:
+        print(f"typecheck: NEW  {entry}")
+    for entry in resolved:
+        print(f"typecheck: GONE {entry} (shrink the baseline)")
+    print(f"typecheck: {len(fresh)} finding(s), {len(new)} new, "
+          f"{len(resolved)} resolved vs baseline "
+          f"({'verified' if verified else 'UNVERIFIED — advisory'}).")
+    if new and verified:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    from repro.devtools.typecheck import main as _main
+    raise SystemExit(_main())

@@ -343,7 +343,11 @@ def encode_for_curves(curves, coords_list) -> list[np.ndarray]:
         if len(members) == 1:
             out[members[0]] = curve.encode_batch_bytes(coords_list[members[0]])
             continue
-        stacked = np.concatenate(
+        # Grouping distinct curve geometries is the point of this
+        # function; the loop runs once per (dim, order) group — at most
+        # tau iterations — and this concatenate is what buys the single
+        # batched kernel invocation below.
+        stacked = np.concatenate(  # lint: disable=HK105
             [np.asarray(coords_list[i]) for i in members], axis=0)
         raw = curve.encode_batch_bytes(stacked)
         offset = 0

@@ -1,0 +1,55 @@
+"""Known-bad API-surface snippets: every API rule must fire here.
+
+The test harness declares this file under ``[api]``
+``frozen_dataclass_files`` so API304 applies; API301-303 apply
+everywhere.
+"""
+
+from dataclasses import dataclass
+
+
+def swallow_everything(action):
+    try:
+        return action()
+    except:  # expect: API301
+        return None
+
+
+def accumulate(item, bucket=[]):  # expect: API302
+    bucket.append(item)
+    return bucket
+
+
+def tagged(item, tags={}):  # expect: API302
+    tags[item] = True
+    return tags
+
+
+def keyed(item, seen=set()):  # expect: API302
+    seen.add(item)
+    return seen
+
+
+@dataclass
+class MutableSpec:  # expect: API304
+    alpha: int = 0
+
+
+@dataclass(frozen=False)
+class ExplicitlyMutableSpec:  # expect: API304
+    beta: int = 0
+
+
+@dataclass(frozen=True)
+class ProperSpec:
+    gamma: int = 0
+
+
+__all__ = [
+    "MutableSpec",
+    "ProperSpec",
+    "accumulate",
+    "accumulate",  # expect: API303
+    "no_such_function",  # expect: API303
+    "swallow_everything",
+]

@@ -1,0 +1,41 @@
+"""Array-native code the lint must stay quiet on, even declared hot.
+
+Shapes that historically tripped naive "no loops" linters: loops over
+fixed-small structures (curve groups, key words via a parameter),
+vectorised numpy batch work, ``len()`` used outside loop headers.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["FrozenThing", "batch_distances", "group_rows", "pack_rows"]
+
+
+@dataclass(frozen=True)
+class FrozenThing:
+    width: int = 8
+
+
+def batch_distances(points, centers):
+    deltas = points[:, None, :] - centers[None, :, :]
+    return np.sqrt(np.einsum("ijk,ijk->ij", deltas, deltas))
+
+
+def pack_rows(rows, word_count):
+    out = np.zeros((rows.shape[0], word_count), dtype=np.uint64)
+    for word in range(word_count):
+        out[:, word] = rows[:, word * 8:(word + 1) * 8].max(axis=1)
+    return out
+
+
+def group_rows(groups, table):
+    pieces = []
+    for name in sorted(groups):
+        pieces.append(table[groups[name]])
+    return np.concatenate(pieces, axis=0) if pieces else np.empty(0)
+
+
+def sized_report(values):
+    n = len(values)
+    return {"count": n, "bytes": values.nbytes}

@@ -1,0 +1,62 @@
+"""Known-bad hot-kernel snippets: every HK rule must fire here.
+
+The test harness declares this whole file hot (see
+tests/test_devtools_lint.py) and asserts the exact codes via the
+trailing ``# expect: CODE`` markers.
+"""
+
+import struct
+
+import numpy as np
+
+
+def slow_accumulate(points):
+    total = np.zeros(points.shape[1])
+    n = points.shape[0]
+    for i in range(n):  # expect: HK101
+        total += points[i]
+    return total
+
+
+def while_over_rows(points):
+    count = len(points)
+    i = 0
+    while i < count:  # expect: HK101
+        i += 1
+    return i
+
+
+def boxed_keys(coords):
+    keys = np.empty(coords.shape[0], dtype=object)  # expect: HK102
+    return keys
+
+
+def boxed_cast(values):
+    return values.astype(object)  # expect: HK102
+
+
+def to_python_list(values):
+    return values.tolist()  # expect: HK103
+
+
+def per_element_int(values):
+    out = []
+    rows = values.shape[0]
+    for i in range(rows):  # expect: HK101
+        out.append(int(values[i]))  # expect: HK104
+    return out
+
+
+def per_element_struct(values):
+    out = []
+    for value in values.tolist():  # expect: HK103
+        out.append(struct.pack(">Q", value))  # expect: HK104
+    return out
+
+
+def alloc_per_iteration(batches):
+    results = []
+    for batch in batches:
+        row = np.zeros(8)  # expect: HK105
+        results.append(row + batch.sum())
+    return results

@@ -1,0 +1,31 @@
+"""Pragma behaviour fixture.
+
+* Line-level ``# lint: disable=CODE`` must suppress the matching
+  finding (nothing from the suppressed lines may surface).
+* A pragma naming a code no rule owns must warn (LNT001) instead of
+  silently disabling nothing.
+* A pragma inside a string literal is text, not a pragma.
+"""
+
+
+def swallow_quietly(action):
+    try:
+        return action()
+    except:  # lint: disable=API301
+        return None
+
+
+def accumulate(item, bucket=[]):  # lint: disable=API302
+    bucket.append(item)
+    return bucket
+
+
+def multi(item, bucket=[], tags={}):  # lint: disable=API302,API302
+    return bucket, tags
+
+
+def typo_pragma(values):
+    return values  # lint: disable=HK999 expect: LNT001
+
+
+PRAGMA_TEXT = "# lint: disable=API301"

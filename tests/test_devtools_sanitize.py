@@ -1,0 +1,237 @@
+"""Tests for the runtime invariant sanitizer (repro.devtools.sanitize).
+
+Each shim is driven both ways: legitimate use stays silent, a seeded
+violation raises :class:`SanitizerError`.  The cross-check tests build
+a real bulk-loaded B+-tree with an active packed mirror and then
+corrupt one side.
+"""
+
+import numpy as np
+import pytest
+
+from repro.btree.tree import BPlusTree
+from repro.devtools import sanitize
+from repro.devtools.sanitize import SanitizerError
+from repro.storage.buffer import BufferPool
+from repro.storage.codecs import UIntCodec
+from repro.storage.pages import InMemoryPageStore, MmapPageStore
+from repro.storage.stats import IOStats
+
+
+@pytest.fixture(autouse=True)
+def _restore_sanitizer_state():
+    """Leave the process-global sanitizer exactly as found, so these
+    tests behave identically under a plain run and REPRO_SANITIZE=1."""
+    was_installed = sanitize.installed()
+    yield
+    if was_installed:
+        sanitize.install()
+    else:
+        sanitize.uninstall()
+
+
+@pytest.fixture()
+def sanitized():
+    sanitize.install()
+    yield
+
+
+@pytest.fixture()
+def unsanitized():
+    sanitize.uninstall()
+    yield
+
+
+def build_tree(n=500, cache_pages=0):
+    tree = BPlusTree(UIntCodec(8), UIntCodec(8), page_size=512,
+                     cache_pages=cache_pages)
+    entries = [(UIntCodec(8).encode(i * 3), UIntCodec(8).encode(i))
+               for i in range(n)]
+    tree.bulk_load(entries)
+    return tree
+
+
+class TestInstall:
+    def test_install_uninstall_round_trip(self, unsanitized):
+        from repro.storage.stats import IOStats as stats_cls
+        original = stats_cls.__dict__["record_read"]
+        sanitize.install()
+        try:
+            assert sanitize.installed()
+            assert stats_cls.__dict__["record_read"] is not original
+            sanitize.install()  # idempotent
+        finally:
+            sanitize.uninstall()
+        assert not sanitize.installed()
+        assert stats_cls.__dict__["record_read"] is original
+        sanitize.uninstall()  # idempotent
+
+    def test_install_from_env(self, unsanitized, monkeypatch):
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert not sanitize.install_from_env()
+        assert not sanitize.installed()
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        assert sanitize.install_from_env()
+        assert sanitize.installed()
+
+
+class TestIOStatsBalance:
+    def test_normal_accounting_is_silent(self, sanitized):
+        stats = IOStats()
+        stats.record_read(0)
+        stats.record_read(1)
+        stats.record_write(7)
+        stats.record_read_many(np.array([2, 3, 9]))
+        stats.reset()
+        assert stats.page_reads == 0
+
+    def test_corrupted_split_raises(self, sanitized):
+        stats = IOStats()
+        stats.record_read(0)
+        stats.random_reads += 1  # drift the split behind the total
+        with pytest.raises(SanitizerError, match="read split"):
+            stats.record_read(1)
+
+    def test_negative_counter_raises(self, sanitized):
+        stats = IOStats()
+        stats.cache_hits = -3
+        with pytest.raises(SanitizerError, match="negative"):
+            stats.record_read(0)
+
+
+class TestBufferPoolAccounting:
+    def test_lru_stays_within_capacity(self, sanitized):
+        store = InMemoryPageStore(128)
+        pool = BufferPool(store, capacity=2)
+        for _ in range(4):
+            pool.write(store.allocate(), b"x" * 128)
+        for page_id in (0, 1, 2, 3, 1, 0):
+            pool.read(page_id)
+        assert pool.cached_pages() == 2
+
+    def test_capacity_zero_must_stay_empty(self, sanitized):
+        store = InMemoryPageStore(128)
+        pool = BufferPool(store, capacity=0)
+        page = store.allocate()
+        pool.write(page, b"y" * 128)
+        pool._cache[page] = b"y" * 128  # seeded violation
+        with pytest.raises(SanitizerError, match="capacity=0"):
+            pool.read(page)
+
+    def test_short_cached_page_raises(self, sanitized):
+        store = InMemoryPageStore(128)
+        pool = BufferPool(store, capacity=4)
+        page = store.allocate()
+        pool.write(page, b"z" * 128)
+        pool._cache[page] = b"short"  # seeded corruption
+        with pytest.raises(SanitizerError, match="bytes"):
+            pool.read(store.allocate())
+
+
+class TestMmapWriteProtection:
+    def test_page_matrix_views_are_read_only(self, sanitized, tmp_path):
+        store = MmapPageStore(tmp_path / "pages.bin", page_size=256)
+        page = store.allocate()
+        store.write(page, b"a" * 256)
+        matrix = store.page_matrix()
+        assert not matrix.flags.writeable
+        with pytest.raises(ValueError):
+            matrix[0, 0] = 1
+        # The data itself is still readable and correct.
+        assert bytes(matrix[page]) == b"a" * 256
+        store.close()
+
+    def test_without_sanitizer_views_stay_writable(self, unsanitized,
+                                                   tmp_path):
+        store = MmapPageStore(tmp_path / "pages.bin", page_size=256)
+        page = store.allocate()
+        store.write(page, b"b" * 256)
+        assert store.page_matrix().flags.writeable
+        store.close()
+
+
+class TestPackedNodeCrossCheck:
+    def test_intact_tree_passes_and_accounts_once(self, sanitized):
+        tree = build_tree()
+        before = tree.stats.snapshot()
+        entries = tree.nearest(UIntCodec(8).encode(300), 16)
+        after = tree.stats.snapshot()
+        assert len(entries) == 16
+        # Parity verified in sandboxes; the caller-visible accounting is
+        # exactly one packed traversal, not three.
+        reads = after["page_reads"] - before["page_reads"]
+        assert 0 < reads <= tree.height + 16
+
+    def test_matches_unsanitized_answer_and_stats(self, unsanitized):
+        key = UIntCodec(8).encode(777)
+        plain_tree = build_tree()
+        plain = plain_tree.nearest(key, 12)
+        plain_stats = plain_tree.stats.snapshot()
+        sanitize.install()
+        try:
+            checked_tree = build_tree()
+            checked = checked_tree.nearest(key, 12)
+            checked_stats = checked_tree.stats.snapshot()
+        finally:
+            sanitize.uninstall()
+        assert [(bytes(k), bytes(v)) for k, v in plain] == \
+            [(bytes(k), bytes(v)) for k, v in checked]
+        assert plain_stats == checked_stats
+
+    def test_corrupted_packed_values_raise(self, sanitized):
+        tree = build_tree()
+        packed = tree._packed
+        packed.values_raw = packed.values_raw.copy()
+        packed.values_raw[40] ^= 0xFF  # one entry's payload corrupted
+        target = bytes(packed.keys_raw[40].tobytes())
+        with pytest.raises(SanitizerError, match="answer divergence"):
+            # count large enough to cover the corrupted position for
+            # any nearby key
+            tree.nearest(target, 8)
+
+    def test_trace_divergence_raises(self, sanitized):
+        tree = build_tree()
+        packed = tree._packed
+        original = type(packed).nearest_positions
+
+        def noisy(self, key, count, stats):
+            positions = original(self, key, count, stats)
+            stats.record_read(10_000)  # phantom page read
+            return positions
+
+        type(packed).nearest_positions = noisy
+        try:
+            with pytest.raises(SanitizerError, match="trace divergence"):
+                tree.nearest(UIntCodec(8).encode(42), 4)
+        finally:
+            type(packed).nearest_positions = original
+
+    def test_node_only_tree_unaffected(self, sanitized):
+        # cache_pages > 0 disables the packed mirror; the node path must
+        # work untouched under the sanitizer.
+        tree = build_tree(cache_pages=8)
+        assert tree._active_packed() is None
+        entries = tree.nearest(UIntCodec(8).encode(90), 5)
+        assert len(entries) == 5
+
+
+class TestEndToEndQueryParity:
+    def test_small_index_queries_identically(self, sanitized):
+        import repro
+        from repro import HDIndexParams, IndexSpec
+
+        rng = np.random.default_rng(5)
+        data = rng.uniform(0, 100, size=(400, 12))
+        queries = rng.uniform(0, 100, size=(5, 12))
+        index = repro.build(
+            IndexSpec(params=HDIndexParams(
+                num_trees=3, num_references=4, alpha=64, gamma=16,
+                domain=(0.0, 100.0), seed=1)),
+            data)
+        try:
+            for query in queries:
+                ids, dists = index.query(query, 5)
+                assert ids.shape == (5,)
+                assert np.all(np.isfinite(dists))
+        finally:
+            index.close()
