@@ -1,0 +1,204 @@
+"""Online-update benchmark: sustained WAL ingest under concurrent queries.
+
+The WAL subsystem replaces the O(n) snapshot resync (and process-pool
+restart) that every insert/delete used to trigger on a persisted index.
+This bench measures what that buys under the PR's acceptance workload:
+
+* **ingest throughput** — inserts+deletes per second through the
+  write-ahead log while reader threads hammer the same index,
+* **query throughput and latency percentiles** for the concurrent
+  readers, including the windows where a compaction folds the delta into
+  a new snapshot generation and hot-swaps the serving pool (the p99
+  bounds the swap pause),
+* **zero_errors** — no query may fail at any point of the stream, swap
+  included, and
+* **parity** — after the full stream, neighbours must be byte-identical
+  to an index freshly built from the same data in one shot (exhaustive
+  regime: α ≥ n, γ = α), with every deleted id absent.
+
+Results go to ``results/online_updates.txt`` (human) and
+``results/BENCH_online_updates.json`` (machine-readable; the committed
+copy is the CI regression baseline checked by
+``benchmarks/check_regression.py``).
+
+Run standalone (what the CI perf gate does)::
+
+    PYTHONPATH=src:. python benchmarks/bench_online_updates.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+import threading
+import time
+
+import numpy as np
+
+from benchmarks.common import (
+    emit,
+    emit_json,
+    latency_percentiles,
+    start_report,
+)
+from repro.core import Execution, HDIndex, HDIndexParams, IndexSpec, build
+
+BENCH = "online_updates"
+DIM = 8
+BASE_N = 400
+INSERTS = 600
+DELETE_EVERY = 9           # one delete per nine inserts
+COMPACT_AT = (300, 600)    # two compactions (and hot swaps) mid-stream
+NUM_READERS = 2
+PARITY_QUERIES = 16
+K = 10
+
+
+def _params(directory: str | None = None) -> HDIndexParams:
+    total = BASE_N + INSERTS
+    # Exhaustive regime (alpha >= n, gamma = alpha, no Ptolemaic cut):
+    # every candidate survives to the exact rerank, so parity with the
+    # one-shot oracle is byte-for-byte, not approximate.
+    return HDIndexParams(num_trees=2, hilbert_order=6, num_references=4,
+                         alpha=2 * total, gamma=2 * total,
+                         use_ptolemaic=False, domain=(0.0, 100.0), seed=13,
+                         storage_dir=directory)
+
+
+def run_online_updates_measurement() -> dict:
+    """Drive the acceptance workload and return the JSON payload."""
+    rng = np.random.default_rng(99)
+    base = rng.uniform(0.0, 100.0, size=(BASE_N, DIM))
+    stream = rng.uniform(0.0, 100.0, size=(INSERTS, DIM))
+    probe = base[rng.choice(BASE_N, PARITY_QUERIES, replace=False)]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        index = build(
+            IndexSpec(params=_params(tmp),
+                      execution=Execution(kind="process", workers=2)),
+            base, storage_dir=tmp)
+        index._wal_fsync = "batch"
+
+        errors: list[Exception] = []
+        reader_latencies: list[list[float]] = [[] for _ in range(NUM_READERS)]
+        stop = threading.Event()
+
+        def reader(slot: int) -> None:
+            reader_rng = np.random.default_rng(1000 + slot)
+            latencies = reader_latencies[slot]
+            while not stop.is_set():
+                point = probe[reader_rng.integers(0, len(probe))]
+                started = time.perf_counter()
+                try:
+                    index.query(point, 5)
+                except Exception as error:  # pragma: no cover - fails bench
+                    errors.append(error)
+                    return
+                latencies.append(time.perf_counter() - started)
+
+        readers = [threading.Thread(target=reader, args=(slot,))
+                   for slot in range(NUM_READERS)]
+        for thread in readers:
+            thread.start()
+
+        deleted: set[int] = set()
+        compact_seconds: list[float] = []
+        ingest_started = time.perf_counter()
+        try:
+            for position, vector in enumerate(stream):
+                index.insert(vector)
+                if position % DELETE_EVERY == 0:
+                    victim = int(rng.integers(0, BASE_N + position + 1))
+                    if victim not in deleted:
+                        index.delete(victim)
+                        deleted.add(victim)
+                if position + 1 in COMPACT_AT:
+                    swap_started = time.perf_counter()
+                    index.compact()
+                    compact_seconds.append(
+                        time.perf_counter() - swap_started)
+            ingest_seconds = time.perf_counter() - ingest_started
+        finally:
+            stop.set()
+            for thread in readers:
+                thread.join(120.0)
+
+        # Parity: the streamed index vs a one-shot oracle over the same
+        # final point set, byte-identical ids and distances.
+        parity = not errors
+        oracle = HDIndex(_params())
+        oracle.build(np.vstack([base, stream]))
+        for victim in deleted:
+            oracle.delete(victim)
+        try:
+            for point in probe:
+                ids, dists = index.query(point, K)
+                oracle_ids, oracle_dists = oracle.query(point, K)
+                parity = (parity
+                          and np.array_equal(ids, oracle_ids)
+                          and np.array_equal(dists, oracle_dists)
+                          and not (set(int(i) for i in ids) & deleted))
+        finally:
+            oracle.close()
+            generations = index.generation
+            index.close()
+
+        latencies = [second
+                     for slot in reader_latencies for second in slot]
+        ingest_ops = INSERTS + len(deleted)
+        return {
+            "config": {
+                "dim": DIM,
+                "base_n": BASE_N,
+                "inserts": INSERTS,
+                "deletes": len(deleted),
+                "compactions": len(COMPACT_AT),
+                "readers": NUM_READERS,
+                "k": K,
+                "execution": "process",
+                "workers": 2,
+                "fsync": "batch",
+            },
+            "metrics": {
+                "ingest_ops_per_s": round(ingest_ops / ingest_seconds, 1),
+                "ingest_seconds": round(ingest_seconds, 3),
+                "concurrent_query_qps": round(
+                    len(latencies) / max(sum(latencies), 1e-9), 1),
+                "queries_answered": len(latencies),
+                "compact_seconds_max": round(max(compact_seconds), 3),
+                "final_generation": generations,
+                **latency_percentiles(latencies),
+            },
+            "parity": bool(parity),
+            "zero_errors": not errors,
+        }
+
+
+def report(payload: dict) -> None:
+    start_report(BENCH, "Online updates: WAL ingest under concurrent load")
+    metrics = payload["metrics"]
+    emit(BENCH, f"""
+ingest (WAL)      : {metrics['ingest_ops_per_s']:>8.1f} ops/s \
+({payload['config']['inserts']} inserts + {payload['config']['deletes']} \
+deletes, {payload['config']['compactions']} compactions)
+concurrent reads  : {metrics['concurrent_query_qps']:>8.1f} q/s \
+({metrics['queries_answered']} answered, zero_errors=\
+{payload['zero_errors']})
+read latency      : p50 {metrics['p50_ms']:.2f} ms   p90 \
+{metrics['p90_ms']:.2f} ms   p99 {metrics['p99_ms']:.2f} ms
+compaction        : max {metrics['compact_seconds_max']:.3f} s to fold, \
+publish and hot-swap generation (serving never stops)
+parity vs one-shot oracle: {payload['parity']}
+
+-> the write path is one log frame + a delta row; queries keep flowing
+   through both compactions, and the final index is byte-identical to a
+   fresh build over the same stream""")
+    emit_json(BENCH, payload)
+
+
+if __name__ == "__main__":
+    result = run_online_updates_measurement()
+    report(result)
+    if not result["parity"]:
+        raise SystemExit("parity FAILED against the one-shot oracle")
+    if not result["zero_errors"]:
+        raise SystemExit("concurrent readers saw query errors")

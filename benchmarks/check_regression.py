@@ -42,11 +42,19 @@ import json
 import sys
 
 from benchmarks.bench_hotpath import run_hotpath_measurement
+from benchmarks.bench_online_updates import run_online_updates_measurement
 from benchmarks.common import host_fingerprint, load_baseline
 
 BENCH = "hotpath"
+ONLINE_BENCH = "online_updates"
 #: Maximum tolerated drop in single-query throughput vs the baseline.
 MAX_REGRESSION = 0.20
+#: Maximum tolerated drop in WAL ingest throughput vs the baseline.  The
+#: online bench runs reader threads, compactions and an fsync'ing log
+#: concurrently, so its numbers are far noisier than the single-query
+#: loop; a real loss of the WAL write path (back to O(n) resyncs) is a
+#: >10x cliff, which a 50% floor still catches cleanly.
+MAX_ONLINE_REGRESSION = 0.50
 
 
 def main() -> int:
@@ -98,10 +106,61 @@ def main() -> int:
         print(f"this host:     {json.dumps(host_fingerprint())}",
               file=sys.stderr)
         failed = True
+    failed = _check_online_updates() or failed
     if not failed:
         print("OK: within regression budget, parity holds")
     _emit_lint_report()
     return 1 if failed else 0
+
+
+def _check_online_updates() -> bool:
+    """Gate the WAL ingest bench: parity + zero_errors must be present
+    and true on both sides, and ingest throughput must hold the floor.
+
+    Returns True when the gate fails.
+    """
+    baseline = load_baseline(ONLINE_BENCH)
+    if baseline is None:
+        print(f"no committed BENCH_{ONLINE_BENCH}.json baseline; run "
+              f"benchmarks/bench_online_updates.py and commit the result",
+              file=sys.stderr)
+        return True
+
+    fresh = run_online_updates_measurement()
+    fresh_ops = fresh["metrics"]["ingest_ops_per_s"]
+    base_ops = baseline["metrics"]["ingest_ops_per_s"]
+    floor = base_ops * (1.0 - MAX_ONLINE_REGRESSION)
+
+    print(f"baseline WAL ingest: {base_ops:.1f} ops/s "
+          f"(floor at -{MAX_ONLINE_REGRESSION:.0%}: {floor:.1f} ops/s)")
+    print(f"fresh    WAL ingest: {fresh_ops:.1f} ops/s "
+          f"(reads {fresh['metrics']['concurrent_query_qps']:.1f} q/s, "
+          f"p99 {fresh['metrics']['p99_ms']:.2f} ms)")
+
+    failed = False
+    # Present-and-true on BOTH sides, like the hotpath parity flag: a
+    # payload that dropped the key (refactor, partial run) must fail,
+    # and a baseline recorded from a run with errors is no reference.
+    for side, payload in (("fresh", fresh), ("baseline", baseline)):
+        for flag in ("parity", "zero_errors"):
+            if flag not in payload:
+                print(f"FAIL: {side} BENCH_{ONLINE_BENCH} carries no "
+                      f"{flag} flag", file=sys.stderr)
+                failed = True
+            elif not payload[flag]:
+                print(f"FAIL: {side} BENCH_{ONLINE_BENCH} recorded "
+                      f"{flag}=false", file=sys.stderr)
+                failed = True
+    if fresh_ops < floor:
+        print(f"FAIL: WAL ingest throughput regressed "
+              f"{1 - fresh_ops / base_ops:.0%} "
+              f"(> {MAX_ONLINE_REGRESSION:.0%} allowed)", file=sys.stderr)
+        print(f"baseline host: {json.dumps(baseline.get('host', {}))}",
+              file=sys.stderr)
+        print(f"this host:     {json.dumps(host_fingerprint())}",
+              file=sys.stderr)
+        failed = True
+    return failed
 
 
 def _emit_lint_report() -> None:

@@ -1,12 +1,14 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five commands cover the library's main workflows without writing code:
+Six commands cover the library's main workflows without writing code:
 
 * ``info``      — list dataset configurations and paper-recommended params;
 * ``build``     — build the index an :class:`~repro.core.IndexSpec`
   describes (``--spec spec.json``, or synthesised from ``--shards`` /
-  ``--execution`` / ``--workers`` / ``--backend`` flags) over a dataset
-  (synthetic or .fvecs) and persist it to a directory;
+  ``--execution`` / ``--workers`` / ``--backend`` / ``--wal`` flags) over
+  a dataset (synthetic or .fvecs) and persist it to a directory;
+* ``compact``   — fold a WAL-backed index's in-memory delta into a new
+  snapshot generation (see :mod:`repro.wal`);
 * ``query``     — reopen a persisted index via :func:`repro.open` and run
   a query workload against it, reporting MAP/ratio/time/I/O;
 * ``serve``     — load a persisted index into a micro-batching
@@ -86,6 +88,18 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="page-store backend; file/mmap write the page "
                             "files straight into --out (no copy at save)")
+    build.add_argument("--wal", action="store_true",
+                       help="record inserts/deletes in a write-ahead log "
+                            "next to the snapshot (online updates without "
+                            "full resyncs; fold with `repro compact`)")
+
+    compact = commands.add_parser(
+        "compact", help="fold a WAL-backed index's delta into a new "
+                        "snapshot generation")
+    compact.add_argument("--index", required=True,
+                         help="directory holding a WAL-backed index "
+                              "(built with --wal, or served with process "
+                              "execution)")
 
     query = commands.add_parser("query", help="query a persisted index")
     query.add_argument("--index", required=True,
@@ -279,6 +293,8 @@ def _spec_from_args(args, data, dataset_spec) -> IndexSpec:
     if updates:
         # replace() keeps the spec file's worker_backend/worker_timeout.
         execution = _dc.replace(execution, **updates)
+    if getattr(args, "wal", False):
+        execution = _dc.replace(execution, wal=True)
     backend = args.backend if args.backend is not None else base.backend
     return IndexSpec(params=params, topology=topology,
                      execution=execution, backend=backend)
@@ -308,6 +324,21 @@ def cmd_build(args, out=sys.stdout) -> int:
     print(f"index {index.index_size_bytes():,} B + descriptors "
           f"{descriptors:,} B -> {args.out}", file=out)
     index.close()
+    return 0
+
+
+def cmd_compact(args, out=sys.stdout) -> int:
+    index = open_index(args.index)
+    try:
+        if not index._wal_active():
+            print(f"error: {args.index} is not WAL-backed (build with "
+                  f"--wal, or open with wal=True)", file=sys.stderr)
+            return 2
+        generation = index.compact()
+        print(f"compacted {index.name} (n={index.count}) -> "
+              f"generation {generation}", file=out)
+    finally:
+        index.close()
     return 0
 
 
@@ -453,6 +484,7 @@ def cmd_compare(args, out=sys.stdout) -> int:
 COMMANDS = {
     "info": cmd_info,
     "build": cmd_build,
+    "compact": cmd_compact,
     "query": cmd_query,
     "serve": cmd_serve,
     "compare": cmd_compare,

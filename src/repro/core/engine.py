@@ -365,7 +365,7 @@ class QueryEngine:
         if not kappa:
             return (np.empty(0, dtype=np.int64),
                     np.empty(0, dtype=np.float64))
-        descriptors = self.index.heap.gather(merged)
+        descriptors = self._gather_descriptors(merged)
         exact = euclidean_to_many(point, descriptors,
                                   self.index._distance_counter)
         best = top_k_smallest(exact, min(k, kappa))
@@ -502,7 +502,7 @@ class QueryEngine:
         total_kappa = sum(m.shape[0] for m in merged_per_row)
         if total_kappa:
             unique_ids = np.unique(np.concatenate(merged_per_row))
-            descriptors = index.heap.gather(unique_ids)
+            descriptors = self._gather_descriptors(unique_ids)
             for row in range(batch):
                 merged = merged_per_row[row]
                 if not merged.shape[0]:
@@ -534,17 +534,58 @@ class QueryEngine:
 
     def _merge_survivors(self, survivor_ids: Sequence[np.ndarray]
                          ) -> np.ndarray:
-        """Union of per-tree survivor sets minus deleted ids (Algo. 2
-        line 11) — the single synchronisation point."""
+        """Union of per-tree survivor sets, plus the WAL delta segment,
+        minus deleted ids (Algo. 2 line 11) — the single synchronisation
+        point.
+
+        Every un-compacted delta entry joins the survivor set: the delta
+        is the brute-force-searched tail of the index, and stage (iii)'s
+        exact distances decide whether any of it ranks.  Deleted ids are
+        filtered here for base and delta entries alike, so a
+        deleted-in-delta id can never surface from the base snapshot.
+        """
         survivor_ids = [ids for ids in survivor_ids if ids.shape[0]]
         if survivor_ids:
             merged = np.unique(np.concatenate(survivor_ids))
         else:
             merged = np.empty(0, dtype=np.int64)
-        deleted = self.index._deleted
-        if deleted:
-            merged = merged[~np.isin(merged, list(deleted))]
+        delta = getattr(self.index, "_delta", None)
+        if delta is not None and len(delta):
+            merged = np.union1d(merged, delta.id_range())
+        deleted = self.index._deleted_ids()
+        if deleted.size:
+            merged = merged[~np.isin(merged, deleted)]
         return merged
+
+    def _gather_descriptors(self, ids: np.ndarray) -> np.ndarray:
+        """Stage-(iii) descriptor fetch, delta-aware: base ids come from
+        the heap file's vectorised gather, delta ids from the in-memory
+        segment (same storage dtype, so distances are bit-identical to a
+        post-compaction fetch).  ``ids`` is sorted (np.unique output)."""
+        index = self.index
+        lock = getattr(index, "_update_lock", None)
+        if lock is None:
+            heap, delta = index.heap, getattr(index, "_delta", None)
+        else:
+            # Snapshot the (heap, delta) pair coherently: a concurrent
+            # generation hot-swap replaces both under this lock, and a
+            # mixed pair (old heap, new delta) would send post-base ids
+            # to a heap file that does not hold them.  Either coherent
+            # generation covers every id a scan could have produced.
+            with lock:
+                heap, delta = index.heap, index._delta
+        base_count = len(heap)
+        if (delta is None or not len(delta) or not ids.shape[0]
+                or ids[-1] < base_count):
+            return heap.gather(ids)
+        in_delta = ids >= base_count
+        descriptors = np.empty((ids.shape[0], index.dim),
+                               dtype=heap.dtype)
+        base_ids = ids[~in_delta]
+        if base_ids.shape[0]:
+            descriptors[~in_delta] = heap.gather(base_ids)
+        descriptors[in_delta] = delta.gather(ids[in_delta])
+        return descriptors
 
     @staticmethod
     def _add_remote_delta(stats: QueryStats, delta: dict) -> None:

@@ -71,9 +71,15 @@ def create_index(spec: IndexSpec | None = None,
     spec = coerce_spec(spec)
     params = spec.resolved_params(
         None if storage_dir is None else os.fspath(storage_dir))
+    if spec.execution.wal is True and params.storage_dir is None:
+        raise ValueError(
+            "Execution(wal=True) requires a disk-backed index "
+            "(storage_dir=...): the write-ahead log lives next to the "
+            "snapshot")
     if spec.topology.shards > 1 or spec.topology.shard_backends is not None:
         return ShardRouter(params, spec.topology, spec.execution)
     index = HDIndex(params)
+    index._wal_policy = spec.execution.wal
     index.set_executor(make_executor(spec.execution, index))
     return index
 
@@ -127,7 +133,8 @@ def _already_persisted(index: HDIndex | ShardRouter,
 def open_index(path: str | os.PathLike[str],
                backend: str | None = None,
                cache_pages: int | None = None,
-               execution: Execution | str | None = None
+               execution: Execution | str | None = None,
+               wal: bool | None = None
                ) -> HDIndex | ShardRouter:
     """Reopen a persisted index, honouring the spec recorded in its
     snapshot — no kind-dispatch special cases.
@@ -147,17 +154,25 @@ def open_index(path: str | os.PathLike[str],
             (``"sequential"``/``"thread"``/``"process"``).  This is how a
             snapshot built sequentially is served process-parallel
             without rebuilding.
+        wal: Online-update override (:mod:`repro.wal`) — ``True`` forces
+            WAL mode, ``False`` the legacy mark-dirty/resync write path,
+            ``None`` honours the snapshot's recorded policy (with WAL
+            state on disk, or process execution, turning it on).
 
     Returns:
         A ready-to-query :class:`~repro.core.hdindex.HDIndex` or
         :class:`~repro.core.router.ShardRouter`.
     """
     from repro.core.persistence import load_index
-    index = load_index(path, cache_pages=cache_pages, backend=backend)
+    index = load_index(path, cache_pages=cache_pages, backend=backend,
+                       wal=wal)
     if execution is not None:
         if isinstance(execution, str):
             execution = Execution(kind=execution)
         set_execution(index, execution)
+        if execution.wal is not None and wal is None:
+            from repro.wal.manager import attach_wal
+            attach_wal(index, os.fspath(path), execution.wal)
     return index
 
 

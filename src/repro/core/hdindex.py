@@ -10,7 +10,9 @@ distance ranking.
 
 from __future__ import annotations
 
+import dataclasses
 import os
+import threading
 import time
 
 import numpy as np
@@ -48,9 +50,13 @@ class HDIndex(KNNIndex):
 
     With a *remote* (process) executor the index must live on disk
     (``params.storage_dir``): :meth:`build` persists the snapshot the
-    worker processes bootstrap from, :meth:`insert` marks it stale, and
-    the next query re-persists and restarts the pool — so a burst of
-    inserts pays one resync.
+    worker processes bootstrap from.  Online updates then flow through
+    the write-ahead log (:mod:`repro.wal`): :meth:`insert` appends one
+    log frame and lands in an in-memory delta segment searched beside
+    the base snapshot — the snapshot is never rewritten and the pool is
+    never restarted on the write path.  :meth:`compact` folds the delta
+    into a new generation and hot-swaps to it.  (``Execution(wal=False)``
+    restores the legacy mark-dirty/resync behaviour.)
 
     >>> import numpy as np
     >>> from repro import HDIndex, HDIndexParams
@@ -78,6 +84,17 @@ class HDIndex(KNNIndex):
         self._query_stats = QueryStats()
         self._distance_counter = DistanceCounter()
         self._snapshot_dirty = False
+        # Online-update state (repro.wal): the log handle and delta
+        # segment exist only while WAL mode is active; _wal_policy is
+        # the three-state Execution.wal knob (None = auto).
+        self.generation = 0
+        self._wal = None
+        self._delta = None
+        self._wal_policy: bool | None = None
+        self._wal_root: str | None = None
+        self._wal_fsync = "always"
+        self._retired = None
+        self._update_lock = threading.Lock()
         self._engine = QueryEngine(self)
         if executor is not None:
             self.set_executor(executor)
@@ -106,9 +123,11 @@ class HDIndex(KNNIndex):
     def spec(self) -> IndexSpec:
         """The declarative :class:`~repro.core.spec.IndexSpec` describing
         this index's current configuration (persisted into snapshots)."""
+        execution = executor_to_execution(self._engine.executor)
+        if self._wal_policy is not None:
+            execution = dataclasses.replace(execution, wal=self._wal_policy)
         return IndexSpec(params=self.params, topology=Topology(),
-                         execution=executor_to_execution(
-                             self._engine.executor))
+                         execution=execution)
 
     def set_executor(self, executor: Executor) -> None:
         """Swap the scan-execution strategy (closing the previous one).
@@ -161,6 +180,122 @@ class HDIndex(KNNIndex):
         save_index(self, self.snapshot_dir or self.params.storage_dir)
         self._engine.executor.pool.reset()
         self._snapshot_dirty = False
+
+    # -- online updates (repro.wal) ---------------------------------------
+
+    def _wal_active(self) -> bool:
+        """True when inserts/deletes flow through the write-ahead log
+        instead of mutating the built structures in place."""
+        if self._wal is not None:
+            return True
+        if self._wal_policy is not None:
+            return self._wal_policy
+        return self._remote
+
+    def _ensure_wal(self) -> None:
+        if self._wal is None:
+            from repro.wal.manager import enable_wal
+            enable_wal(self)
+
+    def _delta_insert(self, vector: np.ndarray) -> int:
+        """Apply one insert to the delta segment only — the router's
+        (and replay's) entry point, which never logs here because the
+        record already lives in the owning log."""
+        vector = np.asarray(vector, dtype=np.float64).ravel()
+        if vector.shape[0] != self.dim:
+            raise ValueError(
+                f"vector has dimension {vector.shape[0]}, "
+                f"expected {self.dim}")
+        if self._delta is None:
+            from repro.wal.delta import DeltaSegment
+            self._delta = DeltaSegment(len(self.heap), self.dim,
+                                       self.heap.dtype)
+        object_id = self._delta.append(vector)
+        self.count += 1
+        return object_id
+
+    def _deleted_ids(self) -> np.ndarray:
+        """Stable array snapshot of the deleted-id set (safe against a
+        concurrent WAL-mode delete mutating the set mid-filter)."""
+        with self._update_lock:
+            if not self._deleted:
+                return np.empty(0, dtype=np.int64)
+            return np.fromiter(self._deleted, dtype=np.int64,
+                               count=len(self._deleted))
+
+    def compact(self) -> int:
+        """Fold the WAL delta into a new snapshot generation, publish it
+        via the ``CURRENT`` pointer, truncate the log, and adopt the new
+        generation in place (re-binding a process pool to it without
+        cancelling in-flight work).
+
+        Returns:
+            The new generation number.
+
+        Raises:
+            RuntimeError: If the index has no write-ahead log (built
+                with ``Execution(wal=False)``, or memory-backed).
+        """
+        self._require_built()
+        if not self._wal_active():
+            raise RuntimeError(
+                "compact() requires WAL-mode updates; build with "
+                "Execution(wal=True) or process execution")
+        self._ensure_wal()
+        from repro.wal.manager import compact_index
+        generation = compact_index(self)
+        self._adopt_current()
+        return generation
+
+    def _adopt_current(self) -> None:
+        """Reload the published generation and transplant its structures
+        into this live object (queries between micro-batches see either
+        the old base+delta or the new base — both correct)."""
+        from repro.core.persistence import load_index
+        root = self._wal_root
+        fresh = load_index(root, cache_pages=self.params.cache_pages,
+                           backend=self.params.resolved_backend)
+        old_trees, old_heap, old_wal = self.trees, self.heap, self._wal
+        with self._update_lock:
+            self.params = fresh.params
+            self.trees = fresh.trees
+            self.partitions = fresh.partitions
+            self.references = fresh.references
+            self.heap = fresh.heap
+            self.quantizer = fresh.quantizer
+            self.dim = fresh.dim
+            self.count = fresh.count
+            self._deleted = fresh._deleted
+            self.generation = fresh.generation
+            self._wal = fresh._wal
+            self._delta = fresh._delta
+            self._wal_root = fresh._wal_root
+            self._snapshot_dirty = False
+        # The transplant keeps *this* object's executor: a process pool
+        # swaps to the new generation directory, letting in-flight
+        # futures finish against the old workers.
+        fresh._engine.executor.close()
+        if self._remote:
+            self._engine.executor.pool.swap(self.params.storage_dir)
+        if old_wal is not None and old_wal is not self._wal:
+            old_wal.close()
+        # Retire (don't close) the superseded structures: concurrent
+        # readers that resolved ``self.heap``/``self.trees`` just before
+        # the transplant may still be mid-gather on them.  One retired
+        # generation is kept live — the same window the on-disk pruning
+        # grants — and closed at the *next* swap (or at close()).
+        self._close_retired()
+        self._retired = (old_trees, old_heap)
+
+    def _close_retired(self) -> None:
+        retired, self._retired = getattr(self, "_retired", None), None
+        if retired is None:
+            return
+        old_trees, old_heap = retired
+        for tree in old_trees:
+            tree.tree.pool.store.close()
+        if old_heap is not None:
+            old_heap.close()
 
     # -- construction (Algo. 1) -------------------------------------------
 
@@ -320,6 +455,17 @@ class HDIndex(KNNIndex):
         if vector.shape[0] != self.dim:
             raise ValueError(
                 f"vector has dimension {vector.shape[0]}, expected {self.dim}")
+        if self._wal_active():
+            # One log frame + an in-memory delta row; the built trees,
+            # heap and (for process execution) the workers' snapshot are
+            # untouched, so no resync or pool restart ever follows.
+            self._ensure_wal()
+            with self._update_lock:
+                object_id = self._delta.next_id
+                self._wal.append_insert(object_id, vector)
+                self._delta.append(vector)
+                self.count += 1
+            return object_id
         object_id = self.heap.append(vector)
         reference_distances = self.references.distances_from(vector)[0]
         for tree, part in zip(self.trees, self.partitions):
@@ -327,11 +473,6 @@ class HDIndex(KNNIndex):
             key = int(tree.curve.encode_batch(coords)[0])
             tree.insert(key, object_id, reference_distances)
         self.count += 1
-        # With a remote executor the parent's trees gained the entry
-        # immediately, but the workers' snapshot is now stale; the next
-        # query re-persists and restarts the pool.  delete() needs no
-        # resync: the deleted-id filter runs parent-side in the engine's
-        # survivor merge.
         self._snapshot_dirty = True
         return object_id
 
@@ -347,8 +488,14 @@ class HDIndex(KNNIndex):
             RuntimeError: If called before :meth:`build`.
         """
         self._require_built()
-        if not 0 <= object_id < len(self.heap):
+        if not 0 <= object_id < self.count:
             raise ValueError(f"unknown object id {object_id}")
+        if self._wal_active():
+            self._ensure_wal()
+            with self._update_lock:
+                self._wal.append_delete(int(object_id))
+                self._deleted.add(int(object_id))
+            return
         self._deleted.add(int(object_id))
 
     # -- accounting ----------------------------------------------------
@@ -446,6 +593,9 @@ class HDIndex(KNNIndex):
         """Release the query executor and the backing page stores (file
         handles in disk mode).  Idempotent."""
         self._engine.close()
+        if self._wal is not None:
+            self._wal.close()
+        self._close_retired()
         for tree in self.trees:
             tree.tree.pool.store.close()
         if self.heap is not None:

@@ -115,12 +115,16 @@ def save_index(index, directory: str | os.PathLike[str]) -> None:
 
 def load_index(directory: str | os.PathLike[str],
                cache_pages: int | None = None,
-               backend: str | None = None):
+               backend: str | None = None,
+               wal: bool | None = None):
     """Re-open a persisted index for querying (and further updates).
 
     The directory is inspected for a ``manifest.json`` (sharded snapshot)
     or a ``meta.json`` (plain / parallel snapshot) and an instance of the
-    saved class is returned.
+    saved class is returned.  A WAL-enabled root (``CURRENT`` pointer /
+    ``wal.log``, :mod:`repro.wal`) resolves to its live generation and
+    replays the log into an in-memory delta segment, so a crash-recovered
+    index answers exactly as the pre-crash one did.
 
     Args:
         directory: A directory written by :func:`save_index`.
@@ -136,6 +140,11 @@ def load_index(directory: str | os.PathLike[str],
             indexes).  ``None`` honours the backend the snapshot was
             built with when that was ``"file"``/``"mmap"``, else
             ``"file"``.  Results are byte-identical across backends.
+        wal: Online-update override — ``True`` forces WAL mode,
+            ``False`` forces the legacy mark-dirty/resync write path,
+            ``None`` honours the snapshot's recorded
+            ``Execution(wal=...)`` policy (auto-detecting WAL state on
+            disk, and defaulting process execution to WAL mode).
 
     Returns:
         A ready-to-query :class:`HDIndex` (executor reconstructed from
@@ -152,12 +161,22 @@ def load_index(directory: str | os.PathLike[str],
         raise PersistenceError(
             f"unknown storage backend {backend!r}; choose from "
             f"'memory', 'file', 'mmap'")
-    if os.path.exists(os.path.join(directory, MANIFEST_FILE)):
-        return _load_sharded(directory, cache_pages, backend)
-    if os.path.exists(os.path.join(directory, META_FILE)):
-        return _load_hdindex(directory, cache_pages, backend)
-    raise PersistenceError(
-        f"{directory} has neither {META_FILE} nor {MANIFEST_FILE}")
+    if wal not in (None, True, False):
+        raise PersistenceError(
+            f"wal must be True, False or None, got {wal!r}")
+    from repro.wal.manager import attach_wal, resolve_snapshot_dir
+    # A WAL root's CURRENT pointer wins over any stale in-root meta: the
+    # published generation is the durable truth.
+    target = resolve_snapshot_dir(directory)
+    if os.path.exists(os.path.join(target, MANIFEST_FILE)):
+        index = _load_sharded(target, cache_pages, backend)
+    elif os.path.exists(os.path.join(target, META_FILE)):
+        index = _load_hdindex(target, cache_pages, backend)
+    else:
+        raise PersistenceError(
+            f"{directory} has neither {META_FILE} nor {MANIFEST_FILE}")
+    attach_wal(index, directory, wal)
+    return index
 
 
 # -- plain / parallel indexes ----------------------------------------------
@@ -165,6 +184,10 @@ def load_index(directory: str | os.PathLike[str],
 
 def _save_hdindex(index: HDIndex, directory: str) -> None:
     index._require_built()
+    if getattr(index, "_delta", None) is not None and len(index._delta):
+        raise PersistenceError(
+            "index holds un-compacted WAL delta entries; call compact() "
+            "to fold them into a snapshot generation before save_index()")
     os.makedirs(directory, exist_ok=True)
 
     _materialise_store(index.heap.pool.store, directory, "descriptors",
@@ -192,6 +215,7 @@ def _save_hdindex(index: HDIndex, directory: str) -> None:
         "params": dataclasses.asdict(index.params),
         "dim": index.dim,
         "count": index.count,
+        "generation": int(getattr(index, "generation", 0)),
         "deleted": sorted(index._deleted),
         "partitions": [part.tolist() for part in index.partitions],
         "quantizer": {"low": index.quantizer.low,
@@ -224,6 +248,8 @@ def _load_hdindex(directory: str, cache_pages: int | None,
     index = HDIndex(params)
     index.dim = int(meta["dim"])
     index.count = int(meta["count"])
+    index.generation = int(meta.get("generation", 0))
+    index._wal_policy = execution.wal
     index._deleted = set(int(i) for i in meta["deleted"])
     index.partitions = [np.asarray(part, dtype=np.int64)
                         for part in meta["partitions"]]
@@ -338,6 +364,13 @@ def _save_sharded(index, directory: str) -> None:
             # already exactly what _save_hdindex would write.
             continue
         _save_hdindex(shard, shard_directory)
+    _write_manifest(index, directory)
+
+
+def _write_manifest(index, directory: str) -> None:
+    """Atomically (re)write a router's ``manifest.json`` — also the
+    publish step of sharded compaction, which must never leave a torn
+    manifest behind a crash."""
     params = dataclasses.asdict(index.params)
     # The wrapper's storage_dir is a property of the *deployment*, not the
     # snapshot; load_index re-points it at the snapshot directory.
@@ -349,6 +382,7 @@ def _save_sharded(index, directory: str) -> None:
                  "execution": index.execution.to_dict()},
         "num_shards": index.num_shards,
         "count": index.count,
+        "generation": int(getattr(index, "generation", 0)),
         "offsets": [int(v) for v in index.offsets],
         # Only ids handed out by insert(); the build-time ranges are
         # implied by the contiguous offsets.
@@ -358,8 +392,13 @@ def _save_sharded(index, directory: str) -> None:
             for s, id_map in enumerate(index._id_maps)],
         "params": params,
     }
-    with open(os.path.join(directory, MANIFEST_FILE), "w") as handle:
+    path = os.path.join(directory, MANIFEST_FILE)
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
         json.dump(manifest, handle, indent=2)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
 
 
 def _shard_snapshot_is_current(shard, shard_directory: str) -> bool:
@@ -417,14 +456,23 @@ def _load_sharded(directory: str, cache_pages: int | None,
     num_shards = int(manifest["num_shards"])
     index = ShardRouter(params, topology, execution)
     index.count = int(manifest["count"])
+    index.generation = int(manifest.get("generation", 0))
     index.offsets = np.asarray(manifest["offsets"], dtype=np.int64)
     index.shards = []
     index._id_maps = []
     index._id_arrays = [None] * num_shards
+    from repro.wal.manager import resolve_snapshot_dir
     for shard_index in range(num_shards):
-        shard_directory = _shard_dir(directory, shard_index)
-        index.shards.append(
-            _load_hdindex(shard_directory, cache_pages, requested_backend))
+        # Each shard directory may carry its own published generation
+        # (sharded compaction); resolve it before reading meta.json.
+        shard_directory = resolve_snapshot_dir(
+            _shard_dir(directory, shard_index))
+        shard = _load_hdindex(shard_directory, cache_pages,
+                              requested_backend)
+        # The router owns the (single) write-ahead log; shards never log
+        # or auto-enable WAL mode on their own.
+        shard._wal_policy = False
+        index.shards.append(shard)
         built = list(range(int(index.offsets[shard_index]),
                            int(index.offsets[shard_index + 1])))
         tail = [int(v) for v in manifest["insert_tails"][shard_index]]

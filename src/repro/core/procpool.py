@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
 from concurrent.futures import Future, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FutureTimeoutError
@@ -229,6 +230,12 @@ class SnapshotWorkerPool:
         self.cache_pages = cache_pages
         self.timeout = timeout
         self._pool: ProcessPoolExecutor | None = None
+        # Pool lifecycle is mutated from many threads (service clients
+        # lazily re-forking after a generation swap, the dispatcher
+        # resetting after a crash): without serialization, two racing
+        # _ensure() calls each fork an executor and the loser leaks its
+        # workers — which then hang interpreter shutdown.
+        self._lifecycle_lock = threading.Lock()
         self._closed = False
 
     # -- lifecycle -------------------------------------------------------
@@ -241,13 +248,15 @@ class SnapshotWorkerPool:
                 "no snapshot directory bound; build()/save_index() the "
                 "index first (process workers bootstrap from the snapshot, "
                 "never from pickled live state)")
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.num_workers,
-                mp_context=preferred_context(),
-                initializer=_worker_init,
-                initargs=(self.directory, self.backend, self.cache_pages))
-        return self._pool
+        with self._lifecycle_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.num_workers,
+                    mp_context=preferred_context(),
+                    initializer=_worker_init,
+                    initargs=(self.directory, self.backend,
+                              self.cache_pages))
+            return self._pool
 
     def prestart(self) -> list[int]:
         """Fork the worker processes now; returns their pids.
@@ -273,7 +282,8 @@ class SnapshotWorkerPool:
         — the timeout path, where a wedged worker would otherwise keep the
         shutdown waiting forever.
         """
-        pool, self._pool = self._pool, None
+        with self._lifecycle_lock:
+            pool, self._pool = self._pool, None
         if pool is None:
             return
         if kill:
@@ -283,6 +293,23 @@ class SnapshotWorkerPool:
                 except Exception:
                     pass
         pool.shutdown(wait=not kill, cancel_futures=True)
+
+    def swap(self, directory: str | os.PathLike[str]) -> None:
+        """Re-bind the pool to a new snapshot directory — the
+        zero-downtime half of a generation swap (:mod:`repro.wal`).
+
+        Unlike :meth:`reset`, futures already dispatched are *not*
+        cancelled: the old worker processes finish their in-flight tasks
+        against the old generation and exit on their own; the next
+        submit lazily forks a fresh pool that bootstraps from
+        ``directory``.
+        """
+        with self._lifecycle_lock:
+            pool, self._pool = self._pool, None
+            self.directory = (None if directory is None
+                              else os.fspath(directory))
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=False)
 
     def close(self) -> None:
         """Shut the pool down (idempotent)."""
@@ -297,12 +324,23 @@ class SnapshotWorkerPool:
 
     def submit(self, task, /, *args) -> Future:
         """Submit one task; crashes surface through :meth:`gather`."""
-        try:
-            return self._ensure().submit(task, *args)
-        except BrokenProcessPool as error:
-            self.reset()
-            raise WorkerCrashed(
-                f"worker pool broken before dispatch: {error}") from error
+        while True:
+            pool = self._ensure()
+            try:
+                return pool.submit(task, *args)
+            except BrokenProcessPool as error:
+                self.reset()
+                raise WorkerCrashed(
+                    f"worker pool broken before dispatch: {error}") \
+                    from error
+            except RuntimeError as error:
+                # A generation swap() shut this executor down between
+                # _ensure() returning it and the submit landing: loop and
+                # dispatch to the current pool instead.  Anything else —
+                # including a genuinely closed pool — is a real error.
+                if ("shutdown" not in str(error) or self._closed
+                        or self._pool is pool):
+                    raise
 
     def gather(self, futures: list[Future]) -> list:
         """Collect results in order, converting pool failures to typed

@@ -26,6 +26,7 @@ unsharded index over the same data.
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 
 import numpy as np
@@ -79,12 +80,22 @@ class ShardRouter(KNNIndex):
         self._build_stats = BuildStats()
         self._query_stats = QueryStats()
         self._manifest_dirty = False
+        # Online-update state (repro.wal): one router-level log whose
+        # records carry the target shard; shards never log individually.
+        self.generation = 0
+        self._wal = None
+        self._wal_policy: bool | None = self.execution.wal
+        self._wal_root: str | None = None
+        self._wal_fsync = "always"
 
     @property
     def spec(self) -> IndexSpec:
         """The declarative spec describing this router's configuration."""
+        execution = self.execution
+        if self._wal_policy != execution.wal:
+            execution = dataclasses.replace(execution, wal=self._wal_policy)
         return IndexSpec(params=self.params, topology=self.topology,
-                         execution=self.execution)
+                         execution=execution)
 
     # -- child construction ------------------------------------------------
 
@@ -103,6 +114,9 @@ class ShardRouter(KNNIndex):
 
     def _make_shard(self, shard_index: int) -> HDIndex:
         shard = HDIndex(self._shard_params(shard_index))
+        # The router owns the write-ahead log; a shard must never log or
+        # auto-enable WAL mode on its own (process shards would).
+        shard._wal_policy = False
         shard.set_executor(make_executor(self.execution, shard))
         return shard
 
@@ -151,16 +165,17 @@ class ShardRouter(KNNIndex):
             self._manifest_dirty = False
 
     def _sync_manifest(self) -> None:
-        """Keep the auto-persisted snapshot reopenable after updates.
+        """Keep the auto-persisted snapshot reopenable after updates
+        (legacy write path only).
 
-        A process-execution router promises its ``storage_dir`` is always
-        a consistent snapshot.  Inserts/deletes mutate the shards (whose
-        own resync is lazy, on their next query); this re-persists the
-        whole router — the clean self-persisted shards are skipped, so
-        the usual cost is one manifest write — before the next query, so
-        a burst of updates pays one sync, mirroring
-        :meth:`HDIndex._sync_snapshot`.
+        With WAL mode active the snapshot is *already* durable — every
+        mutation is one log frame, replayed on reopen — so there is
+        nothing to sync and no pool to restart.  On the legacy path a
+        process-execution router re-persists the whole snapshot before
+        the next query, mirroring :meth:`HDIndex._sync_snapshot`.
         """
+        if self._wal_active():
+            return
         if not self._manifest_dirty or self.execution.kind != "process":
             return
         for shard in self.shards:
@@ -168,6 +183,52 @@ class ShardRouter(KNNIndex):
         from repro.core.persistence import save_index
         save_index(self, self.params.storage_dir)
         self._manifest_dirty = False
+
+    # -- online updates (repro.wal) ---------------------------------------
+
+    def _wal_active(self) -> bool:
+        """True when inserts/deletes flow through the router-level
+        write-ahead log instead of mutating shard snapshots."""
+        if self._wal is not None:
+            return True
+        if self._wal_policy is not None:
+            return self._wal_policy
+        return self.execution.kind == "process"
+
+    def _ensure_wal(self) -> None:
+        if self._wal is None:
+            from repro.wal.manager import enable_router_wal
+            enable_router_wal(self)
+
+    def compact(self) -> int:
+        """Fold every shard's WAL delta into a new snapshot generation,
+        publish the per-shard ``CURRENT`` pointers, atomically rewrite
+        the manifest, truncate the log, and hot-swap the shards onto the
+        new generations.
+
+        Returns:
+            The new generation number.
+        """
+        self._require_built()
+        if not self._wal_active():
+            raise RuntimeError(
+                "compact() requires WAL-mode updates; build with "
+                "Execution(wal=True) or process execution")
+        self._ensure_wal()
+        from repro.wal.manager import compact_router, resolve_snapshot_dir
+        generation = compact_router(self)
+        for shard_index, shard in enumerate(self.shards):
+            shard_root = f"{self._wal_root}/shard_{shard_index}"
+            if (os.path.abspath(resolve_snapshot_dir(shard_root))
+                    != os.path.abspath(shard.params.storage_dir)):
+                # This shard folded into a new generation: hot-swap onto
+                # it (the shard keeps its executor; a process pool
+                # re-binds without cancelling in-flight work).
+                shard._wal_root = shard_root
+                shard._adopt_current()
+                shard._wal_policy = False
+            shard._delta = None
+        return generation
 
     def query(self, point: np.ndarray, k: int,
               alpha: int | None = None, beta: int | None = None,
@@ -268,10 +329,30 @@ class ShardRouter(KNNIndex):
         )
 
     def insert(self, vector: np.ndarray) -> int:
-        """Route the insert to the least-loaded shard; return a global id."""
+        """Route the insert to the least-loaded shard; return a global id.
+
+        With WAL mode active (:mod:`repro.wal`) the write costs one log
+        frame — the record carries the target shard — plus an in-memory
+        delta row in that shard; no snapshot is rewritten and no worker
+        pool restarts.
+        """
         self._require_built()
         sizes = [shard.count for shard in self.shards]
         target = int(np.argmin(sizes))
+        if self._wal_active():
+            self._ensure_wal()
+            vector = np.asarray(vector, dtype=np.float64).ravel()
+            if vector.shape[0] != self.dim:
+                raise ValueError(
+                    f"vector has dimension {vector.shape[0]}, "
+                    f"expected {self.dim}")
+            global_id = self.count
+            self._wal.append_insert(global_id, vector, shard=target)
+            self.shards[target]._delta_insert(vector)
+            self._id_maps[target].append(global_id)
+            self._id_arrays[target] = None
+            self.count += 1
+            return global_id
         self.shards[target].insert(vector)
         global_id = self.count
         self._id_maps[target].append(global_id)
@@ -292,6 +373,13 @@ class ShardRouter(KNNIndex):
         (Sec. 3.6 update path, distributed)."""
         self._require_built()
         shard_index, local_id = self._locate(int(object_id))
+        if self._wal_active():
+            self._ensure_wal()
+            shard = self.shards[shard_index]
+            self._wal.append_delete(int(object_id), shard=shard_index)
+            with shard._update_lock:
+                shard._deleted.add(int(local_id))
+            return
         self.shards[shard_index].delete(local_id)
         self._manifest_dirty = True
 
@@ -349,5 +437,7 @@ class ShardRouter(KNNIndex):
         return self._build_stats
 
     def close(self) -> None:
+        if self._wal is not None:
+            self._wal.close()
         for shard in self.shards:
             shard.close()

@@ -128,6 +128,14 @@ class Execution:
         Seconds a dispatched process-pool task may take before the pool
         is declared wedged (:class:`~repro.core.procpool.WorkerTimeout`);
         ``None`` disables the guard.
+    wal:
+        Online-update policy (:mod:`repro.wal`).  ``True`` routes
+        ``insert``/``delete`` through a write-ahead log + in-memory
+        delta segment (requires ``storage_dir``), so a write costs one
+        log frame instead of a snapshot rewrite; ``False`` forces the
+        legacy mark-dirty/resync path; ``None`` (default) lets the
+        runtime decide — WAL state on disk, or process execution, turns
+        it on.
 
     >>> Execution(kind="threaded").kind
     'thread'
@@ -139,6 +147,7 @@ class Execution:
     workers: int | None = None
     worker_backend: str = "mmap"
     worker_timeout: float | None = None
+    wal: bool | None = None
 
     def __post_init__(self) -> None:
         canonical = _KIND_ALIASES.get(self.kind)
@@ -156,6 +165,9 @@ class Execution:
         if self.worker_timeout is not None and self.worker_timeout <= 0:
             raise ValueError(
                 f"worker_timeout must be > 0, got {self.worker_timeout}")
+        if self.wal not in (None, True, False):
+            raise ValueError(
+                f"wal must be True, False or None, got {self.wal!r}")
 
     def to_dict(self) -> dict[str, Any]:
         return dataclasses.asdict(self)
@@ -165,7 +177,8 @@ class Execution:
         return cls(kind=data.get("kind", "sequential"),
                    workers=data.get("workers"),
                    worker_backend=data.get("worker_backend", "mmap"),
-                   worker_timeout=data.get("worker_timeout"))
+                   worker_timeout=data.get("worker_timeout"),
+                   wal=data.get("wal"))
 
 
 @dataclass(frozen=True)

@@ -128,6 +128,21 @@ class ServiceStats:
         return data
 
 
+class _SwapRequest:
+    """One pending zero-downtime snapshot swap (:meth:`QueryService.
+    swap_snapshot`): the preloaded index, where its workers bootstrap
+    from, and the caller's completion event."""
+
+    __slots__ = ("index", "root", "done", "applied", "error")
+
+    def __init__(self, index, root: str) -> None:
+        self.index = index
+        self.root = root
+        self.done = threading.Event()
+        self.applied = False
+        self.error: BaseException | None = None
+
+
 class _Request:
     """One queued query: the decoupled point, its cache key, its future."""
 
@@ -252,6 +267,7 @@ class QueryService:
         self._not_full = threading.Condition(self._lock)
         self._closed = False
         self._worker: threading.Thread | None = None
+        self._pending_swap: _SwapRequest | None = None
         self._stats = ServiceStats()
         # True for from_snapshot() and path construction: the service
         # then owns the index and closes its page stores on stop().
@@ -314,14 +330,22 @@ class QueryService:
         recorded point count must match the live index — a stale snapshot
         (index mutated after the last ``save_index``) would make workers
         silently answer from old data, so it is an error, not a fallback.
+
+        A WAL root (``CURRENT`` pointer / ``wal.log``, :mod:`repro.wal`)
+        is self-describing: workers resolve the published generation and
+        replay the log at bootstrap, so the staleness check does not
+        apply.
         """
+        from repro.wal.manager import has_wal_layout
         if snapshot_dir is not None:
             directory = os.fspath(snapshot_dir)
         else:
-            directory = getattr(getattr(index, "params", None),
-                                "storage_dir", None)
+            directory = (getattr(index, "_wal_root", None)
+                         or getattr(getattr(index, "params", None),
+                                    "storage_dir", None))
             if directory is None or not (
-                    os.path.exists(os.path.join(directory, "meta.json"))
+                    has_wal_layout(directory)
+                    or os.path.exists(os.path.join(directory, "meta.json"))
                     or os.path.exists(
                         os.path.join(directory, "manifest.json"))):
                 raise ValueError(
@@ -329,6 +353,8 @@ class QueryService:
                     "snapshot_dir=... (or use QueryService.from_snapshot); "
                     "worker processes bootstrap from the snapshot "
                     "manifest, never from the live index")
+        if has_wal_layout(directory):
+            return directory
         live_count = getattr(index, "count", None)
         snapshot_count = QueryService._snapshot_count(directory)
         if (live_count is not None and snapshot_count is not None
@@ -393,6 +419,16 @@ class QueryService:
             worker = self._worker
         if worker is not None:
             worker.join()
+        with self._lock:
+            orphaned, self._pending_swap = self._pending_swap, None
+        if orphaned is not None:
+            orphaned.error = ServiceClosed(
+                "service stopped before the swap applied")
+            try:
+                orphaned.index.close()
+            except Exception:
+                pass
+            orphaned.done.set()
         for request in abandoned:
             if request.future.set_running_or_notify_cancel():
                 request.future.set_exception(
@@ -568,13 +604,117 @@ class QueryService:
         """Drop cached results (call after index ``insert``/``delete``)."""
         self.cache.invalidate()
 
+    # -- zero-downtime snapshot swap ---------------------------------------
+
+    def swap_snapshot(self, directory: str | os.PathLike[str] | None = None,
+                      backend: str | None = None,
+                      cache_pages: int | None = None,
+                      timeout: float | None = None) -> None:
+        """Hot-swap the service onto a (new generation of a) snapshot
+        without stopping.
+
+        The replacement index is loaded in the *caller's* thread (the
+        expensive part), then handed to the dispatcher, which applies the
+        pointer swap between micro-batches: queries already dispatched
+        complete against the old index/pool, queries batched afterwards
+        see the new one, and no future ever fails because of the swap.
+        In process mode the worker pool re-binds to the new directory
+        without cancelling in-flight work
+        (:meth:`~repro.core.procpool.SnapshotWorkerPool.swap`).
+
+        Args:
+            directory: Snapshot (root) to load; ``None`` reloads the
+                current index's own WAL root / storage directory — the
+                usual move after an out-of-process compaction published a
+                new generation.
+            backend: Storage backend for the reload (``None`` honours
+                the snapshot).
+            cache_pages: Buffer-pool override for the reload.
+            timeout: Seconds to wait for the dispatcher to apply the
+                swap; ``None`` waits indefinitely.
+
+        Raises:
+            ServiceClosed: If the service was stopped before the swap
+                applied.
+            TimeoutError: If the swap did not apply within ``timeout``.
+        """
+        from repro.core.persistence import load_index
+        target = directory
+        if target is None:
+            target = (getattr(self.index, "_wal_root", None)
+                      or getattr(getattr(self.index, "params", None),
+                                 "storage_dir", None))
+        if target is None:
+            raise ValueError(
+                "no snapshot directory to swap to: the index is not "
+                "disk-backed; pass directory=...")
+        target = os.fspath(target)
+        fresh = load_index(target, cache_pages=cache_pages, backend=backend)
+        swap = _SwapRequest(fresh, target)
+        with self._lock:
+            if self._closed:
+                fresh.close()
+                raise ServiceClosed("service has been stopped")
+            started = self._worker is not None
+            superseded, self._pending_swap = self._pending_swap, swap
+            if started:
+                self._not_empty.notify_all()
+        if superseded is not None:
+            superseded.error = RuntimeError(
+                "superseded by a newer swap_snapshot call")
+            try:
+                superseded.index.close()
+            except Exception:
+                pass
+            superseded.done.set()
+        if not started:
+            # No dispatcher yet: nothing is in flight, apply directly.
+            self._maybe_swap()
+        if not swap.done.wait(timeout):
+            raise TimeoutError(
+                f"snapshot swap not applied within {timeout}s")
+        if swap.error is not None:
+            raise swap.error
+        if not swap.applied:
+            raise ServiceClosed("service stopped before the swap applied")
+
+    def _maybe_swap(self) -> None:
+        """Apply a pending swap (dispatcher thread, between batches)."""
+        with self._lock:
+            swap, self._pending_swap = self._pending_swap, None
+        if swap is None:
+            return
+        old = self.index
+        try:
+            self.index = swap.index
+            if self._pool is not None:
+                self._pool.swap(swap.root)
+            self.cache.invalidate()
+            if self._owns_index and old is not swap.index:
+                try:
+                    old.close()
+                except Exception:
+                    pass
+            # The swapped-in index was loaded by the service, which now
+            # owns (and closes) it regardless of who owned the old one.
+            self._owns_index = True
+            swap.applied = True
+        except Exception as error:  # keep serving the old index
+            self.index = old
+            swap.error = error
+        finally:
+            swap.done.set()
+
     # -- dispatcher --------------------------------------------------------
 
     def _run(self) -> None:
         while True:
             batch = self._collect()
+            self._maybe_swap()
             if batch is None:
                 return
+            if not batch:
+                continue
             try:
                 self._dispatch(batch)
             except Exception as error:
@@ -598,6 +738,8 @@ class QueryService:
             while not self._queue:
                 if self._closed:
                     return None
+                if self._pending_swap is not None:
+                    return []
                 self._not_empty.wait()
             if config.max_wait_ms > 0:
                 deadline = time.monotonic() + config.max_wait_ms / 1000.0

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import mmap
 import os
+import threading
 from typing import Iterator
 
 import numpy as np
@@ -207,17 +208,23 @@ class FilePageStore(PageStore):
         super().__init__(page_size)
         self.path = os.fspath(path)
         self._file, self._num_pages = _open_page_file(self.path, page_size)
+        # seek + read share the single file position: concurrent readers
+        # (service threads, online-update readers during a hot swap) must
+        # not interleave them.
+        self._io_lock = threading.Lock()
 
     def _read(self, page_id: int) -> bytes:
-        self._file.seek(page_id * self.page_size)
-        data = self._file.read(self.page_size)
+        with self._io_lock:
+            self._file.seek(page_id * self.page_size)
+            data = self._file.read(self.page_size)
         if len(data) != self.page_size:
             raise StorageError(f"short read on page {page_id}")
         return data
 
     def _write(self, page_id: int, data: bytes) -> None:
-        self._file.seek(page_id * self.page_size)
-        self._file.write(data)
+        with self._io_lock:
+            self._file.seek(page_id * self.page_size)
+            self._file.write(data)
 
     def flush(self) -> None:
         """Push buffered writes to the file (persistence checkpoint)."""

@@ -1,0 +1,103 @@
+"""In-memory delta segment: un-compacted inserts searched beside the base.
+
+WAL-mode inserts never touch the built RDB-trees or the descriptor heap;
+they land here and in the log.  The query engine unions the delta's id
+range into the survivor set (the delta is brute-force reranked — every
+delta member reaches stage iii, where the exact distance decides), and
+:meth:`gather` serves their descriptors during the rerank fetch.
+
+Two copies of each vector are kept deliberately:
+
+* a row in the *storage dtype* of the base heap (float32 by default) —
+  rerank distances must be computed over the same representation the
+  heap would have stored, so a delta hit and the post-compaction base
+  hit are bit-identical;
+* the original float64 row — compaction re-inserts from the original so
+  reference distances and Hilbert quantization match an index built from
+  the full stream in one shot.
+
+Deleted delta entries stay in the segment (id density: compaction
+replays them so object ids keep matching a one-shot build); the engine's
+deleted-id filter hides them, exactly as for base objects.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+__all__ = ["DeltaSegment"]
+
+
+class DeltaSegment:
+    """Append-only in-memory segment of post-snapshot inserts.
+
+    Args:
+        base_count: Objects in the base snapshot; delta ids are assigned
+            densely from here.
+        dim: Descriptor dimensionality.
+        dtype: Storage dtype of the base heap (rerank representation).
+    """
+
+    def __init__(self, base_count: int, dim: int,
+                 dtype: np.dtype | type = np.float32) -> None:
+        self.base_count = int(base_count)
+        self.dim = int(dim)
+        self.dtype = np.dtype(dtype)
+        self._lock = threading.Lock()
+        self._rows: list[np.ndarray] = []
+        self._originals: list[np.ndarray] = []
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    @property
+    def next_id(self) -> int:
+        """Id the next :meth:`append` will receive."""
+        return self.base_count + len(self._rows)
+
+    def append(self, vector: np.ndarray) -> int:
+        """Add one descriptor; returns its assigned (dense) object id."""
+        original = np.asarray(vector, dtype=np.float64).ravel()
+        if original.shape[0] != self.dim:
+            raise ValueError(
+                f"vector has dimension {original.shape[0]}, "
+                f"expected {self.dim}")
+        row = original.astype(self.dtype)
+        with self._lock:
+            object_id = self.base_count + len(self._rows)
+            self._originals.append(original)
+            self._rows.append(row)
+        return object_id
+
+    def id_range(self) -> np.ndarray:
+        """Dense ids currently held (``base_count .. base_count+len-1``)."""
+        return np.arange(self.base_count, self.base_count + len(self._rows),
+                         dtype=np.int64)
+
+    def gather(self, ids: np.ndarray) -> np.ndarray:
+        """Storage-dtype descriptors for delta ids (``ids >= base_count``)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        out = np.empty((ids.shape[0], self.dim), dtype=self.dtype)
+        rows = self._rows
+        for position, object_id in enumerate(ids):
+            out[position] = rows[int(object_id) - self.base_count]
+        return out
+
+    def records(self) -> list[tuple[int, np.ndarray]]:
+        """``(object_id, original float64 vector)`` snapshot, in insert
+        order — what compaction folds into the next generation."""
+        with self._lock:
+            originals = list(self._originals)
+        return [(self.base_count + position, vector)
+                for position, vector in enumerate(originals)]
+
+    def memory_bytes(self) -> int:
+        return sum(row.nbytes for row in self._rows) + sum(
+            row.nbytes for row in self._originals)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DeltaSegment(base_count={self.base_count}, "
+                f"len={len(self._rows)}, dim={self.dim}, "
+                f"dtype={self.dtype.name})")

@@ -68,6 +68,51 @@ class TestBuildQuery:
         assert "n=200" in out.getvalue()
 
 
+class TestWalCompact:
+    def test_build_wal_update_then_compact(self, tmp_path):
+        out = io.StringIO()
+        code = run(["build", "--dataset", "glove", "--n", "200",
+                    "--out", str(tmp_path / "idx"), "--trees", "4",
+                    "--alpha", "32", "--gamma", "8", "--wal"], out)
+        assert code == 0
+
+        # Simulate a client session: the reopened index records updates
+        # in the WAL next to the snapshot instead of resyncing it.
+        import numpy as np
+
+        from repro.core import open_index
+        index = open_index(str(tmp_path / "idx"))
+        try:
+            assert index._wal_active()
+            rng = np.random.default_rng(7)
+            index.insert(rng.uniform(0.0, 10.0, size=index.dim))
+            index.delete(0)
+        finally:
+            index.close()
+        assert (tmp_path / "idx" / "wal.log").exists()
+
+        out = io.StringIO()
+        code = run(["compact", "--index", str(tmp_path / "idx")], out)
+        assert code == 0
+        assert "generation 1" in out.getvalue()
+        assert (tmp_path / "idx" / "CURRENT").exists()
+
+        # The folded generation serves queries like any snapshot.
+        out = io.StringIO()
+        code = run(["query", "--index", str(tmp_path / "idx"),
+                    "--dataset", "glove", "--n", "200",
+                    "--queries", "3", "-k", "3"], out)
+        assert code == 0
+        assert "MAP@k" in out.getvalue()
+
+    def test_compact_rejects_non_wal_index(self, tmp_path, capsys):
+        run(["build", "--dataset", "glove", "--n", "150",
+             "--out", str(tmp_path / "idx"), "--trees", "4",
+             "--alpha", "32", "--gamma", "8"])
+        assert run(["compact", "--index", str(tmp_path / "idx")]) == 2
+        assert "not WAL-backed" in capsys.readouterr().err
+
+
 class TestCompare:
     def test_compare_selected_methods(self):
         out = io.StringIO()
