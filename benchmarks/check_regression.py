@@ -43,10 +43,12 @@ import sys
 
 from benchmarks.bench_hotpath import run_hotpath_measurement
 from benchmarks.bench_online_updates import run_online_updates_measurement
+from benchmarks.bench_serve_gateway import run_serve_gateway_measurement
 from benchmarks.common import host_fingerprint, load_baseline
 
 BENCH = "hotpath"
 ONLINE_BENCH = "online_updates"
+SERVE_BENCH = "serve_gateway"
 #: Maximum tolerated drop in single-query throughput vs the baseline.
 MAX_REGRESSION = 0.20
 #: Maximum tolerated drop in WAL ingest throughput vs the baseline.  The
@@ -55,6 +57,13 @@ MAX_REGRESSION = 0.20
 #: loop; a real loss of the WAL write path (back to O(n) resyncs) is a
 #: >10x cliff, which a 50% floor still catches cleanly.
 MAX_ONLINE_REGRESSION = 0.50
+#: Maximum tolerated drop in gateway round-trip throughput.  Loopback
+#: TCP on a shared runner is the noisiest number we gate: event-loop
+#: scheduling, socket buffers and the micro-batcher's timing all move
+#: it.  The failure mode this floor exists for — the gateway falling
+#: out of concurrent batching into lockstep round-trips — costs well
+#: over 2x, which a 50% floor still catches.
+MAX_SERVE_REGRESSION = 0.50
 
 
 def main() -> int:
@@ -107,6 +116,7 @@ def main() -> int:
               file=sys.stderr)
         failed = True
     failed = _check_online_updates() or failed
+    failed = _check_serve_gateway() or failed
     if not failed:
         print("OK: within regression budget, parity holds")
     _emit_lint_report()
@@ -155,6 +165,57 @@ def _check_online_updates() -> bool:
         print(f"FAIL: WAL ingest throughput regressed "
               f"{1 - fresh_ops / base_ops:.0%} "
               f"(> {MAX_ONLINE_REGRESSION:.0%} allowed)", file=sys.stderr)
+        print(f"baseline host: {json.dumps(baseline.get('host', {}))}",
+              file=sys.stderr)
+        print(f"this host:     {json.dumps(host_fingerprint())}",
+              file=sys.stderr)
+        failed = True
+    return failed
+
+
+def _check_serve_gateway() -> bool:
+    """Gate the network serving bench: parity (byte-identical answers
+    over the wire) must be present and true on both sides, and gateway
+    round-trip throughput must hold the floor.
+
+    Returns True when the gate fails.
+    """
+    baseline = load_baseline(SERVE_BENCH)
+    if baseline is None:
+        print(f"no committed BENCH_{SERVE_BENCH}.json baseline; run "
+              f"benchmarks/bench_serve_gateway.py and commit the result",
+              file=sys.stderr)
+        return True
+
+    fresh = run_serve_gateway_measurement()
+    fresh_qps = fresh["metrics"]["gateway_qps"]
+    base_qps = baseline["metrics"]["gateway_qps"]
+    floor = base_qps * (1.0 - MAX_SERVE_REGRESSION)
+
+    print(f"baseline gateway: {base_qps:.1f} q/s "
+          f"(floor at -{MAX_SERVE_REGRESSION:.0%}: {floor:.1f} q/s)")
+    print(f"fresh    gateway: {fresh_qps:.1f} q/s "
+          f"(p99 {fresh['metrics']['p99_ms']:.2f} ms, mean batch "
+          f"{fresh['metrics']['mean_batch']:.1f})")
+
+    failed = False
+    # Present-and-true on BOTH sides: a served answer that was never
+    # compared byte-for-byte against the direct service proves nothing,
+    # and a baseline recorded from a diverging run is no reference.
+    for side, payload in (("fresh", fresh), ("baseline", baseline)):
+        if "parity" not in payload:
+            print(f"FAIL: {side} BENCH_{SERVE_BENCH} carries no parity "
+                  f"flag", file=sys.stderr)
+            failed = True
+        elif not payload["parity"]:
+            print(f"FAIL: {side} BENCH_{SERVE_BENCH} recorded "
+                  f"parity=false — answers diverged over the wire",
+                  file=sys.stderr)
+            failed = True
+    if fresh_qps < floor:
+        print(f"FAIL: gateway round-trip throughput regressed "
+              f"{1 - fresh_qps / base_qps:.0%} "
+              f"(> {MAX_SERVE_REGRESSION:.0%} allowed)", file=sys.stderr)
         print(f"baseline host: {json.dumps(baseline.get('host', {}))}",
               file=sys.stderr)
         print(f"this host:     {json.dumps(host_fingerprint())}",

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Six commands cover the library's main workflows without writing code:
+Seven commands cover the library's main workflows without writing code:
 
 * ``info``      — list dataset configurations and paper-recommended params;
 * ``build``     — build the index an :class:`~repro.core.IndexSpec`
@@ -12,8 +12,14 @@ Six commands cover the library's main workflows without writing code:
 * ``query``     — reopen a persisted index via :func:`repro.open` and run
   a query workload against it, reporting MAP/ratio/time/I/O;
 * ``serve``     — load a persisted index into a micro-batching
-  :class:`~repro.serve.QueryService` and drive it with concurrent client
-  threads, reporting throughput and batching statistics;
+  :class:`~repro.serve.QueryService` and either drive it with concurrent
+  client threads (default: reports throughput and batching statistics)
+  or, with ``--listen HOST:PORT``, expose it over TCP through a
+  :class:`~repro.serve.ServeGateway` until SIGTERM/SIGINT triggers a
+  graceful drain;
+* ``route``     — send a query workload through a
+  :class:`~repro.serve.ReplicaRouter` over a set of running gateways,
+  reporting per-replica placement, failover and latency;
 * ``compare``   — run several methods on one dataset and print the
   comparison table (a Fig. 8 row group on demand).
 
@@ -54,6 +60,32 @@ def _positive_int(text: str) -> int:
         raise argparse.ArgumentTypeError(
             f"must be a positive integer, got {text}")
     return value
+
+
+def _host_port(text: str) -> tuple[str, int]:
+    """Parse a ``HOST:PORT`` listen/connect address."""
+    host, separator, port_text = text.rpartition(":")
+    if not separator or not host:
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {text!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"port must be an integer, got {port_text!r}") from None
+    if not 0 <= port <= 65535:
+        raise argparse.ArgumentTypeError(f"port out of range: {port}")
+    return host, port
+
+
+def _endpoint_list(text: str) -> list[tuple[str, int]]:
+    """Parse a comma-separated ``HOST:PORT,HOST:PORT`` replica list."""
+    endpoints = [_host_port(part.strip())
+                 for part in text.split(",") if part.strip()]
+    if not endpoints:
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT[,HOST:PORT...], got {text!r}")
+    return endpoints
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -161,6 +193,32 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=_positive_int, default=None,
                        help="worker-process count for --execution process "
                             "(default: CPU count)")
+    serve.add_argument("--listen", type=_host_port, default=None,
+                       metavar="HOST:PORT",
+                       help="serve over TCP instead of running the "
+                            "built-in client workload; port 0 binds an "
+                            "ephemeral port (reported on the READY "
+                            "line); SIGTERM/SIGINT drain gracefully")
+    serve.add_argument("--max-inflight", type=_positive_int, default=256,
+                       help="gateway admission bound (--listen only)")
+    serve.add_argument("--default-deadline-ms", type=float, default=None,
+                       help="deadline for requests that carry none "
+                            "(--listen only)")
+
+    route = commands.add_parser(
+        "route", help="query a replica set of running serve gateways")
+    route.add_argument("--replicas", type=_endpoint_list, required=True,
+                       metavar="HOST:PORT,HOST:PORT",
+                       help="gateway endpoints (each started with "
+                            "`repro serve --listen` or "
+                            "`python -m repro.serve.server`)")
+    _add_data_arguments(route)
+    route.add_argument("-k", type=int, default=10)
+    route.add_argument("--repeat", type=_positive_int, default=1,
+                       help="send the query workload this many times")
+    route.add_argument("--deadline-ms", type=float, default=None,
+                       help="end-to-end per-query deadline; late answers "
+                            "come back as DeadlineExceeded, not hangs")
 
     compare = commands.add_parser(
         "compare", help="compare methods on one dataset")
@@ -375,13 +433,6 @@ def cmd_serve(args, out=sys.stdout) -> int:
 
     index = open_index(args.index, cache_pages=args.cache_pages,
                        backend=args.backend)
-    data, queries, _ = _load_workload(args)
-    if data.shape[1] != index.dim:
-        print(f"error: index expects ν={index.dim}, dataset has "
-              f"ν={data.shape[1]}", file=sys.stderr)
-        index.close()
-        return 2
-    workload = np.tile(queries, (args.repeat, 1))
     config = ServiceConfig(max_batch=args.max_batch,
                            max_wait_ms=args.max_wait_ms,
                            max_pending=args.max_pending,
@@ -392,6 +443,15 @@ def cmd_serve(args, out=sys.stdout) -> int:
         service_kwargs = dict(
             execution=Execution(kind="process", workers=args.workers),
             snapshot_dir=args.index)
+    if args.listen is not None:
+        return _serve_listen(args, index, config, service_kwargs, out)
+    data, queries, _ = _load_workload(args)
+    if data.shape[1] != index.dim:
+        print(f"error: index expects ν={index.dim}, dataset has "
+              f"ν={data.shape[1]}", file=sys.stderr)
+        index.close()
+        return 2
+    workload = np.tile(queries, (args.repeat, 1))
     errors: list[Exception] = []
 
     def client(service, client_index):
@@ -428,6 +488,69 @@ def cmd_serve(args, out=sys.stdout) -> int:
     if config.cache_size:
         print(f"result cache: {stats.cache_hits} hits / "
               f"{stats.cache_misses} misses", file=out)
+    return 0
+
+
+def _serve_listen(args, index, config, service_kwargs, out) -> int:
+    """``repro serve --listen``: run a TCP gateway until a signal.
+
+    SIGTERM/SIGINT trigger the graceful path: admission stops, in-flight
+    and queued requests are answered, then the service closes its worker
+    pool (``QueryService.stop(drain=True)``) before the process exits.
+    """
+    import asyncio
+
+    from repro.serve import GatewayConfig, QueryService
+    from repro.serve.server import run_server
+
+    host, port = args.listen
+    gateway_config = GatewayConfig(
+        host=host, port=port, max_inflight=args.max_inflight,
+        default_deadline_ms=args.default_deadline_ms)
+    service = QueryService(index, config, **service_kwargs)
+    try:
+        asyncio.run(run_server(service, gateway_config, ready_stream=out))
+    except KeyboardInterrupt:
+        # Signal handler unavailable (non-main thread): the drain still
+        # ran in run_server's finally before the interrupt propagated.
+        pass
+    finally:
+        index.close()
+    print("drained and stopped", file=out)
+    return 0
+
+
+def cmd_route(args, out=sys.stdout) -> int:
+    import asyncio
+    import time
+
+    from repro.serve import ReplicaRouter
+
+    _, queries, _ = _load_workload(args)
+    workload = np.tile(queries, (args.repeat, 1))
+
+    async def run():
+        router = ReplicaRouter(args.replicas)
+        try:
+            started = time.perf_counter()
+            results = await router.query_many(
+                workload, args.k, deadline_ms=args.deadline_ms)
+            elapsed = time.perf_counter() - started
+            return results, elapsed, router.counters
+        finally:
+            await router.close()
+
+    results, elapsed, counters = asyncio.run(run())
+    failures = [r for r in results if isinstance(r, BaseException)]
+    answered = len(results) - len(failures)
+    print(f"routed {len(results)} queries over {len(args.replicas)} "
+          f"replicas in {elapsed:.2f}s -> "
+          f"{len(results) / elapsed:.1f} q/s", file=out)
+    print(f"answered {answered}, failed {len(failures)}, "
+          f"failovers {counters['failovers']}", file=out)
+    if failures:
+        print(f"error: first failure: {failures[0]!r}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -487,6 +610,7 @@ COMMANDS = {
     "compact": cmd_compact,
     "query": cmd_query,
     "serve": cmd_serve,
+    "route": cmd_route,
     "compare": cmd_compare,
 }
 

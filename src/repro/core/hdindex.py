@@ -465,6 +465,7 @@ class HDIndex(KNNIndex):
                 self._wal.append_insert(object_id, vector)
                 self._delta.append(vector)
                 self.count += 1
+            self._bump_update_epoch()
             return object_id
         object_id = self.heap.append(vector)
         reference_distances = self.references.distances_from(vector)[0]
@@ -474,6 +475,7 @@ class HDIndex(KNNIndex):
             tree.insert(key, object_id, reference_distances)
         self.count += 1
         self._snapshot_dirty = True
+        self._bump_update_epoch()
         return object_id
 
     def delete(self, object_id: int) -> None:
@@ -495,8 +497,10 @@ class HDIndex(KNNIndex):
             with self._update_lock:
                 self._wal.append_delete(int(object_id))
                 self._deleted.add(int(object_id))
+            self._bump_update_epoch()
             return
         self._deleted.add(int(object_id))
+        self._bump_update_epoch()
 
     # -- accounting ----------------------------------------------------
 

@@ -71,6 +71,18 @@ class KNNIndex:
     #: Human-readable method name used in experiment tables.
     name: str = "abstract"
 
+    #: Monotonic mutation counter: implementations bump it on every
+    #: ``insert``/``delete`` (via :meth:`_bump_update_epoch`) so caching
+    #: layers — e.g. :class:`~repro.serve.QueryService`'s LRU result
+    #: cache — can detect that previously computed answers may be stale
+    #: without being told.  Rebuilds/compactions that preserve the
+    #: logical contents do not bump it.
+    update_epoch: int = 0
+
+    def _bump_update_epoch(self) -> None:
+        """Record a logical-content mutation (insert/delete)."""
+        self.update_epoch = self.update_epoch + 1
+
     def build(self, data: np.ndarray) -> None:
         """Construct the index over a dataset.
 

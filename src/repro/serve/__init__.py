@@ -7,6 +7,13 @@ gets its answer through a future — with an optional LRU result cache and a
 backpressure bound on queue depth.  Combined with whole-family
 ``save_index``/``load_index`` it gives the ROADMAP's deployment story:
 build offline, snapshot, then serve online without rebuilding.
+
+The network tier layers on top: ``ServeGateway`` exposes a service over
+TCP (length-prefixed JSON frames, see :mod:`repro.serve.protocol`),
+``ServeClient``/``AsyncServeClient`` speak to it with the same typed
+errors as the in-process API, and ``ReplicaRouter`` fans queries over a
+replica set with consistent placement and failover.  The
+``python -m repro.serve.server`` entry runs one gateway per process.
 """
 
 from repro.core.procpool import (
@@ -15,7 +22,12 @@ from repro.core.procpool import (
     WorkerTimeout,
 )
 from repro.serve.cache import ResultCache, canonical_overrides, make_key
+from repro.serve.client import AsyncServeClient, ServeClient
+from repro.serve.gateway import GatewayConfig, ServeGateway
+from repro.serve.protocol import ProtocolError, RemoteError
+from repro.serve.router import NoReplicaAvailable, ReplicaRouter
 from repro.serve.service import (
+    DeadlineExceeded,
     QueryService,
     ServiceClosed,
     ServiceConfig,
@@ -24,9 +36,18 @@ from repro.serve.service import (
 )
 
 __all__ = [
+    "AsyncServeClient",
+    "DeadlineExceeded",
+    "GatewayConfig",
+    "NoReplicaAvailable",
     "ProcessPoolError",
+    "ProtocolError",
     "QueryService",
+    "RemoteError",
+    "ReplicaRouter",
     "ResultCache",
+    "ServeClient",
+    "ServeGateway",
     "ServiceClosed",
     "ServiceConfig",
     "ServiceOverloaded",

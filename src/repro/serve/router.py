@@ -1,0 +1,206 @@
+"""Replica-set routing over serve gateways: consistent placement with
+typed failover.
+
+A :class:`ReplicaRouter` fronts N gateway processes that each serve the
+*same* snapshot (replicas, not shards — contrast
+:class:`~repro.core.router.ShardRouter`, which partitions one logical
+index).  Per query it
+
+* picks a **stable home replica** by rendezvous hashing the query bytes
+  (:func:`~repro.core.router.placement_order`): the same query always
+  lands on the same live replica, so each replica's result cache sees a
+  consistent slice of the workload instead of every replica caching
+  everything;
+* **fails over on replica faults, never on request faults** — the
+  retryable set (:data:`~repro.serve.protocol.RETRYABLE_ERRORS`:
+  connection loss, :class:`~repro.core.procpool.WorkerCrashed`,
+  :class:`~repro.core.procpool.WorkerTimeout`, …) means *the replica*
+  failed, so the next replica in the placement order gets the query;
+  :class:`~repro.serve.DeadlineExceeded` and validation errors are the
+  request's own fault and surface immediately;
+* **keeps one deadline across attempts** — the budget is not reset per
+  retry, so a caller with a 50 ms deadline gets an answer or a typed
+  :class:`~repro.serve.DeadlineExceeded` within ~50 ms regardless of
+  how many replicas died on the way;
+* remembers failures briefly (``cooldown`` seconds): a dead replica is
+  skipped while alternatives exist instead of eating a connect timeout
+  per query, and is re-probed automatically once the cooldown lapses.
+
+:meth:`query_many` fans a batch over the replica set concurrently and
+returns **partial results**: each slot holds ``(ids, dists)`` or the
+typed exception for that query, so one slow or dead replica cannot
+discard the answers that did arrive in time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.core.router import placement_order
+from repro.serve import protocol
+from repro.serve.client import AsyncServeClient
+from repro.serve.service import DeadlineExceeded
+
+
+class NoReplicaAvailable(ConnectionError):
+    """Every replica in the set failed for one query; the last
+    per-replica error is chained as ``__cause__``."""
+
+
+class ReplicaRouter:
+    """Route queries over replica gateways with consistent placement.
+
+    Args:
+        endpoints: ``(host, port)`` of each replica gateway.  Order is
+            the node numbering for placement; keep it identical across
+            router instances for cache affinity.
+        salt: Placement salt (rotate to reshuffle assignments).
+        cooldown: Seconds a failed replica is skipped before re-probing.
+        connect_timeout: Per-replica TCP connect budget.
+    """
+
+    def __init__(self, endpoints: Sequence[tuple[str, int]],
+                 salt: bytes = b"", cooldown: float = 2.0,
+                 connect_timeout: float = 5.0) -> None:
+        if not endpoints:
+            raise ValueError("at least one replica endpoint is required")
+        self.endpoints = [(str(host), int(port)) for host, port in endpoints]
+        self.salt = salt
+        self.cooldown = cooldown
+        self.connect_timeout = connect_timeout
+        self._clients: dict[int, AsyncServeClient] = {}
+        self._down_until: dict[int, float] = {}
+        self._counters = {"queries": 0, "failovers": 0, "exhausted": 0}
+
+    # -- placement ---------------------------------------------------------
+
+    def placement(self, point: np.ndarray) -> list[int]:
+        """Home replica then failover order for one query point."""
+        key = np.ascontiguousarray(point, dtype=np.float64).tobytes()
+        return placement_order(key, len(self.endpoints), self.salt)
+
+    # -- connections -------------------------------------------------------
+
+    async def _client(self, node: int) -> AsyncServeClient:
+        client = self._clients.get(node)
+        if client is not None:
+            return client
+        host, port = self.endpoints[node]
+        client = await AsyncServeClient.connect(
+            host, port, connect_timeout=self.connect_timeout)
+        self._clients[node] = client
+        return client
+
+    async def _drop_client(self, node: int) -> None:
+        client = self._clients.pop(node, None)
+        if client is not None:
+            await client.close()
+        self._down_until[node] = (
+            asyncio.get_running_loop().time() + self.cooldown)
+
+    def _attempt_order(self, point: np.ndarray) -> list[int]:
+        """Placement order with cooled-down replicas moved last, not
+        removed — when everything is down, everything gets re-probed."""
+        now = asyncio.get_running_loop().time()
+        order = self.placement(point)
+        live = [n for n in order if self._down_until.get(n, 0.0) <= now]
+        cooled = [n for n in order if n not in live]
+        return live + cooled
+
+    # -- querying ----------------------------------------------------------
+
+    async def query(self, point: np.ndarray, k: int = 10,
+                    deadline_ms: float | None = None,
+                    **overrides: Any) -> tuple[np.ndarray, np.ndarray]:
+        """One query with failover; same signature and typed errors as
+        :meth:`AsyncServeClient.query`."""
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+        self._counters["queries"] += 1
+        last_error: BaseException | None = None
+        for position, node in enumerate(self._attempt_order(point)):
+            remaining_ms = deadline_ms
+            if deadline_ms is not None:
+                remaining_ms = deadline_ms - (loop.time() - started) * 1e3
+                if remaining_ms <= 0:
+                    raise DeadlineExceeded(
+                        f"deadline of {deadline_ms:.0f} ms exhausted "
+                        f"after {position} attempt(s)") from last_error
+            try:
+                client = await self._client(node)
+                ids, dists = await client.query(
+                    point, k, deadline_ms=remaining_ms, **overrides)
+            except DeadlineExceeded:
+                # Must precede RETRYABLE_ERRORS: DeadlineExceeded is a
+                # TimeoutError and therefore an OSError subclass, but
+                # the budget is spent — retrying cannot help.
+                raise
+            except protocol.RETRYABLE_ERRORS as error:
+                last_error = error
+                await self._drop_client(node)
+                if position + 1 < len(self.endpoints):
+                    self._counters["failovers"] += 1
+                continue
+            self._down_until.pop(node, None)
+            return ids, dists
+        self._counters["exhausted"] += 1
+        raise NoReplicaAvailable(
+            f"all {len(self.endpoints)} replicas failed") from last_error
+
+    async def query_many(self, points: np.ndarray, k: int = 10,
+                         deadline_ms: float | None = None,
+                         **overrides: Any
+                         ) -> list[tuple[np.ndarray, np.ndarray]
+                                   | BaseException]:
+        """Fan a batch over the replica set; partial results.
+
+        Every query runs concurrently under the shared ``deadline_ms``.
+        Slot ``r`` holds ``(ids, dists)`` for ``points[r]`` or the typed
+        exception that query ended in — answers that made the deadline
+        are returned even when others did not.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        if points.ndim == 1:
+            points = points[None, :]
+        results = await asyncio.gather(
+            *(self.query(point, k, deadline_ms=deadline_ms, **overrides)
+              for point in points),
+            return_exceptions=True)
+        return list(results)
+
+    # -- observability / lifecycle ----------------------------------------
+
+    @property
+    def counters(self) -> dict[str, int]:
+        """Local routing counters (no network round-trips)."""
+        return dict(self._counters)
+
+    async def stats(self) -> dict[str, Any]:
+        """Router counters plus each reachable replica's ``stats`` RPC
+        payload (``None`` for replicas that did not answer)."""
+        replicas: list[dict[str, Any] | None] = []
+        for node in range(len(self.endpoints)):
+            try:
+                client = await self._client(node)
+                replicas.append(await client.stats(timeout=5.0))
+            except protocol.RETRYABLE_ERRORS:
+                await self._drop_client(node)
+                replicas.append(None)
+        return {"router": dict(self._counters),
+                "endpoints": [list(e) for e in self.endpoints],
+                "replicas": replicas}
+
+    async def close(self) -> None:
+        """Close every replica connection (idempotent)."""
+        clients, self._clients = self._clients, {}
+        for client in clients.values():
+            await client.close()
+
+    async def __aenter__(self) -> "ReplicaRouter":
+        return self
+
+    async def __aexit__(self, *exc_info: object) -> None:
+        await self.close()

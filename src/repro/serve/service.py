@@ -66,6 +66,18 @@ class ServiceOverloaded(RuntimeError):
     """Raised when the pending queue stays full past a submit timeout."""
 
 
+class DeadlineExceeded(TimeoutError):
+    """A request's end-to-end deadline expired before its answer.
+
+    The deadline covers the *whole* request — queue admission, queue
+    wait and execution: a request that expires while still queued is
+    failed by the dispatcher without wasting batch capacity on an
+    answer nobody is waiting for.  The network gateway
+    (:mod:`repro.serve.gateway`) maps this onto the wire as a typed
+    error response.
+    """
+
+
 @dataclasses.dataclass
 class ServiceConfig:
     """Tunables of the micro-batching loop.
@@ -117,6 +129,7 @@ class ServiceStats:
     cache_hits: int = 0
     cache_misses: int = 0
     overloads: int = 0
+    deadline_expired: int = 0
 
     def mean_batch_size(self) -> float:
         dispatched = self.queries - self.cache_hits
@@ -146,18 +159,25 @@ class _SwapRequest:
 class _Request:
     """One queued query: the decoupled point, its cache key, its future."""
 
-    __slots__ = ("point", "k", "overrides", "key", "future")
+    __slots__ = ("point", "k", "overrides", "key", "future", "expires_at")
 
     def __init__(self, point: np.ndarray, k: int, overrides: tuple,
-                 key) -> None:
+                 key, expires_at: float | None = None) -> None:
         self.point = point
         self.k = k
         self.overrides = overrides
         self.key = key
         self.future: Future = Future()
+        # Monotonic instant past which the caller no longer wants an
+        # answer; ``None`` means no deadline.
+        self.expires_at = expires_at
+
+    def expired(self, now: float) -> bool:
+        return self.expires_at is not None and now >= self.expires_at
 
     @classmethod
-    def from_call(cls, point: np.ndarray, k, overrides: dict) -> "_Request":
+    def from_call(cls, point: np.ndarray, k, overrides: dict,
+                  deadline: float | None = None) -> "_Request":
         """The one canonical normaliser for every client entry point.
 
         ``submit`` (and therefore ``query``, which routes through it)
@@ -175,6 +195,8 @@ class _Request:
         k = int(k)
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
+        if deadline is not None and deadline <= 0:
+            raise ValueError(f"deadline must be > 0, got {deadline}")
         # Private float64 copy: the caller may mutate or reuse its array
         # long before the batch is dispatched.
         point = np.array(point, dtype=np.float64, copy=True).ravel()
@@ -186,7 +208,9 @@ class _Request:
             raise TypeError(
                 f"override values must be hashable, got {overrides!r}"
             ) from None
-        return cls(point, k, canonical, key)
+        expires_at = (None if deadline is None
+                      else time.monotonic() + deadline)
+        return cls(point, k, canonical, key, expires_at)
 
 
 class QueryService:
@@ -204,8 +228,10 @@ class QueryService:
 
     The service owns all index access from :meth:`start` until
     :meth:`stop`; do not call the index's query methods directly while it
-    is running.  After ``insert()``/``delete()`` on the underlying index,
-    call :meth:`invalidate_cache`.
+    is running.  ``insert()``/``delete()`` on the underlying index
+    (including WAL-routed updates) bump its ``update_epoch``, which the
+    service watches: the LRU result cache invalidates itself before the
+    next lookup, so served answers are never stale.
 
     The first argument may also be a snapshot *path* (the service then
     opens and owns the index), and ``execution=Execution(kind="process",
@@ -261,6 +287,11 @@ class QueryService:
                 backend=execution.worker_backend,
                 timeout=execution.worker_timeout)
         self.cache = ResultCache(self.config.cache_size)
+        # The index mutation epoch the cache's entries were computed
+        # against; a mismatch (insert/delete happened, including
+        # WAL-routed ones) invalidates before the next lookup, so served
+        # answers can never be stale regardless of caller discipline.
+        self._cache_epoch = getattr(index, "update_epoch", 0)
         self._queue: deque[_Request] = deque()
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
@@ -510,7 +541,8 @@ class QueryService:
     # -- client API --------------------------------------------------------
 
     def submit(self, point: np.ndarray, k: int = 10,
-               timeout: float | None = None, **overrides) -> Future:
+               timeout: float | None = None,
+               deadline: float | None = None, **overrides) -> Future:
         """Enqueue one query without blocking on its answer.
 
         Args:
@@ -519,6 +551,11 @@ class QueryService:
             k: Neighbours requested (``>= 1``).
             timeout: Seconds to wait for queue admission while the queue
                 sits at ``max_pending``; ``None`` blocks indefinitely.
+            deadline: End-to-end budget in seconds for the *whole*
+                request (admission + queue wait + execution).  A request
+                still queued when its deadline passes fails with
+                :class:`DeadlineExceeded` instead of occupying batch
+                capacity; ``None`` means no deadline.
             **overrides: Forwarded to the index's ``query_batch`` (the
                 HD-Index family accepts ``alpha``/``beta``/``gamma``/
                 ``use_ptolemaic``); requests sharing ``(k, overrides)``
@@ -529,33 +566,55 @@ class QueryService:
             ``(ids, dists)``.
 
         Raises:
-            ValueError: If ``k < 1``.
+            ValueError: If ``k < 1`` or ``deadline <= 0``.
             TypeError: If an override value is unhashable.
             ServiceClosed: If the service has been stopped.
             ServiceOverloaded: If admission stayed blocked past
                 ``timeout``.
+            DeadlineExceeded: If admission stayed blocked past
+                ``deadline``.
         """
-        request = _Request.from_call(point, k, overrides)
-        cached = self.cache.get(request.key)
-        if cached is not None:
-            with self._lock:
-                self._check_open()
-                self._stats.queries += 1
-            request.future.set_result(cached)
-            return request.future
-        deadline = None if timeout is None else time.monotonic() + timeout
+        request = _Request.from_call(point, k, overrides, deadline)
+        if self._cache_current():
+            cached = self.cache.get(request.key)
+            if cached is not None:
+                with self._lock:
+                    self._check_open()
+                    self._stats.queries += 1
+                request.future.set_result(cached)
+                return request.future
+        admit_by = None if timeout is None else time.monotonic() + timeout
         with self._lock:
             self._check_open()
             while len(self._queue) >= self.config.max_pending:
-                remaining = None if deadline is None \
-                    else deadline - time.monotonic()
-                if remaining is not None and remaining <= 0:
-                    self._stats.overloads += 1
-                    raise ServiceOverloaded(
-                        f"queue held {len(self._queue)} requests for "
-                        f"{timeout}s (max_pending="
-                        f"{self.config.max_pending})")
-                self._not_full.wait(remaining)
+                # The binding bound: the admission timeout sheds with
+                # ServiceOverloaded, the request deadline with
+                # DeadlineExceeded — whichever expires first.
+                bounds = [b for b in (admit_by, request.expires_at)
+                          if b is not None]
+                if not bounds:
+                    self._not_full.wait()
+                else:
+                    remaining = min(bounds) - time.monotonic()
+                    if remaining > 0:
+                        self._not_full.wait(remaining)
+                    elif request.expired(time.monotonic()):
+                        self._stats.deadline_expired += 1
+                        raise DeadlineExceeded(
+                            f"deadline of {deadline}s expired during "
+                            f"queue admission (max_pending="
+                            f"{self.config.max_pending})")
+                    else:
+                        # The bound expired, and the loop condition
+                        # re-checked capacity after the final wake-up
+                        # (a slot freed concurrently with the deadline
+                        # would have exited the loop above) — the queue
+                        # is full *right now*, so shed.
+                        self._stats.overloads += 1
+                        raise ServiceOverloaded(
+                            f"queue held {len(self._queue)} requests "
+                            f"for {timeout}s (max_pending="
+                            f"{self.config.max_pending})")
                 self._check_open()
             self._stats.queries += 1
             self._queue.append(request)
@@ -564,6 +623,7 @@ class QueryService:
 
     def query(self, point: np.ndarray, k: int = 10,
               timeout: float | None = None,
+              deadline: float | None = None,
               **overrides) -> tuple[np.ndarray, np.ndarray]:
         """Blocking convenience wrapper: ``submit(...).result()``.
 
@@ -573,6 +633,8 @@ class QueryService:
             timeout: Bounds each phase separately (backpressure
                 admission, then the result wait), so an overloaded
                 service cannot block the caller forever.
+            deadline: End-to-end budget in seconds (see :meth:`submit`);
+                also bounds the result wait.
             **overrides: As for :meth:`submit`.
 
         Returns:
@@ -584,8 +646,11 @@ class QueryService:
             :class:`concurrent.futures.TimeoutError` if the result is
             not ready within ``timeout``.
         """
-        return self.submit(point, k, timeout=timeout,
-                           **overrides).result(timeout)
+        wait = timeout
+        if deadline is not None and (wait is None or deadline < wait):
+            wait = deadline
+        return self.submit(point, k, timeout=timeout, deadline=deadline,
+                           **overrides).result(wait)
 
     def stats(self) -> ServiceStats:
         """A point-in-time copy of the cumulative counters."""
@@ -601,8 +666,31 @@ class QueryService:
             return len(self._queue)
 
     def invalidate_cache(self) -> None:
-        """Drop cached results (call after index ``insert``/``delete``)."""
+        """Drop cached results immediately.
+
+        Rarely needed: the service watches the index's ``update_epoch``
+        (bumped by every ``insert``/``delete``, including WAL-routed
+        ones) and invalidates automatically before the next lookup, so
+        served results can never be stale.  This remains for indexes
+        outside the family that mutate without bumping an epoch.
+        """
         self.cache.invalidate()
+
+    def _cache_current(self) -> bool:
+        """True when the cache's entries match the index's mutation
+        epoch; on a mismatch the cache is dropped and re-stamped.
+
+        Benign race by design: epoch reads are unlocked (an int load is
+        atomic under the GIL), so two threads may both observe a bump
+        and both invalidate — an extra clear, never a stale hit, because
+        :meth:`_complete` re-checks the epoch before caching a result.
+        """
+        epoch = getattr(self.index, "update_epoch", 0)
+        if epoch != self._cache_epoch:
+            self.cache.invalidate()
+            self._cache_epoch = epoch
+            return False
+        return True
 
     # -- zero-downtime snapshot swap ---------------------------------------
 
@@ -690,6 +778,7 @@ class QueryService:
             if self._pool is not None:
                 self._pool.swap(swap.root)
             self.cache.invalidate()
+            self._cache_epoch = getattr(swap.index, "update_epoch", 0)
             if self._owns_index and old is not swap.index:
                 try:
                     old.close()
@@ -759,6 +848,13 @@ class QueryService:
 
     def _dispatch(self, batch: list[_Request]) -> None:
         """Answer one micro-batch, grouped by (k, overrides)."""
+        batch = self._expire_requests(batch)
+        if not batch:
+            return
+        # The epoch the batch's answers are computed against; a
+        # concurrent mutation between here and completion makes the
+        # results correct-but-uncacheable (see _complete).
+        epoch = getattr(self.index, "update_epoch", 0)
         groups: OrderedDict[tuple, list[_Request]] = OrderedDict()
         for request in batch:
             groups.setdefault((request.k, request.overrides),
@@ -772,7 +868,7 @@ class QueryService:
                 points = np.stack([r.point for r in live])
                 ids, dists = self._answer_rows(points, k, dict(overrides))
                 for row, request in enumerate(live):
-                    self._complete(request, ids[row], dists[row])
+                    self._complete(request, ids[row], dists[row], epoch)
             except ProcessPoolError as error:
                 # A worker died or wedged mid-batch.  The pool has already
                 # been discarded (the next batch gets a fresh one); fail
@@ -785,7 +881,27 @@ class QueryService:
                 # One malformed request (wrong dimensionality, bad
                 # override) must not fail its batch neighbours: isolate by
                 # retrying each request on its own.
-                self._dispatch_singly(live, k, dict(overrides))
+                self._dispatch_singly(live, k, dict(overrides), epoch)
+
+    def _expire_requests(self, batch: list[_Request]) -> list[_Request]:
+        """Fail requests whose deadline passed while queued; returns the
+        still-live remainder.  An expired request must never occupy
+        batch capacity — its caller stopped waiting."""
+        now = time.monotonic()
+        live: list[_Request] = []
+        expired = 0
+        for request in batch:
+            if not request.expired(now):
+                live.append(request)
+                continue
+            expired += 1
+            if not request.future.cancelled():
+                request.future.set_exception(DeadlineExceeded(
+                    "deadline expired while the request was queued"))
+        if expired:
+            with self._lock:
+                self._stats.deadline_expired += expired
+        return live
 
     def _answer_rows(self, points: np.ndarray, k: int, overrides: dict
                      ) -> tuple[np.ndarray, np.ndarray]:
@@ -797,23 +913,28 @@ class QueryService:
         return self.index.query_batch(points, k, **overrides)
 
     def _dispatch_singly(self, requests: list[_Request], k: int,
-                         overrides: dict) -> None:
+                         overrides: dict, epoch: int) -> None:
         for request in requests:
             try:
                 ids, dists = self._answer_rows(
                     request.point[None, :], k, overrides)
-                self._complete(request, ids[0], dists[0])
+                self._complete(request, ids[0], dists[0], epoch)
             except Exception as error:
                 request.future.set_exception(error)
 
     def _complete(self, request: _Request, ids: np.ndarray,
-                  dists: np.ndarray) -> None:
+                  dists: np.ndarray, epoch: int) -> None:
         # Private per-caller copies: rows of the batch output share one
         # base array, which would otherwise be pinned (and mutable) across
         # every client of the batch.
         ids = ids.copy()
         dists = dists.copy()
-        self.cache.put(request.key, ids, dists)
+        # Cache only results computed against the current mutation
+        # epoch: an insert/delete racing the batch must not seed the
+        # fresh cache with a pre-mutation answer.
+        if (epoch == self._cache_epoch
+                and epoch == getattr(self.index, "update_epoch", 0)):
+            self.cache.put(request.key, ids, dists)
         request.future.set_result((ids, dists))
 
     def _check_open(self) -> None:

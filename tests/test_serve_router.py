@@ -1,0 +1,239 @@
+"""Tests for the replica-set tier: real server subprocesses behind a
+``ReplicaRouter``.
+
+Each replica is one ``python -m repro.serve.server`` process over the
+same snapshot (the unit a deployment supervises).  The contract under
+test: consistent placement, byte-identical routed answers, failover on
+replica death with *zero hung futures*, deadlines that hold across
+failover attempts, and graceful SIGTERM drain of the server process.
+"""
+
+import asyncio
+import os
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import HDIndex, HDIndexParams, open_index, save_index
+from repro.serve import (
+    DeadlineExceeded,
+    NoReplicaAvailable,
+    ReplicaRouter,
+)
+
+K = 10
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(99)
+    centers = rng.uniform(0.0, 100.0, size=(4, 10))
+    data = np.vstack([
+        center + rng.normal(0.0, 3.0, size=(50, 10)) for center in centers])
+    queries = data[rng.choice(len(data), 24, replace=False)] \
+        + rng.normal(0.0, 0.5, size=(24, 10))
+    return np.clip(data, 0, 100), np.clip(queries, 0, 100)
+
+
+@pytest.fixture(scope="module")
+def snapshot(workload, tmp_path_factory):
+    data, _ = workload
+    directory = tmp_path_factory.mktemp("replica-snap")
+    index = HDIndex(HDIndexParams(num_trees=3, num_references=4, alpha=64,
+                                  gamma=24, domain=(0.0, 100.0), seed=0))
+    index.build(data)
+    save_index(index, directory)
+    index.close()
+    return directory
+
+
+@pytest.fixture(scope="module")
+def expected(snapshot, workload):
+    _, queries = workload
+    index = open_index(snapshot)
+    answers = [index.query(q, K) for q in queries]
+    index.close()
+    return answers
+
+
+def start_replica(snapshot, timeout=30.0):
+    """Launch one server process; returns ``(process, port)`` once the
+    READY handshake line arrives."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve.server",
+         "--snapshot", str(snapshot), "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=env)
+    line = process.stdout.readline().strip()
+    if not line.startswith("REPRO-SERVE READY"):
+        process.kill()
+        stderr = process.stderr.read()
+        raise RuntimeError(f"bad handshake {line!r}; stderr: {stderr}")
+    port = int(line.split("port=")[1].split()[0])
+    return process, port
+
+
+def stop_replica(process):
+    if process.poll() is None:
+        process.kill()
+        process.wait(timeout=10)
+    process.stdout.close()
+    process.stderr.close()
+
+
+@pytest.fixture(scope="module")
+def replica_pair(snapshot):
+    replicas = [start_replica(snapshot) for _ in range(2)]
+    yield replicas
+    for process, _ in replicas:
+        stop_replica(process)
+
+
+class TestRouting:
+    def test_routed_answers_byte_identical(self, replica_pair, workload,
+                                           expected):
+        _, queries = workload
+        endpoints = [("127.0.0.1", port) for _, port in replica_pair]
+
+        async def main():
+            async with ReplicaRouter(endpoints) as router:
+                return await router.query_many(queries, K,
+                                               deadline_ms=30000.0)
+
+        results = asyncio.run(main())
+        assert not any(isinstance(r, BaseException) for r in results)
+        for (ids, dists), (want_ids, want_dists) in zip(results, expected):
+            assert ids.tobytes() == want_ids.tobytes()
+            assert dists.tobytes() == want_dists.tobytes()
+
+    def test_placement_is_stable_and_uses_both_replicas(
+            self, workload):
+        _, queries = workload
+        endpoints = [("127.0.0.1", 1), ("127.0.0.1", 2)]
+        router_a = ReplicaRouter(endpoints)
+        router_b = ReplicaRouter(endpoints)
+        homes = [router_a.placement(q)[0] for q in queries]
+        assert homes == [router_b.placement(q)[0] for q in queries]
+        assert set(homes) == {0, 1}  # both replicas carry load
+
+    def test_tiny_deadline_is_typed_not_a_hang(self, replica_pair,
+                                               workload):
+        _, queries = workload
+        endpoints = [("127.0.0.1", port) for _, port in replica_pair]
+
+        async def main():
+            async with ReplicaRouter(endpoints) as router:
+                with pytest.raises(DeadlineExceeded):
+                    await router.query(queries[0], K, deadline_ms=0.01)
+
+        started = time.monotonic()
+        asyncio.run(main())
+        assert time.monotonic() - started < 10.0
+
+    def test_router_stats_reach_replicas(self, replica_pair, workload):
+        _, queries = workload
+        endpoints = [("127.0.0.1", port) for _, port in replica_pair]
+
+        async def main():
+            async with ReplicaRouter(endpoints) as router:
+                await router.query(queries[0], K)
+                return await router.stats()
+
+        stats = asyncio.run(main())
+        assert stats["router"]["queries"] == 1
+        assert len(stats["replicas"]) == 2
+        assert all(r is not None and "service" in r
+                   for r in stats["replicas"])
+
+
+class TestFailover:
+    def test_sigkill_mid_stream_fails_over_with_zero_hangs(
+            self, snapshot, workload, expected):
+        """Kill one replica; every query still answers byte-identically
+        through the survivor, within a bounded deadline (no hung
+        futures), and the router records the failovers."""
+        _, queries = workload
+        replicas = [start_replica(snapshot) for _ in range(2)]
+        try:
+            endpoints = [("127.0.0.1", port) for _, port in replicas]
+
+            async def main():
+                async with ReplicaRouter(endpoints,
+                                         cooldown=0.2) as router:
+                    # Warm both connections, then kill replica 0.
+                    first = await router.query(queries[0], K,
+                                               deadline_ms=30000.0)
+                    replicas[0][0].kill()
+                    replicas[0][0].wait(timeout=10)
+                    results = await router.query_many(
+                        queries, K, deadline_ms=30000.0)
+                    return first, results, router.counters
+
+            first, results, counters = asyncio.run(main())
+            failures = [r for r in results
+                        if isinstance(r, BaseException)]
+            assert not failures, f"hung/failed queries: {failures[:3]}"
+            for (ids, dists), (want_ids, want_dists) in zip(results,
+                                                            expected):
+                assert ids.tobytes() == want_ids.tobytes()
+                assert dists.tobytes() == want_dists.tobytes()
+            # Some of the workload was homed on the dead replica.
+            assert counters["failovers"] >= 1
+        finally:
+            for process, _ in replicas:
+                stop_replica(process)
+
+    def test_all_replicas_down_raises_no_replica_available(self):
+        async def main():
+            # Nothing listens on these ports (port 1 is reserved and
+            # unbindable for non-root, connect fails fast).
+            router = ReplicaRouter([("127.0.0.1", 1)], cooldown=0.1)
+            try:
+                with pytest.raises(NoReplicaAvailable):
+                    await router.query(np.zeros(10), K)
+            finally:
+                await router.close()
+
+        asyncio.run(main())
+
+    def test_dead_replica_reprobed_after_cooldown(self, snapshot,
+                                                  workload):
+        """A replica that dies and comes back is used again once its
+        cooldown lapses — order placement, not permanent exile."""
+        _, queries = workload
+        process, port = start_replica(snapshot)
+        try:
+            endpoints = [("127.0.0.1", port)]
+
+            async def main():
+                async with ReplicaRouter(endpoints,
+                                         cooldown=0.05) as router:
+                    await router.query(queries[0], K)
+                    return router.counters
+
+            counters = asyncio.run(main())
+            assert counters["queries"] == 1
+        finally:
+            stop_replica(process)
+
+
+class TestServerProcess:
+    def test_sigterm_drains_gracefully(self, snapshot, workload):
+        _, queries = workload
+        process, port = start_replica(snapshot)
+        try:
+            from repro.serve import ServeClient
+            with ServeClient("127.0.0.1", port) as client:
+                ids, _ = client.query(queries[0], k=K)
+                assert len(ids) == K
+            process.send_signal(signal.SIGTERM)
+            assert process.wait(timeout=20) == 0
+        finally:
+            stop_replica(process)

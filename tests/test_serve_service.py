@@ -361,3 +361,146 @@ class TestResultCache:
             fresh_ids, _ = service.query(queries[0], K)
             assert victim not in fresh_ids
         index.close()
+
+
+class TestEpochInvalidation:
+    """Live mutations must invalidate cached results automatically — the
+    engine's ``update_epoch`` drives the service cache, no manual
+    ``invalidate_cache`` call required."""
+
+    def test_delete_invalidates_cache_without_manual_call(self, workload):
+        data, queries = workload
+        index = HDIndex(params())
+        index.build(data)
+        with QueryService(index, cache_size=64,
+                          max_wait_ms=1.0) as service:
+            stale_ids, _ = service.query(queries[0], K)
+            victim = int(stale_ids[0])
+            index.delete(victim)  # note: no service.invalidate_cache()
+            fresh_ids, _ = service.query(queries[0], K)
+            assert victim not in fresh_ids
+        index.close()
+
+    def test_insert_invalidates_cache_without_manual_call(self, workload):
+        data, queries = workload
+        index = HDIndex(params())
+        index.build(data)
+        probe = np.clip(queries[0] + 0.25, 0, 100)
+        with QueryService(index, cache_size=64,
+                          max_wait_ms=1.0) as service:
+            service.query(probe, K)
+            service.query(probe, K)
+            assert service.stats().cache_hits >= 1  # cache is live
+            new_id = index.insert(probe)  # exact duplicate of the probe
+            fresh_ids, fresh_dists = service.query(probe, K)
+            assert new_id in fresh_ids  # stale entry did not survive
+            assert fresh_dists[list(fresh_ids).index(new_id)] < 1e-3
+        index.close()
+
+    def test_sharded_mutations_bump_epoch_too(self, workload):
+        data, queries = workload
+        index = ShardRouter(params(), 2)
+        index.build(data)
+        before = index.update_epoch
+        new_id = index.insert(np.clip(queries[0], 0, 100))
+        index.delete(new_id)
+        assert index.update_epoch == before + 2
+        index.close()
+
+    def test_unmutated_index_keeps_cache_hot(self, workload):
+        data, queries = workload
+        index = HDIndex(params())
+        index.build(data)
+        with QueryService(index, cache_size=64,
+                          max_wait_ms=1.0) as service:
+            for _ in range(3):
+                service.query(queries[0], K)
+            assert service.stats().cache_hits == 2
+        index.close()
+
+
+class TestDeadlines:
+    """End-to-end deadlines at the service layer: expiry while queued is
+    a typed failure that never wastes batch capacity, and the admission
+    wait distinguishes deadline expiry from overload."""
+
+    def test_expired_in_queue_fails_typed(self, workload, built_index):
+        from repro.serve import DeadlineExceeded
+        _, queries = workload
+        import time as _time
+        service = QueryService(built_index, max_wait_ms=1.0)
+        doomed = service.submit(queries[0], K, deadline=0.02)
+        live = service.submit(queries[1], K)
+        _time.sleep(0.08)  # deadline lapses while the worker is off
+        service.start()
+        with pytest.raises(DeadlineExceeded):
+            doomed.result(timeout=5.0)
+        ids, _ = live.result(timeout=5.0)  # batch-mate is unaffected
+        np.testing.assert_array_equal(
+            ids, built_index.query(queries[1], K)[0])
+        assert service.stats().deadline_expired == 1
+        service.stop()
+
+    def test_deadline_bounds_admission_wait(self, workload, built_index):
+        from repro.serve import DeadlineExceeded
+        _, queries = workload
+        service = QueryService(built_index, max_pending=1)
+        service.submit(queries[0], K)  # fills the queue; worker off
+        with pytest.raises(DeadlineExceeded):
+            service.submit(queries[1], K, deadline=0.05)
+        assert service.stats().deadline_expired == 1
+        service.stop(drain=False)
+
+    def test_timeout_zero_probes_without_blocking(self, workload,
+                                                  built_index):
+        """timeout=0 is the event-loop-safe admission probe: immediate
+        ServiceOverloaded on a full queue, immediate admission otherwise
+        (the gateway relies on both halves)."""
+        import time as _time
+        _, queries = workload
+        service = QueryService(built_index, max_pending=1)
+        started = _time.monotonic()
+        service.submit(queries[0], K, timeout=0)  # space available
+        with pytest.raises(ServiceOverloaded):
+            service.submit(queries[1], K, timeout=0)  # full: no wait
+        assert _time.monotonic() - started < 1.0
+        service.stop(drain=False)
+
+    def test_slot_freed_at_expiry_still_admits(self, workload,
+                                               built_index):
+        """Regression: a submitter whose admission timeout races the
+        worker freeing a slot must be admitted, not failed — capacity is
+        re-checked after every wake before any overload raise."""
+        import threading as _threading
+        _, queries = workload
+        service = QueryService(built_index, max_pending=1,
+                               max_wait_ms=1.0)
+        service.submit(queries[0], K)  # fills the queue; worker off
+        outcome = {}
+
+        def late_submitter():
+            try:
+                outcome["future"] = service.submit(queries[1], K,
+                                                   timeout=5.0)
+            except Exception as error:  # pragma: no cover - reporting
+                outcome["error"] = error
+
+        thread = _threading.Thread(target=late_submitter)
+        thread.start()
+        service.start()  # frees the slot while the submitter waits
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert "error" not in outcome, outcome.get("error")
+        ids, _ = outcome["future"].result(timeout=5.0)
+        np.testing.assert_array_equal(
+            ids, built_index.query(queries[1], K)[0])
+        service.stop()
+
+    def test_invalid_deadline_rejected(self, workload, built_index):
+        _, queries = workload
+        service = QueryService(built_index)
+        with pytest.raises(ValueError):
+            service.submit(queries[0], K, deadline=0)
+        with pytest.raises(ValueError):
+            service.submit(queries[0], K, deadline=-1.0)
+        service.stop()
