@@ -41,6 +41,7 @@ from __future__ import annotations
 import json
 import sys
 
+from benchmarks.bench_filtered_search import run_filtered_search_measurement
 from benchmarks.bench_hotpath import run_hotpath_measurement
 from benchmarks.bench_online_updates import run_online_updates_measurement
 from benchmarks.bench_serve_gateway import run_serve_gateway_measurement
@@ -49,6 +50,7 @@ from benchmarks.common import host_fingerprint, load_baseline
 BENCH = "hotpath"
 ONLINE_BENCH = "online_updates"
 SERVE_BENCH = "serve_gateway"
+FILTERED_BENCH = "filtered_search"
 #: Maximum tolerated drop in single-query throughput vs the baseline.
 MAX_REGRESSION = 0.20
 #: Maximum tolerated drop in WAL ingest throughput vs the baseline.  The
@@ -64,6 +66,13 @@ MAX_ONLINE_REGRESSION = 0.50
 #: out of concurrent batching into lockstep round-trips — costs well
 #: over 2x, which a 50% floor still catches.
 MAX_SERVE_REGRESSION = 0.50
+#: Maximum tolerated drop in filtered-query throughput.  The filtered
+#: loop pays a per-query mask + budget inflation on top of the normal
+#: pipeline, and its cost moves with the predicate's selectivity; the
+#: failure mode this floor exists for — pushdown silently degrading to
+#: post-filtering the full candidate set — multiplies the work by
+#: 1/selectivity, far beyond a 50% floor.
+MAX_FILTERED_REGRESSION = 0.50
 
 
 def main() -> int:
@@ -117,6 +126,7 @@ def main() -> int:
         failed = True
     failed = _check_online_updates() or failed
     failed = _check_serve_gateway() or failed
+    failed = _check_filtered_search() or failed
     if not failed:
         print("OK: within regression budget, parity holds")
     _emit_lint_report()
@@ -216,6 +226,59 @@ def _check_serve_gateway() -> bool:
         print(f"FAIL: gateway round-trip throughput regressed "
               f"{1 - fresh_qps / base_qps:.0%} "
               f"(> {MAX_SERVE_REGRESSION:.0%} allowed)", file=sys.stderr)
+        print(f"baseline host: {json.dumps(baseline.get('host', {}))}",
+              file=sys.stderr)
+        print(f"this host:     {json.dumps(host_fingerprint())}",
+              file=sys.stderr)
+        failed = True
+    return failed
+
+
+def _check_filtered_search() -> bool:
+    """Gate the filtered-search bench: byte-parity with the
+    filter-then-kNN oracle must be present and true on both sides, and
+    the most selective tier's throughput must hold the floor.
+
+    Returns True when the gate fails.
+    """
+    baseline = load_baseline(FILTERED_BENCH)
+    if baseline is None:
+        print(f"no committed BENCH_{FILTERED_BENCH}.json baseline; run "
+              f"benchmarks/bench_filtered_search.py and commit the "
+              f"result", file=sys.stderr)
+        return True
+
+    fresh = run_filtered_search_measurement()
+    fresh_qps = fresh["metrics"]["qps_1pct"]
+    base_qps = baseline["metrics"]["qps_1pct"]
+    floor = base_qps * (1.0 - MAX_FILTERED_REGRESSION)
+
+    print(f"baseline filtered(1%): {base_qps:.1f} q/s "
+          f"(floor at -{MAX_FILTERED_REGRESSION:.0%}: {floor:.1f} q/s)")
+    print(f"fresh    filtered(1%): {fresh_qps:.1f} q/s "
+          f"(recall {fresh['metrics']['recall_1pct']:.3f}, unfiltered "
+          f"{fresh['metrics']['unfiltered_qps']:.1f} q/s)")
+
+    failed = False
+    # Present-and-true on BOTH sides: a filtered answer that was never
+    # compared byte-for-byte against the filter-then-kNN oracle proves
+    # nothing, and a baseline recorded from a diverging run is no
+    # reference.
+    for side, payload in (("fresh", fresh), ("baseline", baseline)):
+        if "parity" not in payload:
+            print(f"FAIL: {side} BENCH_{FILTERED_BENCH} carries no "
+                  f"parity flag", file=sys.stderr)
+            failed = True
+        elif not payload["parity"]:
+            print(f"FAIL: {side} BENCH_{FILTERED_BENCH} recorded "
+                  f"parity=false — filtered answers diverged from the "
+                  f"filter-then-kNN oracle", file=sys.stderr)
+            failed = True
+    if fresh_qps < floor:
+        print(f"FAIL: filtered-query throughput regressed "
+              f"{1 - fresh_qps / base_qps:.0%} "
+              f"(> {MAX_FILTERED_REGRESSION:.0%} allowed)",
+              file=sys.stderr)
         print(f"baseline host: {json.dumps(baseline.get('host', {}))}",
               file=sys.stderr)
         print(f"this host:     {json.dumps(host_fingerprint())}",

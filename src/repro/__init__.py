@@ -62,7 +62,25 @@ from repro.core import (
 )
 from repro.core import open_index
 from repro.core import open_index as open  # noqa: A001 - repro.open API
-from repro.datasets import DATASET_CATALOG, Dataset, DatasetSpec, make_dataset
+from repro.datasets import (
+    DATASET_CATALOG,
+    Dataset,
+    DatasetSpec,
+    iter_hdf5_chunks,
+    make_dataset,
+)
+from repro.distance import normalize_rows
+from repro.meta import (
+    And,
+    Eq,
+    In,
+    MetadataStore,
+    Not,
+    Or,
+    Predicate,
+    Range,
+    predicate_from_dict,
+)
 from repro.serve import QueryService, ServiceConfig, ServiceStats
 from repro.eval import (
     GroundTruth,
@@ -80,28 +98,36 @@ from repro.eval import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "And",
     "C2LSH",
     "DATASET_CATALOG",
     "Dataset",
     "DatasetSpec",
     "E2LSH",
+    "Eq",
     "Execution",
     "GroundTruth",
     "HDIndex",
     "HDIndexParams",
     "HNSW",
     "IDistance",
+    "In",
     "IndexSpec",
     "KNNIndex",
     "LinearScan",
+    "MetadataStore",
     "Multicurves",
+    "Not",
     "OPQIndex",
+    "Or",
     "PQIndex",
     "ParallelHDIndex",
+    "Predicate",
     "ProcessPoolHDIndex",
     "QALSH",
     "QueryService",
     "QueryStats",
+    "Range",
     "SRS",
     "ServiceConfig",
     "ServiceStats",
@@ -119,11 +145,14 @@ __all__ = [
     "evaluate_spec",
     "exact_knn",
     "format_table",
+    "iter_hdf5_chunks",
     "load_index",
     "make_dataset",
     "mean_average_precision",
+    "normalize_rows",
     "open",
     "open_index",
+    "predicate_from_dict",
     "rdb_leaf_order",
     "recall_at_k",
     "recommended_params",

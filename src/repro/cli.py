@@ -124,6 +124,18 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record inserts/deletes in a write-ahead log "
                             "next to the snapshot (online updates without "
                             "full resyncs; fold with `repro compact`)")
+    build.add_argument("--from-hdf5", default=None, metavar="PATH:DATASET",
+                       help="stream the dataset block-wise from an HDF5 "
+                            "file (e.g. ann-benchmarks corpora: "
+                            "sift.hdf5:train) instead of materialising it "
+                            "in RAM; needs the optional h5py dependency "
+                            "and forces random reference selection")
+    build.add_argument("--with-labels", type=_positive_int, default=None,
+                       metavar="N",
+                       help="attach a synthetic metadata column "
+                            "'label' = row %% N, enabling "
+                            "`repro query --filter` demos against this "
+                            "index")
 
     compact = commands.add_parser(
         "compact", help="fold a WAL-backed index's delta into a new "
@@ -155,6 +167,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="legacy alias of --execution")
     query.add_argument("--workers", type=_positive_int, default=None,
                        help="worker count for --execution process")
+    query.add_argument("--filter", default=None, metavar="JSON",
+                       help="filtered kNN: a predicate in JSON form, e.g. "
+                            "'{\"op\": \"eq\", \"column\": \"label\", "
+                            "\"value\": 3}'; the index must carry metadata "
+                            "(see `repro build --with-labels`)")
 
     serve = commands.add_parser(
         "serve", help="serve a persisted index to concurrent clients")
@@ -254,6 +271,10 @@ def _add_param_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--alpha", type=int, default=None)
     parser.add_argument("--gamma", type=int, default=None)
     parser.add_argument("--ptolemaic", action="store_true")
+    parser.add_argument("--metric", choices=("euclidean", "angular"),
+                        default=None,
+                        help="distance metric; angular unit-normalises the "
+                             "dataset and searches by chord distance")
 
 
 def _load_workload(args) -> tuple[np.ndarray, np.ndarray, object]:
@@ -291,6 +312,8 @@ def _param_flag_updates(args) -> dict:
         updates["gamma"] = args.gamma
     if getattr(args, "ptolemaic", False):
         updates["use_ptolemaic"] = True
+    if getattr(args, "metric", None) is not None:
+        updates["metric"] = args.metric
     return updates
 
 
@@ -301,6 +324,10 @@ def _params_from_args(args, data, spec) -> HDIndexParams:
     if spec is not None:
         updates["domain"] = spec.domain
     updates.update(_param_flag_updates(args))
+    if updates.get("metric") == "angular":
+        # Normalised vectors live in [-1, 1], not the catalog domain;
+        # let the quantiser derive its grid from the data.
+        updates["domain"] = None
     import dataclasses
     return dataclasses.replace(params, **updates)
 
@@ -359,9 +386,19 @@ def _spec_from_args(args, data, dataset_spec) -> IndexSpec:
 
 
 def cmd_build(args, out=sys.stdout) -> int:
+    if args.from_hdf5 is not None:
+        return _build_streaming(args, out)
     data, _, dataset_spec = _load_workload(args)
     spec = _spec_from_args(args, data, dataset_spec)
-    index = build_index(spec, data, storage_dir=args.out)
+    if spec.params.metric == "angular":
+        from repro.distance.metrics import normalize_rows
+        data = normalize_rows(data)
+    metadata = None
+    if args.with_labels is not None:
+        metadata = [{"label": row % args.with_labels}
+                    for row in range(len(data))]
+    index = build_index(spec, data, storage_dir=args.out,
+                        metadata=metadata)
     params = index.params
     stats = index.build_stats()
     print(f"built {index.name} over n={len(data)}, ν={data.shape[1]} in "
@@ -378,6 +415,57 @@ def cmd_build(args, out=sys.stdout) -> int:
         print(f"τ={params.num_trees} trees, m={params.num_references} "
               f"references, leaf orders {stats.extra['leaf_orders']} "
               f"(execution={spec.execution.kind})", file=out)
+    descriptors = index.total_size_bytes() - index.index_size_bytes()
+    print(f"index {index.index_size_bytes():,} B + descriptors "
+          f"{descriptors:,} B -> {args.out}", file=out)
+    if metadata is not None:
+        print(f"metadata: column 'label' in [0, {args.with_labels}) "
+              f"over {len(data)} rows", file=out)
+    index.close()
+    return 0
+
+
+def _build_streaming(args, out) -> int:
+    """``repro build --from-hdf5 PATH:DATASET``: out-of-core build."""
+    from repro.datasets.loaders import hdf5_shape, iter_hdf5_chunks
+
+    path, separator, dataset = args.from_hdf5.partition(":")
+    if not separator or not path or not dataset:
+        print("error: --from-hdf5 expects PATH:DATASET "
+              "(e.g. sift.hdf5:train)", file=sys.stderr)
+        return 2
+    if args.with_labels is not None:
+        print("error: --with-labels is not supported with --from-hdf5 "
+              "(streaming builds carry no metadata)", file=sys.stderr)
+        return 2
+    try:
+        total, dim = hdf5_shape(path, dataset)
+    except (ImportError, OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    n = total if args.n is None else min(total, args.n)
+    shaped = np.broadcast_to(np.empty(dim), (n, dim))  # shape, no storage
+    spec = _spec_from_args(args, shaped, None)
+    if spec.topology.shards > 1:
+        print("error: --from-hdf5 cannot be combined with --shards "
+              "(shard assignment needs the full dataset up front)",
+              file=sys.stderr)
+        return 2
+    import dataclasses as _dc
+    if spec.params.reference_method != "random":
+        # Reservoir sampling is the only selection that streams.
+        spec = _dc.replace(spec, params=_dc.replace(
+            spec.params, reference_method="random"))
+    index = build_index(
+        spec, iter_hdf5_chunks(path, dataset, max_vectors=args.n),
+        storage_dir=args.out)
+    stats = index.build_stats()
+    print(f"streamed {index.count} x ν={index.dim} vectors from "
+          f"{path}:{dataset} in {stats.time_sec:.2f}s", file=out)
+    print(f"τ={index.params.num_trees} trees, "
+          f"m={index.params.num_references} references "
+          f"(reference_method=random, metric={index.params.metric})",
+          file=out)
     descriptors = index.total_size_bytes() - index.index_size_bytes()
     print(f"index {index.index_size_bytes():,} B + descriptors "
           f"{descriptors:,} B -> {args.out}", file=out)
@@ -415,6 +503,16 @@ def cmd_query(args, out=sys.stdout) -> int:
         print(f"error: index expects ν={index.dim}, dataset has "
               f"ν={data.shape[1]}", file=sys.stderr)
         return 2
+    if index.params.metric == "angular":
+        # The index holds unit vectors; evaluate against the same.
+        from repro.distance.metrics import normalize_rows
+        data = normalize_rows(data)
+        queries = normalize_rows(queries)
+    if args.filter is not None:
+        try:
+            return _query_filtered(args, index, queries, out)
+        finally:
+            index.close()
     truth = GroundTruth(data, queries, max_k=args.k)
     result = evaluate_index(index, data, queries, args.k,
                             ground_truth=truth, build=False,
@@ -422,6 +520,69 @@ def cmd_query(args, out=sys.stdout) -> int:
                             batch_size=args.batch_size)
     print(format_table([result]), file=out)
     index.close()
+    return 0
+
+
+def _query_filtered(args, index, queries, out) -> int:
+    """``repro query --filter``: filtered kNN with a parity check
+    against the brute-force filter-then-scan oracle."""
+    import time
+
+    from repro.meta import predicate_from_dict
+
+    try:
+        payload = json.loads(args.filter)
+    except json.JSONDecodeError as error:
+        print(f"error: --filter is not valid JSON: {error}",
+              file=sys.stderr)
+        return 2
+    try:
+        predicate = predicate_from_dict(payload)
+    except (TypeError, ValueError, KeyError) as error:
+        print(f"error: bad predicate: {error}", file=sys.stderr)
+        return 2
+    if index.metadata is None:
+        print("error: this index carries no metadata; rebuild with "
+              "metadata (e.g. `repro build --with-labels N`)",
+              file=sys.stderr)
+        return 2
+    started = time.perf_counter()
+    if args.batch_size:
+        answers = []
+        for start in range(0, len(queries), args.batch_size):
+            block = queries[start:start + args.batch_size]
+            ids, dists = index.query_batch(block, args.k,
+                                           predicate=predicate)
+            answers.extend(zip(ids, dists))
+    else:
+        answers = [index.query(q, args.k, predicate=predicate)
+                   for q in queries]
+    elapsed = time.perf_counter() - started
+    stats = index.last_query_stats()
+    selectivity = stats.extra.get("selectivity", float("nan"))
+
+    # Oracle: brute-force scan of the eligible rows, as stored.
+    from repro.distance.metrics import euclidean_to_many
+    eligible = np.nonzero(predicate.mask(index.metadata))[0]
+    recall = float("nan")
+    if eligible.size:
+        stored = index.heap.gather(eligible).astype(np.float64)
+        hits = total = 0
+        for query, (ids, _) in zip(queries, answers):
+            exact = euclidean_to_many(query, stored)
+            budget = min(args.k, eligible.size)
+            oracle = set(
+                eligible[np.argsort(exact, kind="stable")[:budget]]
+                .tolist())
+            hits += len(oracle.intersection(ids.tolist()))
+            total += budget
+        recall = hits / total if total else float("nan")
+    print(f"filtered {len(queries)} queries (k={args.k}, predicate "
+          f"selectivity {selectivity:.1%}, {eligible.size} eligible "
+          f"rows) in {elapsed:.2f}s -> "
+          f"{len(queries) / elapsed:.1f} q/s", file=out)
+    print(f"recall vs brute-force filter-then-scan oracle: "
+          f"{recall:.3f}", file=out)
     return 0
 
 
@@ -569,7 +730,16 @@ def cmd_compare(args, out=sys.stdout) -> int:
         VAFile,
     )
     data, queries, spec = _load_workload(args)
+    if args.metric == "angular":
+        # Normalised corpus: every method then ranks by angle (euclidean
+        # order on unit vectors == chord order), keeping the table
+        # apples-to-apples.
+        from repro.distance.metrics import normalize_rows
+        data = normalize_rows(data)
+        queries = normalize_rows(queries)
     domain = spec.domain if spec is not None else None
+    if args.metric == "angular":
+        domain = None  # unit vectors live in [-1, 1], not the catalog's
     n = len(data)
     available = {
         "hdindex": lambda: HDIndex(_params_from_args(args, data, spec)),

@@ -42,8 +42,39 @@ from repro.core.filters import (
     triangular_lower_bounds_many,
 )
 from repro.core.interface import QueryStats
-from repro.distance.metrics import euclidean_to_many, top_k_smallest
+from repro.distance.metrics import (
+    euclidean_to_many,
+    normalize_rows,
+    top_k_smallest,
+)
 from repro.hilbert.butz import encode_for_curves
+
+#: Ceiling on the selectivity-driven candidate-budget inflation.  A
+#: predicate keeping fraction ``s`` of the corpus thins every tree's
+#: candidate stream by ~``s``, so (α, β, γ) are scaled by ``1/s`` to
+#: keep the *eligible* survivor count near the unfiltered design point —
+#: capped here so a needle-selective filter degrades towards a (still
+#: correct) wider scan instead of an unbounded one.
+SELECTIVITY_INFLATION_CAP = 64
+
+
+def inflate_filter_sizes(alpha: int, beta: int, gamma: int,
+                         selectivity: float) -> tuple[int, int, int]:
+    """Scale (α, β, γ) by the predicate's observed selectivity.
+
+    ``selectivity`` is the eligible fraction of the base corpus; the
+    budgets are multiplied by ``ceil(1/s)``, capped at
+    :data:`SELECTIVITY_INFLATION_CAP`.  Deterministic in (sizes, s), so
+    sequential/threaded/process execution inflate identically.
+    """
+    if selectivity >= 1.0:
+        return alpha, beta, gamma
+    if selectivity <= 0.0:
+        factor = SELECTIVITY_INFLATION_CAP
+    else:
+        factor = min(SELECTIVITY_INFLATION_CAP,
+                     int(np.ceil(1.0 / selectivity)))
+    return alpha * factor, beta * factor, gamma * factor
 
 
 class Executor:
@@ -121,11 +152,15 @@ class ProcessExecutor(Executor):
         return [fn(item) for item in items]
 
     def scan_trees(self, num_trees: int, points, alpha: int, beta: int,
-                   gamma: int, ptolemaic: bool):
+                   gamma: int, ptolemaic: bool, predicate=None):
         """Stages (i)+(ii) for all trees in the worker pool; returns
-        (per-tree-per-row survivors, summed worker stats deltas)."""
+        (per-tree-per-row survivors, summed worker stats deltas).
+
+        ``predicate`` crosses the process boundary in its JSON dict
+        form; each worker rebuilds it and computes the eligibility mask
+        against its own snapshot's metadata store."""
         return self.pool.scan_trees(num_trees, points, alpha, beta, gamma,
-                                    ptolemaic)
+                                    ptolemaic, predicate)
 
     def close(self) -> None:
         self.pool.close()
@@ -209,7 +244,8 @@ class QueryEngine:
 
     def scan_many(self, tree_indices: Sequence[int], points: np.ndarray,
                   query_ref: np.ndarray, alpha: int, beta: int, gamma: int,
-                  ptolemaic: bool) -> list[list[np.ndarray]]:
+                  ptolemaic: bool, eligible: np.ndarray | None = None
+                  ) -> list[list[np.ndarray]]:
         """Stages (i)+(ii) for the given trees over all Q query rows.
 
         This is the array-native hot path: one quantisation pass over the
@@ -220,6 +256,12 @@ class QueryEngine:
         Python loop anywhere.  Returns, per tree, one survivor-id array per
         query row; results are byte-identical to per-tree
         :meth:`scan_tree` + :meth:`filter_survivors` calls.
+
+        ``eligible`` is the predicate-pushdown bitmap (bool per base
+        object): candidates failing it are dropped *here*, before the
+        lower-bound kernels ever see them — one fancy-index per (tree,
+        row) segment — so an ineligible point can never survive to the
+        gather/rerank stage.
         """
         index = self.index
         quantized = index.quantizer.quantize(points)
@@ -238,6 +280,9 @@ class QueryEngine:
             # work, so this loop is over *queries*, not array elements.
             for row in range(batch):  # lint: disable=HK101
                 ids, ref = tree.candidates(tree_keys[row].tobytes(), alpha)
+                if eligible is not None and ids.shape[0]:
+                    keep = eligible[ids]
+                    ids, ref = ids[keep], ref[keep]
                 candidate_ids.append(ids)
                 candidate_ref.append(ref)
                 segment_rows.append(row)
@@ -248,7 +293,8 @@ class QueryEngine:
                 for i in range(len(tree_indices))]
 
     def _dispatch_scans(self, points: np.ndarray, query_ref: np.ndarray,
-                        alpha: int, beta: int, gamma: int, ptolemaic: bool
+                        alpha: int, beta: int, gamma: int, ptolemaic: bool,
+                        eligible: np.ndarray | None = None
                         ) -> list[list[np.ndarray]]:
         """Shape stages (i)+(ii) to the executor: sequential execution gets
         one maximally fused :meth:`scan_many` over every tree; a pool gets
@@ -258,11 +304,11 @@ class QueryEngine:
         tree_count = len(index.trees)
         if self.executor.workers is None:
             return self.scan_many(range(tree_count), points, query_ref,
-                                  alpha, beta, gamma, ptolemaic)
+                                  alpha, beta, gamma, ptolemaic, eligible)
 
         def scan_one(tree_index):
             return self.scan_many([tree_index], points, query_ref, alpha,
-                                  beta, gamma, ptolemaic)[0]
+                                  beta, gamma, ptolemaic, eligible)[0]
 
         return self.executor.map(scan_one, range(tree_count))
 
@@ -375,14 +421,26 @@ class QueryEngine:
 
     def run(self, point: np.ndarray, k: int,
             alpha: int | None = None, beta: int | None = None,
-            gamma: int | None = None, use_ptolemaic: bool | None = None
-            ) -> tuple[np.ndarray, np.ndarray, QueryStats]:
-        """Answer one query; returns (ids, dists, stats)."""
+            gamma: int | None = None, use_ptolemaic: bool | None = None,
+            predicate=None) -> tuple[np.ndarray, np.ndarray, QueryStats]:
+        """Answer one query; returns (ids, dists, stats).
+
+        ``predicate`` (a :class:`~repro.meta.Predicate` or its dict
+        form) restricts the answer to matching points via pushdown: the
+        eligibility bitmap is computed once here, candidates failing it
+        are dropped before the filter kernels, and the (α, β, γ)
+        budgets are inflated by the observed selectivity.
+        """
         index = self.index
+        predicate = index._coerce_query_predicate(predicate)
         ptolemaic = (index.params.use_ptolemaic
                      if use_ptolemaic is None else use_ptolemaic)
         eff_alpha, eff_beta, eff_gamma = index._effective_sizes(
             k, alpha, beta, gamma, ptolemaic)
+        eligible, selectivity = index._eligibility(predicate)
+        if predicate is not None:
+            eff_alpha, eff_beta, eff_gamma = inflate_filter_sizes(
+                eff_alpha, eff_beta, eff_gamma, selectivity)
 
         started = time.perf_counter()
         reads_before = index._total_page_reads()
@@ -394,6 +452,8 @@ class QueryEngine:
             raise ValueError(
                 f"query has dimension {point.shape[0]}, "
                 f"index expects {index.dim}")
+        if index.params.metric == "angular":
+            point = normalize_rows(point[None, :])[0]
 
         if getattr(self.executor, "remote", False):
             # Stages (i)+(ii) ran in worker processes over their own view
@@ -404,7 +464,8 @@ class QueryEngine:
             index._distance_counter.add(index.references.size)
             per_tree, remote_delta = self.executor.scan_trees(
                 len(index.trees), point[None, :], eff_alpha, eff_beta,
-                eff_gamma, ptolemaic)
+                eff_gamma, ptolemaic,
+                None if predicate is None else predicate.to_dict())
             survivor_ids = [rows[0] for rows in per_tree]
         else:
             remote_delta = None
@@ -414,9 +475,9 @@ class QueryEngine:
             index._distance_counter.add(index.references.size)
             per_tree = self._dispatch_scans(
                 point[None, :], query_ref[None, :], eff_alpha, eff_beta,
-                eff_gamma, ptolemaic)
+                eff_gamma, ptolemaic, eligible)
             survivor_ids = [rows[0] for rows in per_tree]
-        merged = self._merge_survivors(survivor_ids)
+        merged = self._merge_survivors(survivor_ids, predicate)
         ids, dists = self.rerank(point, merged, k)
 
         random_after, sequential_after = index._read_breakdown()
@@ -428,7 +489,9 @@ class QueryEngine:
             candidates=merged.shape[0],
             distance_computations=index._distance_counter.count,
             extra=self._stats_extra(eff_alpha, eff_beta, eff_gamma,
-                                    ptolemaic),
+                                    ptolemaic,
+                                    None if predicate is None
+                                    else selectivity),
         )
         if remote_delta is not None:
             self._add_remote_delta(stats, remote_delta)
@@ -439,7 +502,7 @@ class QueryEngine:
     def run_batch(self, points: np.ndarray, k: int,
                   alpha: int | None = None, beta: int | None = None,
                   gamma: int | None = None,
-                  use_ptolemaic: bool | None = None
+                  use_ptolemaic: bool | None = None, predicate=None
                   ) -> tuple[np.ndarray, np.ndarray, QueryStats]:
         """Answer Q queries; returns ((Q, k) ids, (Q, k) dists, stats).
 
@@ -447,13 +510,19 @@ class QueryEngine:
         short of k answers are padded with id -1 / distance +inf); only
         the work layout changes, as described in the module docstring.
         The returned stats aggregate the whole batch and carry
-        ``extra["batch_size"]``.
+        ``extra["batch_size"]``.  One ``predicate`` applies to every
+        row (mask computed once for the batch).
         """
         index = self.index
+        predicate = index._coerce_query_predicate(predicate)
         ptolemaic = (index.params.use_ptolemaic
                      if use_ptolemaic is None else use_ptolemaic)
         eff_alpha, eff_beta, eff_gamma = index._effective_sizes(
             k, alpha, beta, gamma, ptolemaic)
+        eligible, selectivity = index._eligibility(predicate)
+        if predicate is not None:
+            eff_alpha, eff_beta, eff_gamma = inflate_filter_sizes(
+                eff_alpha, eff_beta, eff_gamma, selectivity)
 
         started = time.perf_counter()
         reads_before = index._total_page_reads()
@@ -467,6 +536,8 @@ class QueryEngine:
             raise ValueError(
                 f"queries have shape {points.shape}, index expects "
                 f"(Q, {index.dim})")
+        if index.params.metric == "angular":
+            points = normalize_rows(points)
         batch = points.shape[0]
 
         if getattr(self.executor, "remote", False):
@@ -478,7 +549,8 @@ class QueryEngine:
             index._distance_counter.add(batch * index.references.size)
             per_tree, remote_delta = self.executor.scan_trees(
                 len(index.trees), points, eff_alpha, eff_beta, eff_gamma,
-                ptolemaic)
+                ptolemaic,
+                None if predicate is None else predicate.to_dict())
         else:
             remote_delta = None
             # One (Q, m) reference-distance matmul for the whole batch,
@@ -489,9 +561,11 @@ class QueryEngine:
             query_ref = index.references.distances_from(points)
             index._distance_counter.add(batch * index.references.size)
             per_tree = self._dispatch_scans(points, query_ref, eff_alpha,
-                                            eff_beta, eff_gamma, ptolemaic)
+                                            eff_beta, eff_gamma, ptolemaic,
+                                            eligible)
         merged_per_row = [
-            self._merge_survivors([tree_rows[row] for tree_rows in per_tree])
+            self._merge_survivors(
+                [tree_rows[row] for tree_rows in per_tree], predicate)
             for row in range(batch)]
 
         # Stage (iii), amortised: fetch each distinct candidate once for
@@ -515,7 +589,8 @@ class QueryEngine:
                 dists_out[row, :best.shape[0]] = exact[best]
 
         random_after, sequential_after = index._read_breakdown()
-        extra = self._stats_extra(eff_alpha, eff_beta, eff_gamma, ptolemaic)
+        extra = self._stats_extra(eff_alpha, eff_beta, eff_gamma, ptolemaic,
+                                  None if predicate is None else selectivity)
         extra["batch_size"] = batch
         stats = QueryStats(
             time_sec=time.perf_counter() - started,
@@ -532,8 +607,8 @@ class QueryEngine:
 
     # -- internals --------------------------------------------------------
 
-    def _merge_survivors(self, survivor_ids: Sequence[np.ndarray]
-                         ) -> np.ndarray:
+    def _merge_survivors(self, survivor_ids: Sequence[np.ndarray],
+                         predicate=None) -> np.ndarray:
         """Union of per-tree survivor sets, plus the WAL delta segment,
         minus deleted ids (Algo. 2 line 11) — the single synchronisation
         point.
@@ -543,6 +618,10 @@ class QueryEngine:
         exact distances decide whether any of it ranks.  Deleted ids are
         filtered here for base and delta entries alike, so a
         deleted-in-delta id can never surface from the base snapshot.
+
+        Base survivors arrive already predicate-masked (pushdown at the
+        scan stage); delta rows are screened here against their WAL-side
+        metadata, so an ineligible insert never reaches the gather.
         """
         survivor_ids = [ids for ids in survivor_ids if ids.shape[0]]
         if survivor_ids:
@@ -551,7 +630,16 @@ class QueryEngine:
             merged = np.empty(0, dtype=np.int64)
         delta = getattr(self.index, "_delta", None)
         if delta is not None and len(delta):
-            merged = np.union1d(merged, delta.id_range())
+            delta_ids = delta.id_range()
+            if predicate is not None:
+                rows = delta.metadata_rows()
+                keep = np.fromiter(
+                    (row is not None and predicate.matches(row)
+                     for row in rows),
+                    dtype=bool, count=len(rows))
+                delta_ids = delta_ids[keep]
+            if delta_ids.shape[0]:
+                merged = np.union1d(merged, delta_ids)
         deleted = self.index._deleted_ids()
         if deleted.size:
             merged = merged[~np.isin(merged, deleted)]
@@ -598,9 +686,12 @@ class QueryEngine:
         stats.distance_computations += delta["distance_computations"]
 
     def _stats_extra(self, alpha: int, beta: int, gamma: int,
-                     ptolemaic: bool) -> dict:
+                     ptolemaic: bool,
+                     selectivity: float | None = None) -> dict:
         extra = {"alpha": alpha, "beta": beta, "gamma": gamma,
                  "ptolemaic": ptolemaic}
+        if selectivity is not None:
+            extra["selectivity"] = selectivity
         if self.executor.workers is not None:
             extra["workers"] = self.executor.workers
         return extra

@@ -84,28 +84,50 @@ def create_index(spec: IndexSpec | None = None,
     return index
 
 
-def build(spec: IndexSpec | None, data: np.ndarray,
-          storage_dir: str | os.PathLike[str] | None = None
-          ) -> HDIndex | ShardRouter:
+def build(spec: IndexSpec | None, data,
+          storage_dir: str | os.PathLike[str] | None = None,
+          metadata=None) -> HDIndex | ShardRouter:
     """Build the index a spec describes over ``data``.
 
     Args:
         spec: An :class:`~repro.core.spec.IndexSpec`, bare
             :class:`~repro.core.params.HDIndexParams`, spec dict, or
             ``None`` for all defaults.
-        data: ``(n, ν)`` dataset to index.
+        data: ``(n, ν)`` dataset to index, or an *iterator* of
+            ``(rows, ν)`` blocks (e.g.
+            :func:`repro.datasets.iter_hdf5_chunks`) for an out-of-core
+            streaming build — see
+            :meth:`~repro.core.hdindex.HDIndex.build_from_chunks` for
+            the streaming path's restrictions.
         storage_dir: When given, the built index is persisted there (its
             full spec recorded in the snapshot metadata, so
             :func:`open_index` reconstructs the same deployment); with a
             disk backend the page files are written straight into the
             directory during construction, so persisting adds only a
             metadata write.
+        metadata: Optional per-point attributes enabling filtered
+            queries: one dict per point or a prepared
+            :class:`~repro.meta.MetadataStore`.  Not supported with
+            streaming ``data``.
 
     Returns:
         The built (and, with ``storage_dir``, persisted) index.
     """
     index = create_index(spec, storage_dir=storage_dir)
-    index.build(data)
+    if hasattr(data, "__next__"):  # an iterator: the streaming path
+        if metadata is not None:
+            raise ValueError(
+                "metadata is not supported with a streaming build: "
+                "per-point attributes need the row count up front "
+                "(materialise the data or attach metadata at insert time)")
+        if isinstance(index, ShardRouter):
+            raise ValueError(
+                "streaming build is not supported with a sharded "
+                "topology: shard assignment needs the total row count "
+                "up front")
+        index.build_from_chunks(data)
+    else:
+        index.build(data, metadata=metadata)
     if storage_dir is not None and not _already_persisted(index,
                                                           storage_dir):
         from repro.core.persistence import save_index

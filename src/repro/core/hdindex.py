@@ -24,9 +24,10 @@ from repro.core.partition import make_partition
 from repro.core.rdbtree import RDBTree
 from repro.core.reference import ReferenceSet
 from repro.core.spec import IndexSpec, Topology, executor_to_execution
-from repro.distance.metrics import DistanceCounter
+from repro.distance.metrics import DistanceCounter, require_normalized
 from repro.hilbert.butz import HilbertCurve
 from repro.hilbert.quantize import GridQuantizer
+from repro.meta import MetadataStore, coerce_predicate
 from repro.storage.vectors import VectorHeapFile, heap_file_from_array
 
 
@@ -77,6 +78,7 @@ class HDIndex(KNNIndex):
         self.references: ReferenceSet | None = None
         self.heap: VectorHeapFile | None = None
         self.quantizer: GridQuantizer | None = None
+        self.metadata: MetadataStore | None = None
         self.dim: int = 0
         self.count: int = 0
         self._deleted: set[int] = set()
@@ -197,7 +199,7 @@ class HDIndex(KNNIndex):
             from repro.wal.manager import enable_wal
             enable_wal(self)
 
-    def _delta_insert(self, vector: np.ndarray) -> int:
+    def _delta_insert(self, vector: np.ndarray, metadata=None) -> int:
         """Apply one insert to the delta segment only — the router's
         (and replay's) entry point, which never logs here because the
         record already lives in the owning log."""
@@ -210,7 +212,7 @@ class HDIndex(KNNIndex):
             from repro.wal.delta import DeltaSegment
             self._delta = DeltaSegment(len(self.heap), self.dim,
                                        self.heap.dtype)
-        object_id = self._delta.append(vector)
+        object_id = self._delta.append(vector, metadata)
         self.count += 1
         return object_id
 
@@ -263,6 +265,7 @@ class HDIndex(KNNIndex):
             self.references = fresh.references
             self.heap = fresh.heap
             self.quantizer = fresh.quantizer
+            self.metadata = fresh.metadata
             self.dim = fresh.dim
             self.count = fresh.count
             self._deleted = fresh._deleted
@@ -299,16 +302,25 @@ class HDIndex(KNNIndex):
 
     # -- construction (Algo. 1) -------------------------------------------
 
-    def build(self, data: np.ndarray) -> None:
+    def build(self, data: np.ndarray, metadata=None) -> None:
         """Construct the τ RDB-trees and the descriptor heap file.
 
         Args:
             data: ``(n, ν)`` dataset; stored in the heap file as
                 ``params.storage_dtype`` and indexed per Algo. 1.
+                With ``params.metric="angular"`` every row must be
+                unit-normalised.
+            metadata: Optional per-point attributes enabling filtered
+                queries (``query(..., predicate=...)``): one dict per
+                point, or a prepared
+                :class:`~repro.meta.MetadataStore` aligned with
+                ``data``.
 
         Raises:
-            ValueError: If ``data`` is not 2-D, is empty, or has fewer
-                dimensions than ``params.num_trees``.
+            ValueError: If ``data`` is not 2-D, is empty, has fewer
+                dimensions than ``params.num_trees``, violates the
+                metric's normalisation contract, or ``metadata`` does
+                not align one row per point.
         """
         started = time.perf_counter()
         data = np.asarray(data, dtype=np.float64)
@@ -321,6 +333,9 @@ class HDIndex(KNNIndex):
         if params.num_trees > dim:
             raise ValueError(
                 f"num_trees={params.num_trees} exceeds dimensionality {dim}")
+        if params.metric == "angular":
+            require_normalized(data, "data")
+        self.metadata = self._coerce_metadata(metadata, n)
         self.dim = dim
         self.count = n
         rng = np.random.default_rng(params.seed)
@@ -386,13 +401,197 @@ class HDIndex(KNNIndex):
             save_index(self, self.params.storage_dir)
             self.attach_snapshot(self.params.storage_dir)
 
-    # -- querying (Algo. 2) --------------------------------------------------
+    #: Rows per block when a streaming build re-reads the heap for the
+    #: reference-distance / Hilbert-encoding passes.
+    STREAM_CHUNK_ROWS = 8192
+
+    def build_from_chunks(self, chunks) -> None:
+        """Construct the index from a stream of ``(rows, ν)`` blocks.
+
+        The out-of-core counterpart of :meth:`build` for datasets that do
+        not fit in RAM (e.g. :func:`repro.datasets.iter_hdf5_chunks`):
+        every block is appended to the descriptor heap in storage dtype
+        as it arrives, reference objects are drawn by reservoir sampling
+        over the stream, and the reference-distance / Hilbert-encoding
+        passes re-read the heap block-wise.  Peak memory is
+        O(n·(m + key_bytes)) instead of the O(n·ν) float64 copy the
+        in-memory path holds.
+
+        Restrictions: ``params.reference_method`` must be ``"random"``
+        (SSS needs the full dataset), and per-point metadata is not
+        supported — build from an array when filtered queries are
+        needed.
+
+        Raises:
+            ValueError: If the stream is empty, blocks disagree on
+                dimensionality, the metric's normalisation contract is
+                violated, or the configuration cannot stream.
+        """
+        started = time.perf_counter()
+        params = self.params
+        if params.reference_method != "random":
+            raise ValueError(
+                f"streaming build supports reference_method='random' "
+                f"only (got {params.reference_method!r}): SSS selection "
+                f"needs the full dataset in memory")
+        rng = np.random.default_rng(params.seed)
+        num_references = params.num_references
+        heap: VectorHeapFile | None = None
+        reservoir = reservoir_ids = None
+        dim = 0
+        n = 0
+        low = np.inf
+        high = -np.inf
+        for chunk in chunks:
+            chunk = np.asarray(chunk, dtype=np.float64)
+            if chunk.ndim != 2:
+                raise ValueError(
+                    f"stream blocks must be 2-D, got shape {chunk.shape}")
+            if chunk.shape[0] == 0:
+                continue
+            if heap is None:
+                dim = chunk.shape[1]
+                if params.num_trees > dim:
+                    raise ValueError(
+                        f"num_trees={params.num_trees} exceeds "
+                        f"dimensionality {dim}")
+                store = self._make_store("descriptors")
+                if store is None:
+                    from repro.storage.pages import InMemoryPageStore
+                    store = InMemoryPageStore(page_size=params.page_size)
+                heap = VectorHeapFile(
+                    dim=dim, dtype=params.storage_dtype,
+                    store=store, cache_pages=params.cache_pages,
+                )
+                reservoir = np.empty((num_references, dim),
+                                     dtype=np.float64)
+                reservoir_ids = np.empty(num_references, dtype=np.int64)
+            elif chunk.shape[1] != dim:
+                raise ValueError(
+                    f"stream block has dimensionality {chunk.shape[1]}, "
+                    f"expected {dim}")
+            if params.metric == "angular":
+                require_normalized(chunk, "data")
+            heap.append_batch(chunk)
+            if params.domain is None:
+                low = min(low, float(chunk.min()))
+                high = max(high, float(chunk.max()))
+            n = self._reservoir_update(reservoir, reservoir_ids, chunk, n,
+                                       rng)
+        if heap is None or n < 1:
+            raise ValueError("cannot build an index over an empty dataset")
+        if num_references > n:
+            raise ValueError(
+                f"num_references={num_references} exceeds the stream's "
+                f"{n} rows")
+        self.metadata = None
+        self.dim = dim
+        self.count = n
+        self.heap = heap
+
+        # Reference set from the reservoir, ordered by original id so a
+        # re-run over the same stream and seed reproduces it exactly.
+        order = np.argsort(reservoir_ids)
+        self.references = ReferenceSet(reservoir[order],
+                                       reservoir_ids[order])
+        step = max(1, int(self.STREAM_CHUNK_ROWS))
+        reference_distances = np.empty((n, num_references),
+                                       dtype=np.float64)
+        for start in range(0, n, step):
+            stop = min(start + step, n)
+            block = self._stream_block(start, stop)
+            reference_distances[start:stop] = \
+                self.references.distances_from(block)
+        peak_memory = (reference_distances.nbytes
+                       + self.references.memory_bytes())
+
+        if params.domain is not None:
+            domain_low, domain_high = params.domain
+        else:
+            domain_low, domain_high = low, high
+            if domain_high == domain_low:
+                domain_high = domain_low + 1.0
+        self.quantizer = GridQuantizer(domain_low, domain_high,
+                                       params.hilbert_order)
+
+        self.partitions = make_partition(
+            dim, params.num_trees, params.partition_scheme, rng)
+        self.trees = []
+        object_ids = np.arange(n, dtype=np.int64)
+        for tree_index, part in enumerate(self.partitions):
+            curve = HilbertCurve(len(part), params.hilbert_order)
+            key_parts = []
+            for start in range(0, n, step):
+                stop = min(start + step, n)
+                block = self._stream_block(start, stop)
+                coords = self.quantizer.quantize(block[:, part])
+                key_parts.append(curve.encode_batch_bytes(coords))
+            keys = np.concatenate(key_parts, axis=0)
+            peak_memory = max(
+                peak_memory,
+                reference_distances.nbytes + self.references.memory_bytes()
+                + keys.nbytes + step * len(part) * 8)
+            tree = RDBTree(curve, params.num_references,
+                           store=self._make_store(f"tree_{tree_index}"),
+                           cache_pages=params.cache_pages,
+                           page_size=params.page_size)
+            tree.bulk_build(keys, object_ids, reference_distances)
+            self.trees.append(tree)
+
+        self._build_stats = BuildStats(
+            time_sec=time.perf_counter() - started,
+            page_writes=sum(t.stats.page_writes for t in self.trees)
+            + self.heap.stats.page_writes,
+            peak_memory_bytes=peak_memory,
+            extra={
+                "leaf_orders": [t.leaf_order for t in self.trees],
+                "tree_heights": [t.height for t in self.trees],
+                "streamed": True,
+            },
+        )
+        if self._remote:
+            from repro.core.persistence import save_index
+            save_index(self, self.params.storage_dir)
+            self.attach_snapshot(self.params.storage_dir)
+
+    def _stream_block(self, start: int, stop: int) -> np.ndarray:
+        """Float64 heap rows [start, stop) for the streaming build's
+        re-read passes (the heap is the only full copy of the data)."""
+        ids = np.arange(start, stop, dtype=np.int64)
+        return self.heap.gather(ids).astype(np.float64)
+
+    @staticmethod
+    def _reservoir_update(reservoir: np.ndarray, reservoir_ids: np.ndarray,
+                          chunk: np.ndarray, seen: int,
+                          rng: np.random.Generator) -> int:
+        """Algorithm-R reservoir sampling over one stream block; returns
+        the updated number of rows seen.  The per-row draws are
+        vectorised; only accepted rows (O(m log n) over the whole
+        stream) are written back."""
+        size = reservoir.shape[0]
+        rows = chunk.shape[0]
+        # Rows that land while the reservoir is still filling.
+        fill = min(max(size - seen, 0), rows)
+        if fill:
+            reservoir[seen:seen + fill] = chunk[:fill]
+            reservoir_ids[seen:seen + fill] = np.arange(seen, seen + fill)
+        if fill < rows:
+            positions = np.arange(seen + fill, seen + rows)
+            draws = (rng.random(positions.shape[0])
+                     * (positions + 1)).astype(np.int64)
+            accepted = np.nonzero(draws < size)[0]
+            for offset in accepted:
+                slot = int(draws[offset])
+                row = fill + int(offset)
+                reservoir[slot] = chunk[row]
+                reservoir_ids[slot] = seen + row
+        return seen + rows
 
     def query(self, point: np.ndarray, k: int,
               alpha: int | None = None, beta: int | None = None,
               gamma: int | None = None,
-              use_ptolemaic: bool | None = None
-              ) -> tuple[np.ndarray, np.ndarray]:
+              use_ptolemaic: bool | None = None,
+              predicate=None) -> tuple[np.ndarray, np.ndarray]:
         """Approximate k nearest neighbours of ``point``.
 
         The optional arguments override the corresponding
@@ -401,6 +600,12 @@ class HDIndex(KNNIndex):
         the shared :class:`~repro.core.engine.QueryEngine`; subclasses
         change *how* the per-tree scans execute (thread pool, shards), not
         *what* they compute.
+
+        ``predicate`` (a :class:`~repro.meta.Predicate` or its JSON
+        dict form) restricts answers to metadata-matching points via
+        pushdown — ineligible points are masked before the filter
+        kernels and never gathered; requires the index to have been
+        built with ``metadata``.
         """
         self._require_built()
         if k < 1:
@@ -408,14 +613,14 @@ class HDIndex(KNNIndex):
         self._sync_snapshot()
         ids, dists, self._query_stats = self._engine.run(
             point, k, alpha=alpha, beta=beta, gamma=gamma,
-            use_ptolemaic=use_ptolemaic)
+            use_ptolemaic=use_ptolemaic, predicate=predicate)
         return ids, dists
 
     def query_batch(self, points: np.ndarray, k: int,
                     alpha: int | None = None, beta: int | None = None,
                     gamma: int | None = None,
-                    use_ptolemaic: bool | None = None
-                    ) -> tuple[np.ndarray, np.ndarray]:
+                    use_ptolemaic: bool | None = None,
+                    predicate=None) -> tuple[np.ndarray, np.ndarray]:
         """Vectorised batch querying: (Q, k) ids and distances.
 
         Row r equals ``query(points[r], k, ...)`` (padded with -1 / +inf
@@ -423,7 +628,8 @@ class HDIndex(KNNIndex):
         reference-distance matmul, one Hilbert-encoding pass per tree and
         one descriptor fetch per distinct candidate, so throughput is well
         above the one-at-a-time loop.  ``last_query_stats()`` afterwards
-        reports batch totals with ``extra["batch_size"]``.
+        reports batch totals with ``extra["batch_size"]``.  One
+        ``predicate`` applies to every row.
         """
         self._require_built()
         if k < 1:
@@ -431,23 +637,27 @@ class HDIndex(KNNIndex):
         self._sync_snapshot()
         ids, dists, self._query_stats = self._engine.run_batch(
             points, k, alpha=alpha, beta=beta, gamma=gamma,
-            use_ptolemaic=use_ptolemaic)
+            use_ptolemaic=use_ptolemaic, predicate=predicate)
         return ids, dists
 
     # -- updates (Sec. 3.6) ----------------------------------------------
 
-    def insert(self, vector: np.ndarray) -> int:
+    def insert(self, vector: np.ndarray, metadata=None) -> int:
         """Insert a new object; the reference set is kept as-is (Sec. 3.6).
 
         Args:
-            vector: ``(ν,)`` descriptor to add.
+            vector: ``(ν,)`` descriptor to add (unit-normalised when
+                ``params.metric="angular"``).
+            metadata: Per-point attribute dict — required iff the index
+                was built with metadata (same columns).
 
         Returns:
             The new object's id (appended to the heap file, so ids stay
             dense and persist across save/load).
 
         Raises:
-            ValueError: If the vector's dimensionality does not match.
+            ValueError: If the vector's dimensionality does not match,
+                or ``metadata`` disagrees with the build-time store.
             RuntimeError: If called before :meth:`build`.
         """
         self._require_built()
@@ -455,6 +665,9 @@ class HDIndex(KNNIndex):
         if vector.shape[0] != self.dim:
             raise ValueError(
                 f"vector has dimension {vector.shape[0]}, expected {self.dim}")
+        if self.params.metric == "angular":
+            require_normalized(vector[None, :], "vector")
+        self._check_insert_metadata(metadata)
         if self._wal_active():
             # One log frame + an in-memory delta row; the built trees,
             # heap and (for process execution) the workers' snapshot are
@@ -462,8 +675,9 @@ class HDIndex(KNNIndex):
             self._ensure_wal()
             with self._update_lock:
                 object_id = self._delta.next_id
-                self._wal.append_insert(object_id, vector)
-                self._delta.append(vector)
+                self._wal.append_insert(object_id, vector,
+                                        metadata=metadata)
+                self._delta.append(vector, metadata)
                 self.count += 1
             self._bump_update_epoch()
             return object_id
@@ -473,10 +687,26 @@ class HDIndex(KNNIndex):
             coords = self.quantizer.quantize(vector[part])[None, :]
             key = int(tree.curve.encode_batch(coords)[0])
             tree.insert(key, object_id, reference_distances)
+        if self.metadata is not None:
+            self.metadata.append_rows([metadata])
         self.count += 1
         self._snapshot_dirty = True
         self._bump_update_epoch()
         return object_id
+
+    def _check_insert_metadata(self, metadata) -> None:
+        if self.metadata is None:
+            if metadata is not None:
+                raise ValueError(
+                    "insert() got metadata but the index was built "
+                    "without it; rebuild with metadata= to enable "
+                    "filtered queries")
+            return
+        if metadata is None:
+            raise ValueError(
+                "this index carries metadata; insert() requires a "
+                f"metadata dict with columns "
+                f"{', '.join(sorted(self.metadata.names))}")
 
     def delete(self, object_id: int) -> None:
         """Mark an object deleted; it is never returned again (Sec. 3.6).
@@ -561,6 +791,38 @@ class HDIndex(KNNIndex):
         if not ptolemaic:
             eff_beta = eff_gamma
         return eff_alpha, eff_beta, eff_gamma
+
+    def _coerce_metadata(self, metadata, n: int) -> MetadataStore | None:
+        """Normalise build-time metadata to an aligned store (or None)."""
+        if metadata is None:
+            return None
+        if not isinstance(metadata, MetadataStore):
+            metadata = MetadataStore.from_rows(metadata)
+        if metadata.count != n:
+            raise ValueError(
+                f"metadata has {metadata.count} rows for {n} data points")
+        return metadata
+
+    def _coerce_query_predicate(self, predicate):
+        """Validate and normalise a query-time predicate (object or dict
+        wire form) against this index's metadata store."""
+        predicate = coerce_predicate(predicate)
+        if predicate is None:
+            return None
+        if self.metadata is None:
+            raise ValueError(
+                "filtered query on an index without metadata; pass "
+                "metadata= to build()")
+        self.metadata.check_columns(predicate.columns())
+        return predicate
+
+    def _eligibility(self, predicate) -> tuple[np.ndarray | None, float]:
+        """Eligibility bitmap over the base corpus plus its selectivity
+        (the engine inflates α/β/γ by 1/selectivity, capped)."""
+        if predicate is None:
+            return None, 1.0
+        mask = predicate.mask(self.metadata)
+        return mask, float(mask.mean()) if mask.shape[0] else 0.0
 
     def _total_page_reads(self) -> int:
         reads = sum(tree.stats.page_reads for tree in self.trees)

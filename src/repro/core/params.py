@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.distance.metrics import METRICS
 from repro.storage.pages import DEFAULT_PAGE_SIZE
 
 #: Bytes used by one stored reference distance (float32, paper Sec. 3.2).
@@ -103,6 +104,13 @@ class HDIndexParams:
         >>> HDIndexParams(storage_dir="/tmp/i").resolved_backend
         'file'
 
+    metric:
+        Distance workload: ``"euclidean"`` (paper default) or
+        ``"angular"``.  Angular indexes require every stored vector to
+        be unit-normalised (validated at build/insert); queries are
+        normalised on entry and served through the unchanged Euclidean
+        pipeline, whose chord distance ``sqrt(2 - 2 cos θ)`` is monotone
+        in the angle.  Reported distances are chord distances.
     seed:
         Seed for reference selection and random partitioning.
     """
@@ -123,6 +131,7 @@ class HDIndexParams:
     storage_dtype: str = "float32"
     storage_dir: str | None = None
     backend: str | None = None
+    metric: str = "euclidean"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -149,6 +158,10 @@ class HDIndexParams:
         if self.backend in ("file", "mmap") and self.storage_dir is None:
             raise ValueError(
                 f"backend={self.backend!r} requires storage_dir")
+        if self.metric not in METRICS:
+            raise ValueError(
+                f"unknown metric {self.metric!r}; choose from "
+                f"{', '.join(repr(m) for m in METRICS)}")
 
     @property
     def resolved_backend(self) -> str:

@@ -50,6 +50,7 @@ from repro.core.spec import (
 )
 from repro.btree.packed import PackedTree
 from repro.hilbert.quantize import GridQuantizer
+from repro.meta import MetadataStore
 from repro.storage.codecs import pack_arrays, unpack_arrays
 from repro.storage.pages import FilePageStore, InMemoryPageStore, MmapPageStore
 from repro.storage.vectors import VectorHeapFile
@@ -203,6 +204,7 @@ def _save_hdindex(index: HDIndex, directory: str) -> None:
              ref_ref=references.ref_ref,
              indices=(references.indices if references.indices is not None
                       else np.empty(0, dtype=np.int64)))
+    _write_metadata_sidecar(index, directory)
 
     execution = index.spec.execution
     meta = {
@@ -262,6 +264,7 @@ def _load_hdindex(directory: str, cache_pages: int | None,
     indices = archive["indices"]
     index.references = ReferenceSet(
         archive["vectors"], indices if indices.size else None)
+    index.metadata = _load_metadata_sidecar(directory, backend)
 
     heap_store = _open_store(
         os.path.join(directory, "descriptors.pages"),
@@ -519,6 +522,37 @@ def _attach_packed_sidecar(tree, path: str, backend: str) -> None:
                                     unpack_arrays(buffer))
     if packed.count == len(tree.tree):
         tree.tree.attach_packed(packed)
+
+
+METADATA_FILE = "metadata.packed"
+
+
+def _write_metadata_sidecar(index, directory: str) -> None:
+    """Persist (or clear) the per-point metadata columns.
+
+    Same RPAK container as the packed-tree sidecars: one
+    ``metadata.packed`` file holding every typed column, loaded zero-copy
+    on the mmap backend so a process pool's workers share the physical
+    pages with the parent."""
+    path = os.path.join(directory, METADATA_FILE)
+    if index.metadata is None:
+        if os.path.exists(path):
+            os.remove(path)
+        return
+    with open(path, "wb") as handle:
+        handle.write(index.metadata.to_packed())
+
+
+def _load_metadata_sidecar(directory: str,
+                           backend: str) -> MetadataStore | None:
+    path = os.path.join(directory, METADATA_FILE)
+    if not os.path.exists(path):
+        return None
+    if backend == "mmap":
+        buffer = np.memmap(path, dtype=np.uint8, mode="r")
+    else:
+        buffer = np.fromfile(path, dtype=np.uint8)
+    return MetadataStore.from_packed(buffer)
 
 
 # -- page-store materialisation --------------------------------------------

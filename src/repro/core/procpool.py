@@ -150,17 +150,26 @@ def _query_batch_task(points: np.ndarray, k: int, overrides: dict
 
 
 def _scan_trees_task(tree_indices: list[int], points: np.ndarray,
-                     alpha: int, beta: int, gamma: int, ptolemaic: bool
+                     alpha: int, beta: int, gamma: int, ptolemaic: bool,
+                     predicate: dict | None = None
                      ) -> tuple[list[list[np.ndarray]], dict]:
     """Stages (i)+(ii) of Algo. 2 for a subset of trees, all query rows.
 
     Returns one survivor-id array per (tree, row) plus the worker-side
     I/O / distance-count deltas, so the parent can merge survivors
     (stage iii stays in the parent, which owns the caller-visible stats).
+
+    ``predicate`` arrives in dict wire form; the eligibility bitmap is
+    recomputed from this worker's own snapshot view of the metadata
+    store (the parent already inflated α/β/γ for its selectivity).
     """
     _run_fault_hook()
     index = _worker_index()
     engine = index._engine
+    eligible = None
+    if predicate is not None:
+        eligible, _ = index._eligibility(
+            index._coerce_query_predicate(predicate))
     reads_before = index._total_page_reads()
     random_before, sequential_before = index._read_breakdown()
     index._distance_counter.reset()
@@ -173,7 +182,7 @@ def _scan_trees_task(tree_indices: list[int], points: np.ndarray,
     query_ref = index.references.distances_from(points)
 
     survivors = engine.scan_many(tree_indices, points, query_ref, alpha,
-                                 beta, gamma, ptolemaic)
+                                 beta, gamma, ptolemaic, eligible=eligible)
 
     random_after, sequential_after = index._read_breakdown()
     delta = {
@@ -395,7 +404,8 @@ class SnapshotWorkerPool:
         return ids, dists
 
     def scan_trees(self, num_trees: int, points: np.ndarray, alpha: int,
-                   beta: int, gamma: int, ptolemaic: bool
+                   beta: int, gamma: int, ptolemaic: bool,
+                   predicate: dict | None = None
                    ) -> tuple[list[list[np.ndarray]], dict]:
         """Stages (i)+(ii) for all trees, fanned out tree-wise.
 
@@ -406,7 +416,8 @@ class SnapshotWorkerPool:
             np.arange(num_trees), min(self.num_workers, num_trees))
             if chunk.size]
         futures = [self.submit(_scan_trees_task, [int(t) for t in group],
-                               points, alpha, beta, gamma, ptolemaic)
+                               points, alpha, beta, gamma, ptolemaic,
+                               predicate)
                    for group in groups]
         results = self.gather(futures)
         per_tree: list[list[np.ndarray]] = []

@@ -35,6 +35,8 @@ from repro.core.hdindex import HDIndex
 from repro.core.interface import BuildStats, KNNIndex, QueryStats
 from repro.core.params import HDIndexParams
 from repro.core.spec import Execution, IndexSpec, Topology, make_executor
+from repro.distance.metrics import require_normalized
+from repro.meta import MetadataStore
 
 
 def placement_order(key: bytes, nodes: int, salt: bytes = b"") -> list[int]:
@@ -158,13 +160,18 @@ class ShardRouter(KNNIndex):
 
     # -- construction ------------------------------------------------------
 
-    def build(self, data: np.ndarray) -> None:
+    def build(self, data: np.ndarray, metadata=None) -> None:
         started = time.perf_counter()
         data = np.asarray(data, dtype=np.float64)
         n = data.shape[0]
         if n < self.num_shards:
             raise ValueError(
                 f"cannot split {n} points into {self.num_shards} shards")
+        if metadata is not None and not isinstance(metadata, MetadataStore):
+            metadata = MetadataStore.from_rows(metadata)
+        if metadata is not None and metadata.count != n:
+            raise ValueError(
+                f"metadata has {metadata.count} rows for {n} data points")
         self.count = n
         boundaries = np.linspace(0, n, self.num_shards + 1).astype(np.int64)
         self.offsets = boundaries
@@ -177,8 +184,11 @@ class ShardRouter(KNNIndex):
         self._id_arrays: list[np.ndarray | None] = [None] * self.num_shards
         for shard_index in range(self.num_shards):
             shard = self._make_shard(shard_index)
-            shard.build(data[boundaries[shard_index]:
-                             boundaries[shard_index + 1]])
+            low = int(boundaries[shard_index])
+            high = int(boundaries[shard_index + 1])
+            shard.build(data[low:high],
+                        metadata=(None if metadata is None
+                                  else metadata.slice(low, high)))
             self.shards.append(shard)
             self._id_maps.append(list(range(
                 int(boundaries[shard_index]),
@@ -269,12 +279,13 @@ class ShardRouter(KNNIndex):
     def query(self, point: np.ndarray, k: int,
               alpha: int | None = None, beta: int | None = None,
               gamma: int | None = None,
-              use_ptolemaic: bool | None = None
-              ) -> tuple[np.ndarray, np.ndarray]:
+              use_ptolemaic: bool | None = None,
+              predicate=None) -> tuple[np.ndarray, np.ndarray]:
         """Fan the query out to every shard and merge by exact distance.
 
-        The per-call parameter overrides are forwarded to every shard, so
-        α/β/γ sweeps behave exactly as on the unsharded index.
+        The per-call parameter overrides (and ``predicate``) are
+        forwarded to every shard, so α/β/γ sweeps and filtered queries
+        behave exactly as on the unsharded index.
         """
         self._require_built()
         if k < 1:
@@ -287,7 +298,8 @@ class ShardRouter(KNNIndex):
         for shard_index, shard in enumerate(self.shards):
             ids, dists = shard.query(point, k, alpha=alpha, beta=beta,
                                      gamma=gamma,
-                                     use_ptolemaic=use_ptolemaic)
+                                     use_ptolemaic=use_ptolemaic,
+                                     predicate=predicate)
             shard_stats.append(shard.last_query_stats())
             all_ids.append(self._id_array(shard_index)[ids])
             all_dists.append(dists)
@@ -301,8 +313,8 @@ class ShardRouter(KNNIndex):
     def query_batch(self, points: np.ndarray, k: int,
                     alpha: int | None = None, beta: int | None = None,
                     gamma: int | None = None,
-                    use_ptolemaic: bool | None = None
-                    ) -> tuple[np.ndarray, np.ndarray]:
+                    use_ptolemaic: bool | None = None,
+                    predicate=None) -> tuple[np.ndarray, np.ndarray]:
         """Batch querying: each shard answers the whole batch through its
         vectorised :meth:`HDIndex.query_batch`, then the per-shard (Q, k)
         blocks are merged by exact distance per query."""
@@ -321,7 +333,7 @@ class ShardRouter(KNNIndex):
         for shard_index, shard in enumerate(self.shards):
             ids, dists = shard.query_batch(
                 points, k, alpha=alpha, beta=beta, gamma=gamma,
-                use_ptolemaic=use_ptolemaic)
+                use_ptolemaic=use_ptolemaic, predicate=predicate)
             shard_stats.append(shard.last_query_stats())
             # Map local ids to global ids; -1 padding stays -1.
             id_map = self._id_array(shard_index)
@@ -364,13 +376,14 @@ class ShardRouter(KNNIndex):
             extra=merged_extra,
         )
 
-    def insert(self, vector: np.ndarray) -> int:
+    def insert(self, vector: np.ndarray, metadata=None) -> int:
         """Route the insert to the least-loaded shard; return a global id.
 
         With WAL mode active (:mod:`repro.wal`) the write costs one log
-        frame — the record carries the target shard — plus an in-memory
-        delta row in that shard; no snapshot is rewritten and no worker
-        pool restarts.
+        frame — the record carries the target shard (and the metadata
+        dict, when the deployment is filtered) — plus an in-memory delta
+        row in that shard; no snapshot is rewritten and no worker pool
+        restarts.
         """
         self._require_built()
         sizes = [shard.count for shard in self.shards]
@@ -382,15 +395,19 @@ class ShardRouter(KNNIndex):
                 raise ValueError(
                     f"vector has dimension {vector.shape[0]}, "
                     f"expected {self.dim}")
+            if self.params.metric == "angular":
+                require_normalized(vector[None, :], "vector")
+            self.shards[target]._check_insert_metadata(metadata)
             global_id = self.count
-            self._wal.append_insert(global_id, vector, shard=target)
-            self.shards[target]._delta_insert(vector)
+            self._wal.append_insert(global_id, vector, shard=target,
+                                    metadata=metadata)
+            self.shards[target]._delta_insert(vector, metadata)
             self._id_maps[target].append(global_id)
             self._id_arrays[target] = None
             self.count += 1
             self._bump_update_epoch()
             return global_id
-        self.shards[target].insert(vector)
+        self.shards[target].insert(vector, metadata)
         global_id = self.count
         self._id_maps[target].append(global_id)
         self._id_arrays[target] = None

@@ -1,17 +1,33 @@
 """Distance kernels and selection helpers."""
 
 from repro.distance.metrics import (
+    METRICS,
+    NORMALIZATION_ATOL,
     DistanceCounter,
+    angular_to_many,
+    cosine_to_many,
+    distances_to_many,
     euclidean,
     euclidean_to_many,
+    normalize_rows,
     pairwise_euclidean,
+    require_normalized,
+    rows_are_normalized,
     top_k_smallest,
 )
 
 __all__ = [
     "DistanceCounter",
+    "METRICS",
+    "NORMALIZATION_ATOL",
+    "angular_to_many",
+    "cosine_to_many",
+    "distances_to_many",
     "euclidean",
     "euclidean_to_many",
+    "normalize_rows",
     "pairwise_euclidean",
+    "require_normalized",
+    "rows_are_normalized",
     "top_k_smallest",
 ]

@@ -1,0 +1,43 @@
+"""Per-point metadata and filtered (predicate-pushdown) kNN.
+
+``repro.meta`` is the workload subsystem PR 10 adds on top of the plain
+HD-Index pipeline: a columnar :class:`MetadataStore` aligned with the
+descriptor heap, and a typed predicate algebra (:class:`Eq`,
+:class:`In`, :class:`Range`, :class:`And`, :class:`Or`, :class:`Not`)
+that every query entry point — ``index.query(point, k,
+predicate=...)``, the serve tier, the CLI — accepts either as objects
+or as their JSON wire form.
+
+The engine *pushes the predicate down*: one vectorised mask over the
+store marks eligible points, candidates failing it are dropped before
+the triangular/Ptolemaic filter kernels, and ineligible points never
+reach ``VectorHeapFile.gather`` or the rerank — with the candidate
+budget inflated by the observed selectivity so recall holds under
+selective filters (see docs/ARCHITECTURE.md, "Workloads").
+"""
+
+from repro.meta.predicates import (
+    And,
+    Eq,
+    In,
+    Not,
+    Or,
+    Predicate,
+    Range,
+    coerce_predicate,
+    predicate_from_dict,
+)
+from repro.meta.store import MetadataStore
+
+__all__ = [
+    "And",
+    "Eq",
+    "In",
+    "MetadataStore",
+    "Not",
+    "Or",
+    "Predicate",
+    "Range",
+    "coerce_predicate",
+    "predicate_from_dict",
+]

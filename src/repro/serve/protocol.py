@@ -44,6 +44,7 @@ from repro.core.procpool import (
     WorkerCrashed,
     WorkerTimeout,
 )
+from repro.meta import Predicate
 from repro.serve.service import (
     DeadlineExceeded,
     ServiceClosed,
@@ -218,10 +219,19 @@ async def read_frame(reader: asyncio.StreamReader) -> dict[str, Any] | None:
 def query_request(request_id: int, point: np.ndarray, k: int,
                   overrides: dict[str, Any] | None = None,
                   deadline_ms: float | None = None) -> dict[str, Any]:
-    """The ``op: query`` request frame body."""
+    """The ``op: query`` request frame body.
+
+    A ``predicate`` override (filtered kNN) may be a
+    :class:`~repro.meta.Predicate` object; it crosses the wire in its
+    JSON dict form and the server coerces it back to the frozen type.
+    """
+    overrides = dict(overrides or {})
+    predicate = overrides.get("predicate")
+    if isinstance(predicate, Predicate):
+        overrides["predicate"] = predicate.to_dict()
     return {"op": "query", "id": request_id,
             "point": encode_array(np.asarray(point, dtype=np.float64)),
-            "k": int(k), "overrides": dict(overrides or {}),
+            "k": int(k), "overrides": overrides,
             "deadline_ms": deadline_ms}
 
 

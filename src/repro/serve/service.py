@@ -55,6 +55,7 @@ import numpy as np
 
 from repro.core.procpool import ProcessPoolError, SnapshotWorkerPool
 from repro.core.spec import Execution
+from repro.meta import coerce_predicate
 from repro.serve.cache import ResultCache, canonical_overrides, make_key
 
 
@@ -200,6 +201,13 @@ class _Request:
         # Private float64 copy: the caller may mutate or reuse its array
         # long before the batch is dispatched.
         point = np.array(point, dtype=np.float64, copy=True).ravel()
+        if overrides.get("predicate") is not None:
+            # The wire protocol delivers predicates as plain dicts;
+            # coerce to the frozen (hashable) Predicate form so they
+            # group/cache exactly like in-process submissions.
+            overrides = dict(overrides)
+            overrides["predicate"] = coerce_predicate(
+                overrides["predicate"])
         canonical = canonical_overrides(overrides)
         key = make_key(point, k, canonical)
         try:

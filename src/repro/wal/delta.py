@@ -48,6 +48,7 @@ class DeltaSegment:
         self._lock = threading.Lock()
         self._rows: list[np.ndarray] = []
         self._originals: list[np.ndarray] = []
+        self._metadata: list[dict | None] = []
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -57,8 +58,10 @@ class DeltaSegment:
         """Id the next :meth:`append` will receive."""
         return self.base_count + len(self._rows)
 
-    def append(self, vector: np.ndarray) -> int:
-        """Add one descriptor; returns its assigned (dense) object id."""
+    def append(self, vector: np.ndarray,
+               metadata: dict | None = None) -> int:
+        """Add one descriptor (plus its optional per-point metadata
+        dict); returns its assigned (dense) object id."""
         original = np.asarray(vector, dtype=np.float64).ravel()
         if original.shape[0] != self.dim:
             raise ValueError(
@@ -69,6 +72,7 @@ class DeltaSegment:
             object_id = self.base_count + len(self._rows)
             self._originals.append(original)
             self._rows.append(row)
+            self._metadata.append(metadata)
         return object_id
 
     def id_range(self) -> np.ndarray:
@@ -85,13 +89,23 @@ class DeltaSegment:
             out[position] = rows[int(object_id) - self.base_count]
         return out
 
-    def records(self) -> list[tuple[int, np.ndarray]]:
-        """``(object_id, original float64 vector)`` snapshot, in insert
-        order — what compaction folds into the next generation."""
+    def metadata_rows(self) -> list[dict | None]:
+        """Per-entry metadata dicts in insert order (``None`` entries for
+        inserts that carried none) — the engine's scalar-predicate path
+        over the un-compacted tail."""
+        with self._lock:
+            return list(self._metadata)
+
+    def records(self) -> list[tuple[int, np.ndarray, dict | None]]:
+        """``(object_id, original float64 vector, metadata)`` snapshot,
+        in insert order — what compaction folds into the next
+        generation."""
         with self._lock:
             originals = list(self._originals)
-        return [(self.base_count + position, vector)
-                for position, vector in enumerate(originals)]
+            metadata = list(self._metadata)
+        return [(self.base_count + position, vector, meta)
+                for position, (vector, meta)
+                in enumerate(zip(originals, metadata))]
 
     def memory_bytes(self) -> int:
         return sum(row.nbytes for row in self._rows) + sum(

@@ -13,10 +13,14 @@ Frame format (little-endian, one frame per record)::
     +----------------+----------------+-------------------------------+
     payload = op: u8 | object_id: i64 | shard: i32 | vector: f64[dim]
 
-``op`` is :data:`OP_INSERT` (vector present) or :data:`OP_DELETE` (no
-vector).  ``shard`` is the router's target shard, or ``-1`` for a plain
-index.  The CRC covers the payload only; the length prefix lets replay
-skip to the next frame boundary without decoding.
+``op`` is :data:`OP_INSERT` (vector present), :data:`OP_DELETE` (no
+vector) or :data:`OP_INSERT_META` (a u32 length-prefixed UTF-8 JSON
+metadata dict between the fixed prefix and the vector — the filtered-kNN
+attributes riding the insert).  Plain inserts keep the exact
+:data:`OP_INSERT` framing, so logs written before the metadata opcode
+existed replay unchanged.  ``shard`` is the router's target shard, or
+``-1`` for a plain index.  The CRC covers the payload only; the length
+prefix lets replay skip to the next frame boundary without decoding.
 
 Replay (:func:`replay_wal`) stops at the first frame that fails any
 check — short header, short payload, CRC mismatch, undecodable payload —
@@ -27,6 +31,7 @@ the un-acked suffix, never the records before it.
 
 from __future__ import annotations
 
+import json
 import os
 import struct
 import threading
@@ -37,6 +42,7 @@ import numpy as np
 __all__ = [
     "OP_DELETE",
     "OP_INSERT",
+    "OP_INSERT_META",
     "WalError",
     "WalRecord",
     "WriteAheadLog",
@@ -47,9 +53,12 @@ __all__ = [
 _HEADER = struct.Struct("<II")
 #: Payload prefix: (op, object_id, shard).
 _BODY = struct.Struct("<Bqi")
+#: Metadata-JSON length prefix inside OP_INSERT_META payloads.
+_META_LEN = struct.Struct("<I")
 
 OP_INSERT = 1
 OP_DELETE = 2
+OP_INSERT_META = 3
 
 #: fsync policies a :class:`WriteAheadLog` accepts.
 FSYNC_POLICIES = ("always", "batch", "never")
@@ -72,16 +81,21 @@ class WalRecord:
         Router target shard, ``-1`` for a plain index.
     vector:
         ``(dim,)`` float64 descriptor for inserts, ``None`` for deletes.
+    metadata:
+        Per-point attribute dict for inserts that carried one
+        (:data:`OP_INSERT_META`), else ``None``.
     """
 
-    __slots__ = ("op", "object_id", "shard", "vector")
+    __slots__ = ("op", "object_id", "shard", "vector", "metadata")
 
     def __init__(self, op: str, object_id: int, shard: int = -1,
-                 vector: np.ndarray | None = None) -> None:
+                 vector: np.ndarray | None = None,
+                 metadata: dict | None = None) -> None:
         self.op = op
         self.object_id = int(object_id)
         self.shard = int(shard)
         self.vector = vector
+        self.metadata = metadata
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         dim = None if self.vector is None else self.vector.shape[0]
@@ -90,11 +104,24 @@ class WalRecord:
 
 
 def _encode(op: int, object_id: int, shard: int,
-            vector: np.ndarray | None) -> bytes:
+            vector: np.ndarray | None,
+            metadata: dict | None = None) -> bytes:
     payload = _BODY.pack(op, object_id, shard)
+    if metadata is not None:
+        blob = json.dumps(metadata, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+        payload += _META_LEN.pack(len(blob)) + blob
     if vector is not None:
         payload += np.ascontiguousarray(vector, dtype="<f8").tobytes()
     return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def _decode_vector(body: bytes, label: str) -> np.ndarray:
+    if not body or len(body) % 8:
+        raise WalError(
+            f"{label} payload carries {len(body)} vector bytes, "
+            f"not a positive multiple of 8")
+    return np.frombuffer(body, dtype="<f8").astype(np.float64)
 
 
 def _decode(payload: bytes) -> WalRecord:
@@ -103,12 +130,29 @@ def _decode(payload: bytes) -> WalRecord:
     op, object_id, shard = _BODY.unpack_from(payload)
     body = payload[_BODY.size:]
     if op == OP_INSERT:
-        if not body or len(body) % 8:
+        return WalRecord("insert", object_id, shard,
+                         _decode_vector(body, "insert"))
+    if op == OP_INSERT_META:
+        if len(body) < _META_LEN.size:
+            raise WalError("insert payload shorter than its metadata "
+                           "length prefix")
+        (meta_length,) = _META_LEN.unpack_from(body)
+        meta_end = _META_LEN.size + meta_length
+        if len(body) < meta_end:
             raise WalError(
-                f"insert payload carries {len(body)} vector bytes, "
-                f"not a positive multiple of 8")
-        vector = np.frombuffer(body, dtype="<f8").astype(np.float64)
-        return WalRecord("insert", object_id, shard, vector)
+                f"insert payload advertises {meta_length} metadata bytes "
+                f"but carries {len(body) - _META_LEN.size}")
+        try:
+            metadata = json.loads(
+                body[_META_LEN.size:meta_end].decode("utf-8"))
+        except (UnicodeDecodeError, ValueError) as error:
+            raise WalError(f"undecodable insert metadata: {error}") \
+                from None
+        if not isinstance(metadata, dict):
+            raise WalError("insert metadata is not a JSON object")
+        return WalRecord("insert", object_id, shard,
+                         _decode_vector(body[meta_end:], "insert"),
+                         metadata)
     if op == OP_DELETE:
         if body:
             raise WalError("delete payload carries trailing bytes")
@@ -161,11 +205,17 @@ class WriteAheadLog:
             self._appended += 1
 
     def append_insert(self, object_id: int, vector: np.ndarray,
-                      shard: int = -1) -> None:
+                      shard: int = -1,
+                      metadata: dict | None = None) -> None:
         """Append an insert record (the descriptor travels as float64, so
-        compaction can re-quantize from the original values)."""
-        self._append(_encode(OP_INSERT, int(object_id), int(shard),
-                             np.asarray(vector, dtype=np.float64).ravel()))
+        compaction can re-quantize from the original values).  With
+        ``metadata`` the record uses the :data:`OP_INSERT_META` framing;
+        without it the plain :data:`OP_INSERT` frame stays byte-identical
+        to pre-metadata logs."""
+        op = OP_INSERT if metadata is None else OP_INSERT_META
+        self._append(_encode(op, int(object_id), int(shard),
+                             np.asarray(vector, dtype=np.float64).ravel(),
+                             metadata))
 
     def append_delete(self, object_id: int, shard: int = -1) -> None:
         """Append a delete record."""

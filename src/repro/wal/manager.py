@@ -267,7 +267,7 @@ def _replay_into_index(index, records: list[WalRecord]) -> None:
                 raise WalError(
                     f"WAL id gap: record {record.object_id} but next "
                     f"delta id is {index._delta.next_id}")
-            index._delta.append(record.vector)
+            index._delta.append(record.vector, record.metadata)
             index.count += 1
         else:
             if 0 <= record.object_id < index.count:
@@ -300,7 +300,7 @@ def _replay_into_router(router, records: list[WalRecord]) -> None:
             router._id_maps[shard_index].append(record.object_id)
             router._id_arrays[shard_index] = None
             if shard.count <= local_id:
-                shard._delta_insert(record.vector)
+                shard._delta_insert(record.vector, record.metadata)
             router.count += 1
         else:
             try:
@@ -314,15 +314,17 @@ def _replay_into_router(router, records: list[WalRecord]) -> None:
 
 
 def fold_generation(source: str, dest: str,
-                    records: list[tuple[int, np.ndarray]],
+                    records: list[tuple[int, np.ndarray, dict | None]],
                     deleted: set[int], generation: int) -> None:
     """Write a new self-contained generation: the ``source`` snapshot
     plus ``records`` folded into the trees and heap.
 
     Every record is re-inserted from its original float64 descriptor —
     including later-deleted ones, so object ids stay dense and match an
-    index built from the full stream in one shot.  Folding is idempotent
-    per id: records already below the source count are skipped.
+    index built from the full stream in one shot.  Records carrying
+    metadata fold it into the generation's metadata store the same way.
+    Folding is idempotent per id: records already below the source count
+    are skipped.
     """
     from repro.core.persistence import load_index, save_index
     from repro.core.procpool import _demote_executors
@@ -342,14 +344,14 @@ def fold_generation(source: str, dest: str,
     folded = load_index(dest, backend="file", wal=False)
     try:
         _demote_executors(folded)
-        for object_id, vector in records:
+        for object_id, vector, metadata in records:
             if object_id < folded.count:
                 continue
             if object_id != folded.count:
                 raise WalError(
                     f"compaction id gap: record {object_id} but folded "
                     f"count is {folded.count}")
-            assigned = folded.insert(vector)
+            assigned = folded.insert(vector, metadata)
             if assigned != object_id:
                 raise WalError(
                     f"compaction assigned id {assigned} to record "

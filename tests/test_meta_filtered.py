@@ -1,0 +1,493 @@
+"""Filtered (predicate-pushdown) kNN: end-to-end correctness.
+
+The load-bearing guarantee: with exhaustive budgets (α ≥ n), a filtered
+query is *byte-identical* to the brute-force filter-then-kNN oracle —
+mask the corpus with the predicate, scan the eligible descriptors as
+stored, take the k nearest.  That must hold across every executor,
+every storage backend, through WAL inserts and compaction, and over the
+serve tier; and ineligible points must never reach the heap's
+``gather`` (proven by instrumenting it and by poisoning ineligible
+rows).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import HDIndex, HDIndexParams, IndexSpec, open_index
+from repro.core.engine import (
+    SELECTIVITY_INFLATION_CAP,
+    inflate_filter_sizes,
+)
+from repro.core.factory import build
+from repro.core.spec import Execution
+from repro.distance import euclidean_to_many, normalize_rows, top_k_smallest
+from repro.meta import And, Eq, In, MetadataStore, Not, Range
+
+DIM = 12
+N = 240
+
+
+def make_workload(seed=0, n=N):
+    rng = np.random.default_rng(seed)
+    data = rng.uniform(0.0, 40.0, size=(n, DIM))
+    queries = rng.uniform(0.0, 40.0, size=(6, DIM))
+    metadata = [{"label": int(i % 7), "score": float(i) / n,
+                 "tag": "even" if i % 2 == 0 else "odd"}
+                for i in range(n)]
+    return data, queries, metadata
+
+
+def exhaustive_params(n=N, **overrides):
+    """Budgets that keep every eligible point in play end-to-end, so the
+    pipeline must reproduce the oracle exactly."""
+    defaults = dict(num_trees=2, num_references=4, hilbert_order=6,
+                    alpha=n, beta=n, gamma=n, seed=5)
+    defaults.update(overrides)
+    return HDIndexParams(**defaults)
+
+
+def oracle(index, query, k, predicate):
+    """Brute-force filter-then-kNN over the descriptors as stored."""
+    eligible = np.nonzero(predicate.mask(index.metadata))[0]
+    if eligible.size == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0)
+    stored = index.heap.gather(eligible)
+    if index.params.metric == "angular":
+        query = normalize_rows(np.asarray(query, dtype=np.float64)
+                               [None, :])[0]
+    exact = euclidean_to_many(query, stored)
+    best = top_k_smallest(exact, min(k, eligible.size))
+    return eligible[best], exact[best]
+
+
+PREDICATES = [
+    Eq("label", 3),
+    In("label", (0, 5)),
+    Range("score", low=0.25, high=0.75),
+    And(Eq("tag", "even"), Range("score", high=0.5)),
+    Or_pred := (Eq("label", 1) | Eq("label", 6)),
+    Not(Eq("tag", "odd")),
+]
+
+
+class TestFilteredParity:
+    @pytest.mark.parametrize("predicate", PREDICATES)
+    def test_byte_identical_to_oracle(self, predicate):
+        data, queries, metadata = make_workload()
+        index = HDIndex(exhaustive_params())
+        index.build(data, metadata=metadata)
+        for query in queries:
+            ids, dists = index.query(query, k=10, predicate=predicate)
+            want_ids, want_dists = oracle(index, query, 10, predicate)
+            np.testing.assert_array_equal(ids, want_ids)
+            np.testing.assert_array_equal(dists, want_dists)
+
+    def test_dict_form_equals_object_form(self):
+        data, queries, metadata = make_workload()
+        index = HDIndex(exhaustive_params())
+        index.build(data, metadata=metadata)
+        predicate = And(Eq("tag", "even"), Range("score", low=0.2))
+        a = index.query(queries[0], k=8, predicate=predicate)
+        b = index.query(queries[0], k=8, predicate=predicate.to_dict())
+        np.testing.assert_array_equal(a[0], b[0])
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_batch_matches_single(self):
+        data, queries, metadata = make_workload()
+        index = HDIndex(exhaustive_params())
+        index.build(data, metadata=metadata)
+        predicate = In("label", (2, 4, 6))
+        batch_ids, batch_dists = index.query_batch(queries, k=5,
+                                                   predicate=predicate)
+        for row, query in enumerate(queries):
+            ids, dists = index.query(query, k=5, predicate=predicate)
+            np.testing.assert_array_equal(batch_ids[row], ids)
+            np.testing.assert_array_equal(batch_dists[row], dists)
+
+    @pytest.mark.parametrize("execution", ["sequential", "thread",
+                                           "process"])
+    @pytest.mark.parametrize("backend", ["file", "mmap"])
+    def test_executor_backend_matrix(self, tmp_path, execution, backend):
+        data, queries, metadata = make_workload()
+        spec = IndexSpec(params=exhaustive_params(),
+                         execution=Execution(kind=execution, workers=2),
+                         backend=backend)
+        index = build(spec, data, storage_dir=str(tmp_path),
+                      metadata=metadata)
+        try:
+            predicate = And(Range("score", low=0.1, high=0.9),
+                            Not(Eq("label", 0)))
+            for query in queries[:3]:
+                ids, dists = index.query(query, k=7,
+                                         predicate=predicate)
+                want_ids, want_dists = oracle(index, query, 7, predicate)
+                np.testing.assert_array_equal(ids, want_ids)
+                np.testing.assert_array_equal(dists, want_dists)
+        finally:
+            index.close()
+
+    def test_memory_backend_in_spec_build(self):
+        data, queries, metadata = make_workload()
+        index = build(IndexSpec(params=exhaustive_params()), data,
+                      metadata=metadata)
+        predicate = Eq("label", 5)
+        ids, _ = index.query(queries[0], k=4, predicate=predicate)
+        want_ids, _ = oracle(index, queries[0], 4, predicate)
+        np.testing.assert_array_equal(ids, want_ids)
+
+    @given(seed=st.integers(0, 10**6), label=st.integers(0, 6),
+           k=st.integers(1, 12))
+    @settings(max_examples=20, deadline=None)
+    def test_parity_property(self, seed, label, k):
+        data, queries, metadata = make_workload(seed=seed, n=120)
+        index = HDIndex(exhaustive_params(n=120, seed=seed % 50))
+        index.build(data, metadata=metadata)
+        predicate = Eq("label", label)
+        ids, dists = index.query(queries[0], k=k, predicate=predicate)
+        want_ids, want_dists = oracle(index, queries[0], k, predicate)
+        np.testing.assert_array_equal(ids, want_ids)
+        np.testing.assert_array_equal(dists, want_dists)
+
+    def test_empty_selectivity_returns_empty(self):
+        data, queries, metadata = make_workload()
+        index = HDIndex(exhaustive_params())
+        index.build(data, metadata=metadata)
+        ids, dists = index.query(queries[0], k=5,
+                                 predicate=Eq("label", 99))
+        assert ids.size == 0 and dists.size == 0
+        stats = index.last_query_stats()
+        assert stats.extra["selectivity"] == 0.0
+
+
+class TestPushdownProof:
+    def test_ineligible_never_gathered(self):
+        """Instrument the heap: every id fetched during a filtered query
+        must be predicate-eligible — pushdown, not post-filtering."""
+        data, queries, metadata = make_workload()
+        index = HDIndex(exhaustive_params())
+        index.build(data, metadata=metadata)
+        predicate = Eq("label", 3)
+        eligible = set(
+            np.nonzero(predicate.mask(index.metadata))[0].tolist())
+
+        gathered = []
+        original = index.heap.gather
+
+        def recording_gather(ids):
+            gathered.extend(np.asarray(ids).tolist())
+            return original(ids)
+
+        index.heap.gather = recording_gather
+        try:
+            for query in queries:
+                index.query(query, k=10, predicate=predicate)
+        finally:
+            index.heap.gather = original
+        assert gathered, "rerank never touched the heap"
+        assert set(gathered) <= eligible
+
+    def test_poisoned_ineligible_rows_do_not_leak(self):
+        """Overwrite every ineligible descriptor with a point sitting on
+        the query: if any ineligible row reached the distance kernels,
+        it would win the top-1 slot instantly."""
+        data, queries, metadata = make_workload()
+        predicate = Eq("tag", "even")
+        poisoned = data.copy()
+        for i in range(N):
+            if metadata[i]["tag"] != "even":
+                poisoned[i] = queries[0]  # exact hit: distance 0
+        index = HDIndex(exhaustive_params())
+        index.build(poisoned, metadata=metadata)
+        ids, dists = index.query(queries[0], k=10, predicate=predicate)
+        labels = [metadata[int(i)]["tag"] for i in ids]
+        assert labels == ["even"] * len(ids)
+        want_ids, want_dists = oracle(index, queries[0], 10, predicate)
+        np.testing.assert_array_equal(ids, want_ids)
+        np.testing.assert_array_equal(dists, want_dists)
+
+
+class TestSelectivityInflation:
+    def test_inflate_filter_sizes(self):
+        alpha, beta, gamma = inflate_filter_sizes(64, 32, 16, 0.5)
+        assert (alpha, beta, gamma) == (128, 64, 32)
+        # Tiny selectivity hits the cap, not a huge multiplier.
+        capped = inflate_filter_sizes(64, 32, 16, 1e-9)
+        assert capped == (64 * SELECTIVITY_INFLATION_CAP,
+                          32 * SELECTIVITY_INFLATION_CAP,
+                          16 * SELECTIVITY_INFLATION_CAP)
+        # Unfiltered stays untouched.
+        assert inflate_filter_sizes(64, 32, 16, 1.0) == (64, 32, 16)
+
+    def test_stats_report_selectivity(self):
+        data, queries, metadata = make_workload()
+        index = HDIndex(exhaustive_params())
+        index.build(data, metadata=metadata)
+        index.query(queries[0], k=3, predicate=Eq("tag", "even"))
+        stats = index.last_query_stats()
+        assert stats.extra["selectivity"] == pytest.approx(0.5)
+
+
+class TestFilteredValidation:
+    def test_predicate_without_metadata(self):
+        data, queries, _ = make_workload()
+        index = HDIndex(exhaustive_params())
+        index.build(data)
+        with pytest.raises(ValueError, match="without metadata"):
+            index.query(queries[0], k=3, predicate=Eq("label", 1))
+
+    def test_unknown_column_fails_before_scan(self):
+        data, queries, metadata = make_workload()
+        index = HDIndex(exhaustive_params())
+        index.build(data, metadata=metadata)
+        with pytest.raises(ValueError, match="unknown metadata column"):
+            index.query(queries[0], k=3, predicate=Eq("missing", 1))
+
+    def test_metadata_count_mismatch(self):
+        data, _, metadata = make_workload()
+        index = HDIndex(exhaustive_params())
+        with pytest.raises(ValueError):
+            index.build(data, metadata=metadata[:-1])
+
+    def test_insert_metadata_contract(self):
+        data, _, metadata = make_workload()
+        with_meta = HDIndex(exhaustive_params())
+        with_meta.build(data, metadata=metadata)
+        with pytest.raises(ValueError, match="requires a metadata dict"):
+            with_meta.insert(data[0])
+        without = HDIndex(exhaustive_params())
+        without.build(data)
+        with pytest.raises(ValueError, match="built without it"):
+            without.insert(data[0], metadata={"label": 1})
+
+
+class TestFilteredPersistence:
+    @pytest.mark.parametrize("backend", ["file", "mmap"])
+    def test_metadata_survives_save_load(self, tmp_path, backend):
+        data, queries, metadata = make_workload()
+        spec = IndexSpec(params=exhaustive_params(), backend=backend)
+        index = build(spec, data, storage_dir=str(tmp_path),
+                      metadata=metadata)
+        predicate = Range("score", low=0.4)
+        want = index.query(queries[0], k=6, predicate=predicate)
+        index.close()
+        with open_index(str(tmp_path)) as reopened:
+            assert isinstance(reopened.metadata, MetadataStore)
+            got = reopened.query(queries[0], k=6, predicate=predicate)
+            np.testing.assert_array_equal(got[0], want[0])
+            np.testing.assert_array_equal(got[1], want[1])
+
+    def test_metadata_free_snapshot_has_no_sidecar(self, tmp_path):
+        data, _, _ = make_workload()
+        spec = IndexSpec(params=exhaustive_params(), backend="file")
+        index = build(spec, data, storage_dir=str(tmp_path))
+        index.close()
+        assert not (tmp_path / "metadata.packed").exists()
+        with open_index(str(tmp_path)) as reopened:
+            assert reopened.metadata is None
+
+
+class TestFilteredWal:
+    def wal_spec(self, n=N):
+        return IndexSpec(params=exhaustive_params(n=n), backend="file",
+                         execution=Execution(kind="sequential", wal=True))
+
+    def test_wal_inserts_filterable_and_recovered(self, tmp_path):
+        data, queries, metadata = make_workload()
+        index = build(self.wal_spec(), data, storage_dir=str(tmp_path),
+                      metadata=metadata)
+        fresh = np.asarray(queries[1])
+        new_id = index.insert(fresh, metadata={"label": 3,
+                                               "score": 0.33,
+                                               "tag": "even"})
+        predicate = Eq("label", 3)
+        ids, _ = index.query(fresh, k=1, predicate=predicate)
+        assert ids[0] == new_id
+        # The delta row is invisible to a non-matching predicate.
+        miss, _ = index.query(fresh, k=1, predicate=Eq("label", 4))
+        assert new_id not in miss
+        index.close()
+        # Crash-recovery replay rebuilds the delta row's metadata.
+        with open_index(str(tmp_path)) as recovered:
+            ids, _ = recovered.query(fresh, k=1, predicate=predicate)
+            assert ids[0] == new_id
+
+    def test_compaction_folds_metadata(self, tmp_path):
+        data, queries, metadata = make_workload()
+        index = build(self.wal_spec(), data, storage_dir=str(tmp_path),
+                      metadata=metadata)
+        fresh = np.asarray(queries[2])
+        new_id = index.insert(fresh, metadata={"label": 5, "score": 0.5,
+                                               "tag": "odd"})
+        index.compact()
+        assert index.metadata.count == N + 1
+        assert index.metadata.row(new_id)["label"] == 5
+        ids, _ = index.query(fresh, k=1, predicate=Eq("label", 5))
+        assert ids[0] == new_id
+        index.close()
+        with open_index(str(tmp_path)) as reopened:
+            ids, _ = reopened.query(fresh, k=1, predicate=Eq("label", 5))
+            assert ids[0] == new_id
+
+    def test_parity_through_wal_interleavings(self, tmp_path):
+        """Insert → query → compact → insert → query: parity with the
+        oracle (base store + delta rows) at every step."""
+        data, queries, metadata = make_workload(n=150)
+        index = build(self.wal_spec(n=150), data,
+                      storage_dir=str(tmp_path),
+                      metadata=metadata)
+        rng = np.random.default_rng(11)
+        predicate = Eq("tag", "even")
+
+        def check():
+            query = queries[0]
+            ids, dists = index.query(query, k=9, predicate=predicate)
+            # Oracle over base + delta: compact-free reference.
+            rows = [index.metadata.row(i)
+                    for i in range(index.metadata.count)]
+            delta = index._delta
+            rows += delta.metadata_rows() if delta is not None else []
+            eligible = np.asarray([predicate.matches(r) for r in rows])
+            vectors = index.heap.gather(
+                np.arange(index.metadata.count))
+            delta_records = delta.records() if delta is not None else []
+            if delta_records:
+                vectors = np.vstack(
+                    [vectors,
+                     np.asarray([r[1] for r in delta_records],
+                                dtype=vectors.dtype)])
+            keep = np.nonzero(eligible)[0]
+            exact = euclidean_to_many(query, vectors[keep])
+            best = top_k_smallest(exact, min(9, keep.size))
+            np.testing.assert_array_equal(ids, keep[best])
+            np.testing.assert_array_equal(dists, exact[best])
+
+        check()
+        for step in range(4):
+            vector = rng.uniform(0.0, 40.0, size=DIM)
+            index.insert(vector, metadata={
+                "label": int(step % 7), "score": 0.9,
+                "tag": "even" if step % 2 == 0 else "odd"})
+            check()
+            if step == 1:
+                index.compact()
+                check()
+        index.close()
+
+
+class TestAngularMetric:
+    def test_angular_matches_normalized_euclidean_oracle(self):
+        data, queries, _ = make_workload()
+        ndata = normalize_rows(data)
+        angular = HDIndex(exhaustive_params(metric="angular"))
+        angular.build(ndata)
+        euclid = HDIndex(exhaustive_params())
+        euclid.build(ndata)
+        for query in queries:
+            nquery = normalize_rows(query[None, :])[0]
+            a_ids, a_dists = angular.query(query, k=10)
+            e_ids, e_dists = euclid.query(nquery, k=10)
+            np.testing.assert_array_equal(a_ids, e_ids)
+            np.testing.assert_array_equal(a_dists, e_dists)
+
+    def test_angular_requires_normalized_build(self):
+        data, _, _ = make_workload()
+        index = HDIndex(exhaustive_params(metric="angular"))
+        with pytest.raises(ValueError, match="unit-normalised"):
+            index.build(data)
+
+    def test_angular_filtered_parity(self):
+        data, queries, metadata = make_workload()
+        ndata = normalize_rows(data)
+        index = HDIndex(exhaustive_params(metric="angular"))
+        index.build(ndata, metadata=metadata)
+        predicate = In("label", (1, 3, 5))
+        for query in queries[:3]:
+            ids, dists = index.query(query, k=8, predicate=predicate)
+            want_ids, want_dists = oracle(index, query, 8, predicate)
+            np.testing.assert_array_equal(ids, want_ids)
+            np.testing.assert_array_equal(dists, want_dists)
+
+    def test_angular_survives_persistence(self, tmp_path):
+        data, queries, _ = make_workload()
+        ndata = normalize_rows(data)
+        spec = IndexSpec(params=exhaustive_params(metric="angular"),
+                         backend="file")
+        index = build(spec, ndata, storage_dir=str(tmp_path))
+        want = index.query(queries[0], k=5)
+        index.close()
+        with open_index(str(tmp_path)) as reopened:
+            assert reopened.params.metric == "angular"
+            got = reopened.query(queries[0], k=5)
+            np.testing.assert_array_equal(got[0], want[0])
+
+    def test_angular_insert_requires_normalized(self):
+        data, _, _ = make_workload()
+        index = HDIndex(exhaustive_params(metric="angular"))
+        index.build(normalize_rows(data))
+        with pytest.raises(ValueError, match="unit-normalised"):
+            index.insert(np.full(DIM, 3.0))
+
+
+class TestShardedFiltered:
+    def test_sharded_filtered_parity(self):
+        from repro.core.spec import Topology
+        data, queries, metadata = make_workload()
+        spec = IndexSpec(params=exhaustive_params(),
+                         topology=Topology(shards=3))
+        router = build(spec, data, metadata=metadata)
+        plain = HDIndex(exhaustive_params())
+        plain.build(data, metadata=metadata)
+        predicate = And(Eq("tag", "odd"), Range("score", low=0.2))
+        for query in queries[:3]:
+            r_ids, r_dists = router.query(query, k=6,
+                                          predicate=predicate)
+            want_ids, want_dists = oracle(plain, query, 6, predicate)
+            np.testing.assert_array_equal(np.sort(r_dists),
+                                          np.sort(want_dists))
+            np.testing.assert_array_equal(r_ids, want_ids)
+
+
+class TestServeFiltered:
+    def test_service_accepts_predicate_objects_and_dicts(self):
+        from repro.serve import QueryService, ServiceConfig
+        data, queries, metadata = make_workload()
+        index = HDIndex(exhaustive_params())
+        index.build(data, metadata=metadata)
+        predicate = Eq("label", 2)
+        want_ids, want_dists = oracle(index, queries[0], 5, predicate)
+        with QueryService(index, ServiceConfig(max_batch=4)) as service:
+            ids, dists = service.submit(queries[0], 5,
+                                        predicate=predicate).result(10)
+            np.testing.assert_array_equal(ids, want_ids)
+            np.testing.assert_array_equal(dists, want_dists)
+            ids2, _ = service.submit(
+                queries[0], 5, predicate=predicate.to_dict()).result(10)
+            np.testing.assert_array_equal(ids2, want_ids)
+
+    def test_cached_filtered_results_keyed_by_predicate(self):
+        from repro.serve import QueryService, ServiceConfig
+        data, queries, metadata = make_workload()
+        index = HDIndex(exhaustive_params())
+        index.build(data, metadata=metadata)
+        config = ServiceConfig(max_batch=2, cache_size=16)
+        with QueryService(index, config) as service:
+            a1 = service.submit(queries[0], 5,
+                                predicate=Eq("label", 1)).result(10)
+            b1 = service.submit(queries[0], 5,
+                                predicate=Eq("label", 2)).result(10)
+            a2 = service.submit(queries[0], 5,
+                                predicate=Eq("label", 1)
+                                .to_dict()).result(10)
+            assert not np.array_equal(a1[0], b1[0])
+            np.testing.assert_array_equal(a1[0], a2[0])
+            assert service.stats().cache_hits >= 1
+
+    def test_predicate_crosses_wire_protocol(self):
+        from repro.serve.protocol import decode_body, encode_frame, \
+            query_request
+        predicate = And(Eq("label", 1), Not(Eq("tag", "odd")))
+        frame = encode_frame(query_request(
+            7, np.zeros(DIM), 5, overrides={"predicate": predicate}))
+        message = decode_body(frame[4:])
+        assert message["overrides"]["predicate"] == predicate.to_dict()

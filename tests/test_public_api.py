@@ -13,28 +13,36 @@ import repro
 #: The published top-level surface, alphabetical.  A failure here means a
 #: symbol was added or removed without updating this snapshot.
 EXPECTED_ALL = [
+    "And",
     "C2LSH",
     "DATASET_CATALOG",
     "Dataset",
     "DatasetSpec",
     "E2LSH",
+    "Eq",
     "Execution",
     "GroundTruth",
     "HDIndex",
     "HDIndexParams",
     "HNSW",
     "IDistance",
+    "In",
     "IndexSpec",
     "KNNIndex",
     "LinearScan",
+    "MetadataStore",
     "Multicurves",
+    "Not",
     "OPQIndex",
+    "Or",
     "PQIndex",
     "ParallelHDIndex",
+    "Predicate",
     "ProcessPoolHDIndex",
     "QALSH",
     "QueryService",
     "QueryStats",
+    "Range",
     "SRS",
     "ServiceConfig",
     "ServiceStats",
@@ -52,11 +60,14 @@ EXPECTED_ALL = [
     "evaluate_spec",
     "exact_knn",
     "format_table",
+    "iter_hdf5_chunks",
     "load_index",
     "make_dataset",
     "mean_average_precision",
+    "normalize_rows",
     "open",
     "open_index",
+    "predicate_from_dict",
     "rdb_leaf_order",
     "recall_at_k",
     "recommended_params",
